@@ -1,0 +1,268 @@
+//! Generic ring-based collective algorithms.
+//!
+//! NCCL's DGX-1 collectives are all built from simultaneous single-NVLink
+//! rings (§5.3, Table 3); this module constructs those schedules as
+//! [`Algorithm`] values so they can be validated, lowered, simulated and
+//! executed exactly like synthesized ones.
+
+use sccl_collectives::Collective;
+use sccl_core::combining::{compose_allreduce, invert};
+use sccl_core::{Algorithm, Send};
+
+/// A logical unidirectional ring: a cyclic order of all node ids.
+pub type Ring = Vec<usize>;
+
+/// Ring Allgather over a set of simultaneous logical rings.
+///
+/// Each node splits its data into one chunk per ring; ring `r`'s chunks
+/// travel around it for `P − 1` steps. With `k` rings this is the
+/// `(C = k, S = P−1, R = P−1)` algorithm of Table 3.
+pub fn ring_allgather(topology_name: &str, num_nodes: usize, rings: &[Ring]) -> Algorithm {
+    assert!(!rings.is_empty());
+    for ring in rings {
+        assert_eq!(ring.len(), num_nodes, "ring must visit every node once");
+    }
+    let c = rings.len();
+    let g = num_nodes * c;
+    let steps = num_nodes - 1;
+    let mut sends = Vec::with_capacity(c * num_nodes * steps);
+    for (r, ring) in rings.iter().enumerate() {
+        for step in 0..steps {
+            for i in 0..num_nodes {
+                let src = ring[i];
+                let dst = ring[(i + 1) % num_nodes];
+                // The chunk that originated `step` positions behind `src`.
+                let owner = ring[(i + num_nodes - step) % num_nodes];
+                let chunk = r * num_nodes + owner;
+                sends.push(Send::copy(chunk, src, dst, step));
+            }
+        }
+    }
+    Algorithm {
+        collective: Collective::Allgather,
+        topology_name: topology_name.to_string(),
+        num_nodes,
+        per_node_chunks: c,
+        num_chunks: g,
+        rounds_per_step: vec![1; steps],
+        sends,
+    }
+}
+
+/// Ring ReduceScatter: the inverse of the ring Allgather (§3.5).
+pub fn ring_reducescatter(topology_name: &str, num_nodes: usize, rings: &[Ring]) -> Algorithm {
+    invert(
+        &ring_allgather(topology_name, num_nodes, rings),
+        Collective::ReduceScatter,
+    )
+}
+
+/// Ring Allreduce: ReduceScatter followed by Allgather on the same rings;
+/// `(C = k·P, S = 2(P−1), R = 2(P−1))`, i.e. NCCL's `(48, 14, 14)` on the
+/// DGX-1 (Table 3).
+pub fn ring_allreduce(topology_name: &str, num_nodes: usize, rings: &[Ring]) -> Algorithm {
+    compose_allreduce(&ring_allgather(topology_name, num_nodes, rings))
+}
+
+/// Pipelined ring Broadcast from `root` with multiplier `m` (Table 3).
+///
+/// Each ring carries `m` chunks injected by the root one per step and
+/// forwarded down the ring, giving `(C = k·m, S = m + P − 2, R = m + P − 2)`
+/// overall: the `(6+m)·α + (6+m)/(6m)·L·β` cost of §5.3.
+pub fn pipelined_broadcast(
+    topology_name: &str,
+    num_nodes: usize,
+    rings: &[Ring],
+    root: usize,
+    multiplier: usize,
+) -> Algorithm {
+    assert!(multiplier >= 1);
+    let k = rings.len();
+    let c = k * multiplier;
+    let steps = multiplier + num_nodes - 2;
+    let mut sends = Vec::new();
+    for (r, ring) in rings.iter().enumerate() {
+        // Rotate the ring so that the root is at position 0.
+        let root_pos = ring
+            .iter()
+            .position(|&n| n == root)
+            .expect("root must be on every ring");
+        let rotated: Vec<usize> = (0..num_nodes)
+            .map(|i| ring[(root_pos + i) % num_nodes])
+            .collect();
+        for j in 0..multiplier {
+            let chunk = r * multiplier + j;
+            for hop in 0..num_nodes - 1 {
+                sends.push(Send::copy(chunk, rotated[hop], rotated[hop + 1], j + hop));
+            }
+        }
+    }
+    Algorithm {
+        collective: Collective::Broadcast { root },
+        topology_name: topology_name.to_string(),
+        num_nodes,
+        per_node_chunks: c,
+        num_chunks: c,
+        rounds_per_step: vec![1; steps],
+        sends,
+    }
+}
+
+/// Pipelined ring Reduce onto `root`: the inverse of the pipelined
+/// Broadcast.
+pub fn pipelined_reduce(
+    topology_name: &str,
+    num_nodes: usize,
+    rings: &[Ring],
+    root: usize,
+    multiplier: usize,
+) -> Algorithm {
+    invert(
+        &pipelined_broadcast(topology_name, num_nodes, rings, root, multiplier),
+        Collective::Reduce { root },
+    )
+}
+
+/// Recursive-doubling Allgather for a power-of-two node count on a
+/// topology where nodes at distance `2^i` are connected (hypercube or
+/// fully-connected). The classical `(C = 1, S = log₂P, R = 2^S − 1)`
+/// algorithm of Figure 2.
+pub fn recursive_doubling_allgather(topology_name: &str, num_nodes: usize) -> Algorithm {
+    assert!(num_nodes.is_power_of_two() && num_nodes >= 2);
+    let steps = num_nodes.trailing_zeros() as usize;
+    let mut sends = Vec::new();
+    let mut rounds = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let distance = 1 << step;
+        // Each node exchanges everything it has with its partner at the
+        // current distance; after step s it holds 2^(s+1) chunks.
+        for node in 0..num_nodes {
+            let partner = node ^ distance;
+            for offset in 0..distance {
+                // The chunks currently held by `node` are those of its
+                // sub-group of size `distance`.
+                let owner = (node & !(distance - 1)) + offset;
+                sends.push(Send::copy(owner, node, partner, step));
+            }
+        }
+        rounds.push(distance as u64);
+    }
+    Algorithm {
+        collective: Collective::Allgather,
+        topology_name: topology_name.to_string(),
+        num_nodes,
+        per_node_chunks: 1,
+        num_chunks: num_nodes,
+        rounds_per_step: rounds,
+        sends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_core::combining::{
+        allreduce_required, reduce_required, reducescatter_required, validate_combining,
+    };
+    use sccl_topology::builders;
+
+    fn unit_ring_4() -> Vec<Ring> {
+        vec![vec![0, 1, 2, 3]]
+    }
+
+    #[test]
+    fn ring_allgather_shape_and_validity() {
+        let topo = builders::ring(4, 1);
+        let alg = ring_allgather(topo.name(), 4, &unit_ring_4());
+        assert_eq!(alg.per_node_chunks, 1);
+        assert_eq!(alg.num_steps(), 3);
+        assert_eq!(alg.total_rounds(), 3);
+        assert_eq!(alg.sends.len(), 12);
+        let spec = Collective::Allgather.spec(4, 1);
+        alg.validate(&topo, &spec).expect("valid ring allgather");
+    }
+
+    #[test]
+    fn two_direction_ring_allgather() {
+        let topo = builders::ring(4, 1);
+        let rings = vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]];
+        let alg = ring_allgather(topo.name(), 4, &rings);
+        assert_eq!(alg.per_node_chunks, 2);
+        let spec = Collective::Allgather.spec(4, 2);
+        alg.validate(&topo, &spec).expect("valid");
+    }
+
+    #[test]
+    fn ring_reducescatter_is_valid() {
+        let topo = builders::ring(4, 1);
+        let alg = ring_reducescatter(topo.name(), 4, &unit_ring_4());
+        validate_combining(&alg, &topo, &reducescatter_required(alg.num_chunks, 4))
+            .expect("valid reduce-scatter");
+        assert_eq!(alg.num_steps(), 3);
+    }
+
+    #[test]
+    fn ring_allreduce_matches_table3_shape() {
+        let topo = builders::ring(4, 1);
+        let alg = ring_allreduce(topo.name(), 4, &unit_ring_4());
+        assert_eq!(alg.num_steps(), 6);
+        assert_eq!(alg.total_rounds(), 6);
+        assert_eq!(alg.per_node_chunks, 4);
+        validate_combining(&alg, &topo, &allreduce_required(alg.num_chunks, 4))
+            .expect("valid allreduce");
+    }
+
+    #[test]
+    fn pipelined_broadcast_shape_and_validity() {
+        let topo = builders::ring(4, 1);
+        for m in 1..=3 {
+            let alg = pipelined_broadcast(topo.name(), 4, &unit_ring_4(), 0, m);
+            assert_eq!(alg.per_node_chunks, m);
+            assert_eq!(alg.num_steps(), m + 2);
+            let spec = Collective::Broadcast { root: 0 }.spec(4, m);
+            alg.validate(&topo, &spec).expect("valid pipelined broadcast");
+        }
+    }
+
+    #[test]
+    fn pipelined_broadcast_from_nonzero_root() {
+        let topo = builders::ring(4, 1);
+        let alg = pipelined_broadcast(topo.name(), 4, &unit_ring_4(), 2, 2);
+        let spec = Collective::Broadcast { root: 2 }.spec(4, 2);
+        alg.validate(&topo, &spec).expect("valid");
+    }
+
+    #[test]
+    fn pipelined_reduce_is_valid() {
+        let topo = builders::ring(4, 1);
+        let alg = pipelined_reduce(topo.name(), 4, &unit_ring_4(), 0, 2);
+        validate_combining(&alg, &topo, &reduce_required(alg.num_chunks, 0))
+            .expect("valid pipelined reduce");
+    }
+
+    #[test]
+    fn recursive_doubling_on_hypercube() {
+        let topo = builders::hypercube(3, 1);
+        let alg = recursive_doubling_allgather(topo.name(), 8);
+        assert_eq!(alg.num_steps(), 3);
+        assert_eq!(alg.total_rounds(), 7);
+        let spec = Collective::Allgather.spec(8, 1);
+        alg.validate(&topo, &spec).expect("valid recursive doubling");
+    }
+
+    #[test]
+    fn recursive_doubling_on_four_nodes() {
+        let topo = builders::fully_connected(4, 1);
+        let alg = recursive_doubling_allgather(topo.name(), 4);
+        assert_eq!(alg.num_steps(), 2);
+        assert_eq!(alg.total_rounds(), 3);
+        let spec = Collective::Allgather.spec(4, 1);
+        alg.validate(&topo, &spec).expect("valid");
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_must_visit_all_nodes() {
+        ring_allgather("bad", 4, &[vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the threaded execution substrate: stepped vs
+//! fused execution of synthesized and baseline schedules on real data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sccl_baselines::{nccl_allgather_dgx1, ring_allgather};
+use sccl_program::{lower, LoweringOptions, Program};
+use sccl_runtime::{execute, oracle, ExecutionConfig, ExecutionMode};
+use std::collections::BTreeSet;
+
+struct Prepared {
+    program: Program,
+    inputs: Vec<Vec<f32>>,
+    valid: Vec<BTreeSet<usize>>,
+    num_chunks: usize,
+}
+
+fn prepare(num_nodes: usize, chunk_elems: usize, dgx1: bool) -> Prepared {
+    let alg = if dgx1 {
+        nccl_allgather_dgx1()
+    } else {
+        let ring: Vec<usize> = (0..num_nodes).collect();
+        ring_allgather("ring", num_nodes, &[ring])
+    };
+    let program = lower(&alg, LoweringOptions::default());
+    let inputs = oracle::allgather_inputs(alg.num_nodes, alg.num_chunks, chunk_elems, 11);
+    let valid = oracle::scattered_valid(alg.num_nodes, alg.num_chunks);
+    Prepared {
+        program,
+        inputs,
+        valid,
+        num_chunks: alg.num_chunks,
+    }
+}
+
+fn bench_ring_allgather_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor/ring8-allgather");
+    group.sample_size(10);
+    let chunk_elems = 4096;
+    let prepared = prepare(8, chunk_elems, false);
+    group.throughput(Throughput::Bytes(
+        (prepared.num_chunks * chunk_elems * 4) as u64,
+    ));
+    for mode in [ExecutionMode::Stepped, ExecutionMode::Fused] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let config = ExecutionConfig { chunk_elems, mode };
+                    let result = execute(&prepared.program, &prepared.inputs, &prepared.valid, config);
+                    assert_eq!(result.buffers.len(), 8);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nccl_allgather_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor/dgx1-nccl-allgather");
+    group.sample_size(10);
+    let chunk_elems = 1024;
+    let prepared = prepare(8, chunk_elems, true);
+    group.throughput(Throughput::Bytes(
+        (prepared.num_chunks * chunk_elems * 4) as u64,
+    ));
+    for mode in [ExecutionMode::Stepped, ExecutionMode::Fused] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let config = ExecutionConfig { chunk_elems, mode };
+                    let result = execute(&prepared.program, &prepared.inputs, &prepared.valid, config);
+                    assert_eq!(result.buffers.len(), 8);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_allgather_execution, bench_nccl_allgather_execution);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Criterion benchmarks regenerating the data behind Figures 4–6 with the
+//! (α, β) simulator: one group per figure, one benchmark per series, each
+//! computing the full speedup curve against the NCCL/RCCL baseline.
+//!
+//! The figure *binaries* (`figure4`, `figure5`, `figure6`) print the actual
+//! tables; these benches track how expensive the simulation itself is and
+//! double as regression checks that the qualitative shapes hold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccl_baselines::{nccl_allgather_dgx1, nccl_allreduce_dgx1, rccl_allgather_amd};
+use sccl_bench::figures::figure_sizes;
+use sccl_bench::harness::{speedup_row, Series};
+use sccl_core::CostModel;
+use sccl_program::LoweringOptions;
+
+fn bench_allgather_dgx1(c: &mut Criterion) {
+    // Figure 4 series, evaluated through the closed-form cost (the shapes
+    // depend only on (C, S, R) and the lowering).
+    let mut group = c.benchmark_group("figures/figure4-allgather-dgx1");
+    group.sample_size(20);
+    let dgx1 = sccl_topology::builders::dgx1();
+    let push = LoweringOptions::default();
+    let dma = LoweringOptions::dma_per_step();
+    let sizes = figure_sizes(960, 251_658_240, 8);
+    let model = CostModel::nvlink();
+    let baseline = Series::from_algorithm("NCCL", nccl_allgather_dgx1(), push);
+    let series = [
+        Series::from_cost("(1,2,2)", 1, 2, 2, push),
+        Series::from_cost("(2,2,3)", 2, 2, 3, push),
+        Series::from_cost("(5,6,6)", 5, 6, 6, push),
+        Series::from_cost("(6,7,7)", 6, 7, 7, push),
+        Series::from_cost("(6,7,7)-cudamemcpy", 6, 7, 7, dma),
+    ];
+    for s in &series {
+        group.bench_with_input(BenchmarkId::from_parameter(&s.label), s, |b, s| {
+            b.iter(|| {
+                let row = speedup_row(s, &baseline, &dgx1, &model, &sizes);
+                assert_eq!(row.len(), sizes.len());
+            })
+        });
+    }
+    // Shape regression: latency-optimal wins small, loses large.
+    let row = speedup_row(&series[0], &baseline, &dgx1, &model, &sizes);
+    assert!(row[0] > 1.0 && row[sizes.len() - 1] < 1.0);
+    group.finish();
+}
+
+fn bench_allreduce_dgx1(c: &mut Criterion) {
+    // Figure 5 series (Allreduce = 2× the Allgather phase, 8× the chunks).
+    let mut group = c.benchmark_group("figures/figure5-allreduce-dgx1");
+    group.sample_size(20);
+    let dgx1 = sccl_topology::builders::dgx1();
+    let push = LoweringOptions::default();
+    let sizes = figure_sizes(7_860, 2_060_000_000, 8);
+    let model = CostModel::nvlink();
+    let baseline = Series::from_algorithm("NCCL", nccl_allreduce_dgx1(), push);
+    let series = [
+        Series::from_cost("(1,2,2)", 8, 4, 4, push),
+        Series::from_cost("(4,5,5)", 32, 10, 10, push),
+        Series::from_cost("(5,6,6)", 40, 12, 12, push),
+        Series::from_cost("(6,7,7)", 48, 14, 14, push),
+    ];
+    for s in &series {
+        group.bench_with_input(BenchmarkId::from_parameter(&s.label), s, |b, s| {
+            b.iter(|| {
+                let row = speedup_row(s, &baseline, &dgx1, &model, &sizes);
+                assert_eq!(row.len(), sizes.len());
+            })
+        });
+    }
+    // Shape regression: the 1-chunk algorithm wins at the smallest size and
+    // the (6,7,7)-phase algorithm converges to ~1x at the largest.
+    let small = speedup_row(&series[0], &baseline, &dgx1, &model, &sizes);
+    assert!(small[0] > 1.0);
+    let large = speedup_row(&series[3], &baseline, &dgx1, &model, &sizes);
+    assert!((large[sizes.len() - 1] - 1.0).abs() < 0.25);
+    group.finish();
+}
+
+fn bench_allgather_amd(c: &mut Criterion) {
+    // Figure 6 series on the Gigabyte Z52.
+    let mut group = c.benchmark_group("figures/figure6-allgather-amd");
+    group.sample_size(20);
+    let amd = sccl_topology::builders::amd_z52();
+    let push = LoweringOptions::default();
+    let sizes = figure_sizes(512, 1_073_741_824, 8);
+    let model = CostModel::amd_z52();
+    let baseline = Series::from_algorithm("RCCL", rccl_allgather_amd(), push);
+    let series = [
+        Series::from_cost("(1,4,4)", 1, 4, 4, push),
+        Series::from_cost("(2,7,7)", 2, 7, 7, push),
+    ];
+    for s in &series {
+        group.bench_with_input(BenchmarkId::from_parameter(&s.label), s, |b, s| {
+            b.iter(|| {
+                let row = speedup_row(s, &baseline, &amd, &model, &sizes);
+                assert_eq!(row.len(), sizes.len());
+            })
+        });
+    }
+    // Shape regression: (1,4,4) wins at small sizes; at large sizes (2,7,7)
+    // is at least as good as (1,4,4).
+    let r144 = speedup_row(&series[0], &baseline, &amd, &model, &sizes);
+    let r277 = speedup_row(&series[1], &baseline, &amd, &model, &sizes);
+    assert!(r144[0] > r277[0]);
+    assert!(r277[sizes.len() - 1] >= r144[sizes.len() - 1]);
+    group.finish();
+}
+
+fn bench_lowering_ablation(c: &mut Criterion) {
+    // Lowering ablation (§4): push vs pull, fused vs per-step, kernel copy
+    // vs DMA, all on the bandwidth-optimal DGX-1 ring schedule at 64 MB.
+    let mut group = c.benchmark_group("figures/lowering-ablation");
+    group.sample_size(20);
+    let dgx1 = sccl_topology::builders::dgx1();
+    let model = CostModel::nvlink();
+    let alg = nccl_allgather_dgx1();
+    let bytes = 64 * 1024 * 1024;
+    let options = [
+        ("push-fused-kernel", LoweringOptions::default()),
+        (
+            "pull-fused-kernel",
+            LoweringOptions {
+                transfer_model: sccl_program::TransferModel::Pull,
+                ..Default::default()
+            },
+        ),
+        (
+            "push-per-step-kernel",
+            LoweringOptions {
+                kernel_fusion: sccl_program::KernelFusion::PerStep,
+                ..Default::default()
+            },
+        ),
+        ("push-per-step-dma", LoweringOptions::dma_per_step()),
+    ];
+    for (name, lowering) in options {
+        group.bench_function(name, |b| {
+            b.iter(|| sccl_runtime::simulate_time(&alg, &dgx1, bytes, &model, &lowering))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allgather_dgx1,
+    bench_allreduce_dgx1,
+    bench_allgather_amd,
+    bench_lowering_ablation
+);
+criterion_main!(benches);

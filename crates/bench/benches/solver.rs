@@ -1,0 +1,153 @@
+//! Criterion benchmarks for the CDCL + pseudo-Boolean solver substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccl_solver::{Lit, Solver, SolverConfig};
+
+/// Pigeonhole principle instance: n pigeons into n-1 holes (UNSAT).
+fn pigeonhole(n: usize) -> Solver {
+    let holes = n - 1;
+    let mut s = Solver::new();
+    let p: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for hole in 0..holes {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s.add_clause(&[!p[i][hole], !p[j][hole]]);
+            }
+        }
+    }
+    s
+}
+
+/// Pigeonhole using native at-most-one constraints instead of pairwise
+/// clauses.
+fn pigeonhole_pb(n: usize) -> Solver {
+    let holes = n - 1;
+    let mut s = Solver::new();
+    let p: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for hole in 0..holes {
+        let column: Vec<Lit> = (0..n).map(|i| p[i][hole]).collect();
+        s.add_at_most_one(&column);
+    }
+    s
+}
+
+/// Random satisfiable 3-SAT at a moderate clause/variable ratio.
+fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Solver {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Solver::new();
+    let vars: Vec<Lit> = (0..num_vars).map(|_| s.new_var().positive()).collect();
+    for _ in 0..num_clauses {
+        let clause: Vec<Lit> = (0..3)
+            .map(|_| {
+                let l = vars[rng.gen_range(0..num_vars)];
+                if rng.gen_bool(0.5) {
+                    l
+                } else {
+                    !l
+                }
+            })
+            .collect();
+        s.add_clause(&clause);
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/pigeonhole");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("clausal", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert!(s.solve().is_unsat());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pseudo-boolean", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole_pb(n);
+                assert!(s.solve().is_unsat());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/random-3sat");
+    group.sample_size(10);
+    for &(vars, clauses) in &[(60usize, 240usize), (100, 400)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}v-{clauses}c")),
+            &(vars, clauses),
+            |b, &(vars, clauses)| {
+                b.iter(|| {
+                    let mut s = random_3sat(vars, clauses, 7);
+                    let _ = s.solve();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solver_ablation(c: &mut Criterion) {
+    // Ablation: clause learning and VSIDS on/off (DESIGN.md §5).
+    let mut group = c.benchmark_group("solver/ablation-pigeonhole6");
+    group.sample_size(10);
+    let configs = [
+        ("full", SolverConfig::default()),
+        (
+            "no-learning",
+            SolverConfig {
+                clause_learning: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-vsids",
+            SolverConfig {
+                vsids: false,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let holes = 5;
+                let n = 6;
+                let mut s = Solver::with_config(config.clone());
+                let p: Vec<Vec<Lit>> = (0..n)
+                    .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+                    .collect();
+                for row in &p {
+                    s.add_clause(row);
+                }
+                for hole in 0..holes {
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            s.add_clause(&[!p[i][hole], !p[j][hole]]);
+                        }
+                    }
+                }
+                assert!(s.solve().is_unsat());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_random_3sat, bench_solver_ablation);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the synthesis engine: per-row SMT queries of
+//! the kind Tables 4–5 report, the encoding ablation of §5.4.3 and the
+//! k-parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccl_collectives::Collective;
+use sccl_core::encoding::{synthesize, synthesize_naive, EncodingOptions, SynCollInstance};
+use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+use sccl_solver::{Limits, SolverConfig};
+use sccl_topology::{builders, Topology};
+
+fn instance(topology: &Topology, collective: Collective, c: usize, s: usize, r: u64) -> SynCollInstance {
+    SynCollInstance {
+        spec: collective.spec(topology.num_nodes(), c),
+        per_node_chunks: c,
+        num_steps: s,
+        num_rounds: r,
+    }
+}
+
+/// Table 4/5-style probes that are fast enough to benchmark repeatedly.
+fn bench_table_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/table-rows");
+    group.sample_size(10);
+    let dgx1 = builders::dgx1();
+    let amd = builders::amd_z52();
+    let ring4 = builders::ring(4, 1);
+    let cases: Vec<(&str, &Topology, Collective, usize, usize, u64)> = vec![
+        ("ring4-allgather-1-3-3", &ring4, Collective::Allgather, 1, 3, 3),
+        ("dgx1-allgather-1-2-2", &dgx1, Collective::Allgather, 1, 2, 2),
+        ("dgx1-allgather-2-2-3", &dgx1, Collective::Allgather, 2, 2, 3),
+        ("dgx1-broadcast-2-2-2", &dgx1, Collective::Broadcast { root: 0 }, 2, 2, 2),
+        ("amd-allgather-1-4-4", &amd, Collective::Allgather, 1, 4, 4),
+        ("amd-gather-1-4-4", &amd, Collective::Gather { root: 0 }, 1, 4, 4),
+    ];
+    for (name, topo, coll, chunks, steps, rounds) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let inst = instance(topo, coll, chunks, steps, rounds);
+                let run = synthesize(
+                    topo,
+                    &inst,
+                    &EncodingOptions::default(),
+                    SolverConfig::default(),
+                    Limits::none(),
+                );
+                assert!(run.outcome.is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Encoding ablation (§5.4.3): the careful Boolean+integer+PB encoding vs
+/// the direct one-Boolean-per-(c,n,n',s) encoding.
+fn bench_encoding_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/encoding-ablation");
+    group.sample_size(10);
+    let ring6 = builders::ring(6, 1);
+    let inst = instance(&ring6, Collective::Allgather, 1, 5, 5);
+    group.bench_function("careful", |b| {
+        b.iter(|| {
+            let run = synthesize(
+                &ring6,
+                &inst,
+                &EncodingOptions::default(),
+                SolverConfig::default(),
+                Limits::none(),
+            );
+            assert!(run.outcome.is_sat());
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let run = synthesize_naive(&ring6, &inst, SolverConfig::default(), Limits::none());
+            assert!(run.outcome.is_sat());
+        })
+    });
+    // Distance pruning ablation.
+    group.bench_function("careful-no-distance-pruning", |b| {
+        b.iter(|| {
+            let run = synthesize(
+                &ring6,
+                &inst,
+                &EncodingOptions {
+                    distance_pruning: false,
+                },
+                SolverConfig::default(),
+                Limits::none(),
+            );
+            assert!(run.outcome.is_sat());
+        })
+    });
+    group.finish();
+}
+
+/// The k-synchronous parameter sweep: the full Pareto procedure on a small
+/// machine for k ∈ {0, 1, 2}.
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis/k-sweep-ring4");
+    group.sample_size(10);
+    let ring4 = builders::ring(4, 1);
+    for k in [0u64, 1, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let config = SynthesisConfig {
+                    k,
+                    max_steps: 6,
+                    max_chunks: 6,
+                    ..Default::default()
+                };
+                let report = pareto_synthesize(&ring4, Collective::Allgather, &config)
+                    .expect("synthesis succeeds");
+                assert!(!report.entries.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_rows, bench_encoding_ablation, bench_k_sweep);
+criterion_main!(benches);

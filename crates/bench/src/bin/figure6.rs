@@ -1,0 +1,88 @@
+//! Regenerate Figure 6: Allgather speedup over RCCL on the Gigabyte Z52
+//! (8 AMD MI50 GPUs) as a function of input size, for the synthesized
+//! algorithms (1,4,4) and (2,7,7).
+//!
+//! ```bash
+//! cargo run --release -p sccl-bench --bin figure6
+//! ```
+
+use sccl_baselines::rccl_allgather_amd;
+use sccl_bench::figures::figure_sizes;
+use sccl_bench::harness::{allgather_series, baseline_series, probe_budget, speedup_row, Series};
+use sccl_bench::report::{markdown_table, write_csv};
+use sccl_core::CostModel;
+use sccl_program::LoweringOptions;
+use std::path::Path;
+
+fn main() {
+    let amd = sccl_topology::builders::amd_z52();
+    let budget = probe_budget(30);
+    let closed_form_only = sccl_bench::harness::figures_closed_form();
+    // Figure 6's x-axis: 512 B to ~1 GB.
+    let sizes = figure_sizes(512, 1_073_741_824, 8);
+    let cost_model = CostModel::amd_z52();
+    let push = LoweringOptions::default();
+
+    let series_specs: [(usize, usize, u64); 2] = [(1, 4, 4), (2, 7, 7)];
+    let mut series: Vec<Series> = Vec::new();
+    for (c, s, r) in series_specs {
+        let entry = if closed_form_only {
+            Series::from_cost(format!("({c},{s},{r})"), c as u64, s as u64, r, push)
+        } else {
+            allgather_series(&amd, c, s, r, push, budget, "")
+        };
+        eprintln!(
+            "series {}: {}",
+            entry.label,
+            if entry.closed_form_fallback {
+                "closed-form (not synthesized within budget)"
+            } else {
+                "synthesized schedule"
+            }
+        );
+        series.push(entry);
+    }
+    // RCCL's baseline: the bidirectional-ring Allgather plus the higher
+    // per-step overhead of its generic (non-fused) kernels, modelled by the
+    // per-step lowering.
+    let baseline = baseline_series(
+        "RCCL (2,7,7) rings",
+        rccl_allgather_amd(),
+        LoweringOptions::default(),
+    );
+
+    println!("# Figure 6: Allgather speedup over RCCL on the Gigabyte Z52 (simulated)\n");
+    let mut headers: Vec<String> = vec!["input bytes".to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let speedups: Vec<Vec<f64>> = series
+        .iter()
+        .map(|s| speedup_row(s, &baseline, &amd, &cost_model, &sizes))
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let mut row = vec![bytes.to_string()];
+        for s in &speedups {
+            row.push(format!("{:.3}", s[i]));
+        }
+        rows.push(row);
+    }
+    print!("{}", markdown_table(&header_refs, &rows));
+
+    let csv_path = Path::new("results/figure6.csv");
+    if write_csv(csv_path, &header_refs, &rows).is_ok() {
+        println!("\nwrote {}", csv_path.display());
+    }
+
+    println!("\nShape summary:");
+    println!(
+        "- the lower-latency (1,4,4) wins at small sizes: {:.2}x at {} B",
+        speedups[0][0], sizes[0]
+    );
+    let last = sizes.len() - 1;
+    println!(
+        "- the higher-bandwidth (2,7,7) is better at large sizes: {:.2}x vs {:.2}x at {} B",
+        speedups[1][last], speedups[0][last], sizes[last]
+    );
+}

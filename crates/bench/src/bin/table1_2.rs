@@ -1,0 +1,77 @@
+//! Regenerate Tables 1 and 2 of the paper: the chunk-placement relations
+//! and the collective specifications expressed with them.
+//!
+//! ```bash
+//! cargo run --release -p sccl-bench --bin table1_2
+//! ```
+
+use sccl_bench::report::markdown_table;
+use sccl_collectives::{ChunkRelation, Collective};
+
+fn main() {
+    println!("# Table 1: common relations in pre- and post-conditions\n");
+    let relations: Vec<(ChunkRelation, &str)> = vec![
+        (ChunkRelation::All, "[G] x [P]"),
+        (ChunkRelation::Root(0), "[G] x {n_root}"),
+        (ChunkRelation::Scattered, "{(c,n) | n = c mod P}"),
+        (ChunkRelation::Transpose, "{(c,n) | n = floor(c/P) mod P}"),
+    ];
+    let rows: Vec<Vec<String>> = relations
+        .iter()
+        .map(|(rel, definition)| {
+            // Materialize a small instance (G = 8, P = 4) so the table also
+            // shows the concrete pair count.
+            let size = rel.materialize(8, 4).len();
+            vec![
+                rel.name().to_string(),
+                definition.to_string(),
+                format!("{size} pairs at G=8, P=4"),
+            ]
+        })
+        .collect();
+    print!("{}", markdown_table(&["Name", "Relation", "Example size"], &rows));
+
+    println!("\n# Table 2: collective specifications as SynColl instances\n");
+    let collectives = [
+        Collective::Gather { root: 0 },
+        Collective::Allgather,
+        Collective::Alltoall,
+        Collective::Broadcast { root: 0 },
+        Collective::Scatter { root: 0 },
+    ];
+    let rows: Vec<Vec<String>> = collectives
+        .iter()
+        .map(|c| {
+            let (pre, post) = c.relations().expect("non-combining");
+            let spec = c.spec(8, 8);
+            vec![
+                c.name().to_string(),
+                pre.name().to_string(),
+                post.name().to_string(),
+                format!("G={} at P=8, C=8", spec.num_chunks),
+                format!("{} required deliveries", spec.required_deliveries()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(&["Collective", "pre", "post", "global chunks", "work"], &rows)
+    );
+
+    println!("\n# Combining collectives and their duals (Section 3.5)\n");
+    let rows: Vec<Vec<String>> = [
+        Collective::Reduce { root: 0 },
+        Collective::ReduceScatter,
+        Collective::Allreduce,
+    ]
+    .iter()
+    .map(|c| {
+        let dual = c
+            .inversion_dual()
+            .map(|d| format!("invert {}", d.name()))
+            .unwrap_or_else(|| "ReduceScatter then Allgather".to_string());
+        vec![c.name().to_string(), dual]
+    })
+    .collect();
+    print!("{}", markdown_table(&["Collective", "derived via"], &rows));
+}

@@ -1,0 +1,254 @@
+//! Regenerate Table 4: synthesized collectives for the NVIDIA DGX-1 with
+//! their chunk/step/round counts, optimality classification and synthesis
+//! time.
+//!
+//! Every row of the paper's table is re-probed as one SMT query against the
+//! DGX-1 topology model. Combining collectives are probed through their
+//! non-combining duals exactly as the paper synthesizes them (Allreduce
+//! rows probe the Allgather with C/8 chunks and S/2 steps).
+//!
+//! Synthesis times come from our CDCL+PB solver rather than Z3, so absolute
+//! times differ from the paper; SAT/UNSAT results and optimality classes
+//! are the reproduced content.
+//!
+//! ```bash
+//! cargo run --release -p sccl-bench --bin table4            # quick rows
+//! cargo run --release -p sccl-bench --bin table4 -- --full  # all rows
+//! SCCL_PROBE_TIMEOUT_SECS=300 cargo run --release -p sccl-bench --bin table4 -- --full
+//! ```
+
+use sccl_bench::harness::{probe, probe_budget, ProbeOutcome};
+use sccl_bench::report::{format_seconds, markdown_table, write_csv};
+use sccl_collectives::Collective;
+use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
+use sccl_core::combining::{allreduce_required, validate_combining};
+use sccl_topology::{Rational, Topology};
+use std::path::Path;
+
+/// One row of Table 4.
+struct Row {
+    /// Collective group label as printed in the paper.
+    label: &'static str,
+    /// The (C, S, R) values the paper reports for the row.
+    chunks: usize,
+    steps: usize,
+    rounds: u64,
+    /// The paper's optimality annotation.
+    paper_optimality: &'static str,
+    /// What to actually probe: the collective and its (C, S, R). For
+    /// Allreduce this is the Allgather dual.
+    probe: (Collective, usize, usize, u64),
+    /// `true` for rows small enough for the default quick run.
+    quick: bool,
+}
+
+fn rows() -> Vec<Row> {
+    let ag = Collective::Allgather;
+    let bc = Collective::Broadcast { root: 0 };
+    let ga = Collective::Gather { root: 0 };
+    let a2a = Collective::Alltoall;
+    let mut rows = Vec::new();
+    // Allgather (Reducescatter) block.
+    for (c, s, r, opt, quick) in [
+        (1usize, 2usize, 2u64, "Latency", true),
+        (2, 3, 3, "", true),
+        (3, 4, 4, "", true),
+        (4, 5, 5, "", false),
+        (5, 6, 6, "", false),
+        (6, 7, 7, "Bandwidth", false),
+        (6, 3, 7, "Bandwidth", false),
+        (2, 2, 3, "Latency", true),
+    ] {
+        rows.push(Row {
+            label: "Allgather (Reducescatter)",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (ag, c, s, r),
+            quick,
+        });
+    }
+    // Allreduce block: probed via the Allgather dual (C/8, S/2, R/2).
+    for (c, s, r, opt, quick) in [
+        (8usize, 4usize, 4u64, "Latency", true),
+        (16, 6, 6, "", true),
+        (24, 8, 8, "", true),
+        (32, 10, 10, "", false),
+        (40, 12, 12, "", false),
+        (48, 14, 14, "Bandwidth", false),
+        (48, 6, 14, "Bandwidth", false),
+        (16, 4, 6, "Latency", true),
+    ] {
+        rows.push(Row {
+            label: "Allreduce",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (ag, c / 8, s / 2, r / 2),
+            quick,
+        });
+    }
+    // Broadcast (Reduce) block.
+    for (c, s, r, opt, quick) in [
+        (2usize, 2usize, 2u64, "Latency", true),
+        (6, 3, 3, "", true),
+        (12, 4, 4, "", true),
+        (18, 5, 5, "", false),
+        (6, 3, 5, "", true),
+    ] {
+        rows.push(Row {
+            label: "Broadcast (Reduce)",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (bc, c, s, r),
+            quick,
+        });
+    }
+    // Gather (Scatter) block.
+    for (c, s, r, opt, quick) in [
+        (1usize, 2usize, 2u64, "Latency", true),
+        (2, 3, 3, "", true),
+        (3, 4, 4, "", true),
+        (4, 5, 5, "", false),
+        (5, 6, 6, "", false),
+        (6, 7, 7, "Bandwidth", false),
+        (6, 3, 7, "Bandwidth", false),
+        (2, 2, 3, "Latency", true),
+    ] {
+        rows.push(Row {
+            label: "Gather (Scatter)",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (ga, c, s, r),
+            quick,
+        });
+    }
+    // Alltoall block.
+    for (c, s, r, opt, quick) in [
+        (8usize, 3usize, 3u64, "", false),
+        (8, 2, 3, "Latency", false),
+        (24, 8, 8, "Bandwidth", false),
+        (24, 2, 8, "Both", false),
+    ] {
+        rows.push(Row {
+            label: "Alltoall",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (a2a, c, s, r),
+            quick,
+        });
+    }
+    rows
+}
+
+/// Our optimality classification for a (probe-level) SAT point.
+fn classify(topology: &Topology, collective: Collective, c: usize, s: usize, r: u64) -> String {
+    let chunk_ref = match collective {
+        Collective::Alltoall => topology.num_nodes(),
+        _ => 1,
+    };
+    let spec = collective.spec(topology.num_nodes(), chunk_ref);
+    let al = latency_lower_bound(topology, &spec).unwrap_or(usize::MAX);
+    let bl = bandwidth_lower_bound(topology, &spec, chunk_ref).unwrap_or(Rational::zero());
+    let ratio = Rational::new(r, c as u64);
+    match (s == al, ratio == bl) {
+        (true, true) => "Both".to_string(),
+        (true, false) => "Latency".to_string(),
+        (false, true) => "Bandwidth".to_string(),
+        (false, false) => String::new(),
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let budget = probe_budget(60);
+    let dgx1 = sccl_topology::builders::dgx1();
+
+    println!("# Table 4: DGX-1 synthesized collectives (paper vs this reproduction)\n");
+    println!(
+        "per-row budget: {:?} (override with SCCL_PROBE_TIMEOUT_SECS); mode: {}\n",
+        budget,
+        if full { "--full" } else { "quick rows only (pass --full for all)" }
+    );
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for row in rows() {
+        let (collective, pc, ps, pr) = row.probe;
+        let mut cells = vec![
+            row.label.to_string(),
+            row.chunks.to_string(),
+            row.steps.to_string(),
+            row.rounds.to_string(),
+            row.paper_optimality.to_string(),
+        ];
+        if !full && !row.quick {
+            cells.push("skipped (use --full)".to_string());
+            cells.push("-".to_string());
+            cells.push("-".to_string());
+            table.push(cells);
+            continue;
+        }
+        let result = probe(&dgx1, collective, pc, ps, pr, budget);
+        let ours_class = if result.is_sat() {
+            classify(&dgx1, collective, pc, ps, pr)
+        } else {
+            "-".to_string()
+        };
+        // Extra check: validate the synthesized schedule (and for Allreduce
+        // rows, the composed reduce-scatter + allgather algorithm).
+        if let ProbeOutcome::Synthesized(alg) = &result.outcome {
+            alg.validate(&dgx1, &collective.spec(8, pc)).expect("synthesized schedule valid");
+            if row.label == "Allreduce" {
+                let ar = sccl_core::combining::compose_allreduce(alg);
+                validate_combining(&ar, &dgx1, &allreduce_required(ar.num_chunks, 8))
+                    .expect("composed allreduce valid");
+            }
+        }
+        cells.push(result.verdict().to_string());
+        cells.push(ours_class.clone());
+        cells.push(format_seconds(result.time));
+        csv.push(vec![
+            row.label.to_string(),
+            row.chunks.to_string(),
+            row.steps.to_string(),
+            row.rounds.to_string(),
+            row.paper_optimality.to_string(),
+            result.verdict().to_string(),
+            ours_class,
+            format!("{:.3}", result.time.as_secs_f64()),
+        ]);
+        table.push(cells);
+        eprintln!(
+            "probed {} (C={}, S={}, R={}): {} in {:?}",
+            row.label, row.chunks, row.steps, row.rounds, result.verdict(), result.time
+        );
+    }
+
+    print!(
+        "{}",
+        markdown_table(
+            &["Collective", "C", "S", "R", "paper optimality", "ours", "our optimality", "our time"],
+            &table
+        )
+    );
+    let csv_path = Path::new("results/table4.csv");
+    if write_csv(
+        csv_path,
+        &["collective", "C", "S", "R", "paper_optimality", "result", "our_optimality", "seconds"],
+        &csv,
+    )
+    .is_ok()
+    {
+        println!("\nwrote {}", csv_path.display());
+    }
+    println!("\nNote: 'For Reducescatter and Scatter C should be multiplied by 8' (paper footnote).");
+}

@@ -1,0 +1,211 @@
+//! Regenerate Table 5: synthesized collectives for the Gigabyte Z52 (8 AMD
+//! MI50 GPUs modelled as a single ring, §5.2.2) with their
+//! chunk/step/round counts, optimality classification and synthesis time.
+//!
+//! ```bash
+//! cargo run --release -p sccl-bench --bin table5            # quick rows
+//! cargo run --release -p sccl-bench --bin table5 -- --full  # all rows
+//! ```
+
+use sccl_bench::harness::{probe, probe_budget, ProbeOutcome};
+use sccl_bench::report::{format_seconds, markdown_table, write_csv};
+use sccl_collectives::Collective;
+use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
+use sccl_core::combining::{allreduce_required, validate_combining};
+use sccl_topology::{Rational, Topology};
+use std::path::Path;
+
+struct Row {
+    label: &'static str,
+    chunks: usize,
+    steps: usize,
+    rounds: u64,
+    paper_optimality: &'static str,
+    probe: (Collective, usize, usize, u64),
+    quick: bool,
+}
+
+fn rows() -> Vec<Row> {
+    let ag = Collective::Allgather;
+    let bc = Collective::Broadcast { root: 0 };
+    let ga = Collective::Gather { root: 0 };
+    let a2a = Collective::Alltoall;
+    let mut rows = Vec::new();
+    // Allgather (Reducescatter) block.
+    for (c, s, r, opt, quick) in [
+        (1usize, 4usize, 4u64, "Latency", true),
+        (2, 7, 7, "Bandwidth", true),
+        (2, 4, 7, "Both", true),
+    ] {
+        rows.push(Row {
+            label: "Allgather (Reducescatter)",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (ag, c, s, r),
+            quick,
+        });
+    }
+    // Allreduce block (probed via the Allgather dual).
+    for (c, s, r, opt, quick) in [
+        (8usize, 8usize, 8u64, "Latency", true),
+        (16, 14, 14, "Bandwidth", true),
+        (16, 8, 14, "Both", true),
+    ] {
+        rows.push(Row {
+            label: "Allreduce",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (ag, c / 8, s / 2, r / 2),
+            quick,
+        });
+    }
+    // Broadcast (Reduce) block.
+    for (c, s, r, opt, quick) in [
+        (2usize, 4usize, 4u64, "Latency", true),
+        (4, 5, 5, "", true),
+        (6, 6, 6, "", true),
+        (8, 7, 7, "", false),
+        (10, 8, 8, "", false),
+    ] {
+        rows.push(Row {
+            label: "Broadcast (Reduce)",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (bc, c, s, r),
+            quick,
+        });
+    }
+    // Gather (Scatter) block.
+    for (c, s, r, opt, quick) in [
+        (1usize, 4usize, 4u64, "Latency", true),
+        (2, 4, 7, "Both", true),
+    ] {
+        rows.push(Row {
+            label: "Gather (Scatter)",
+            chunks: c,
+            steps: s,
+            rounds: r,
+            paper_optimality: opt,
+            probe: (ga, c, s, r),
+            quick,
+        });
+    }
+    // Alltoall block.
+    rows.push(Row {
+        label: "Alltoall",
+        chunks: 8,
+        steps: 4,
+        rounds: 8,
+        paper_optimality: "Both",
+        probe: (a2a, 8, 4, 8),
+        quick: false,
+    });
+    rows
+}
+
+fn classify(topology: &Topology, collective: Collective, c: usize, s: usize, r: u64) -> String {
+    let chunk_ref = match collective {
+        Collective::Alltoall => topology.num_nodes(),
+        _ => 1,
+    };
+    let spec = collective.spec(topology.num_nodes(), chunk_ref);
+    let al = latency_lower_bound(topology, &spec).unwrap_or(usize::MAX);
+    let bl = bandwidth_lower_bound(topology, &spec, chunk_ref).unwrap_or(Rational::zero());
+    let ratio = Rational::new(r, c as u64);
+    match (s == al, ratio == bl) {
+        (true, true) => "Both".to_string(),
+        (true, false) => "Latency".to_string(),
+        (false, true) => "Bandwidth".to_string(),
+        (false, false) => String::new(),
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let budget = probe_budget(60);
+    let amd = sccl_topology::builders::amd_z52();
+
+    println!("# Table 5: Gigabyte Z52 (AMD) synthesized collectives (paper vs this reproduction)\n");
+    println!(
+        "per-row budget: {:?} (override with SCCL_PROBE_TIMEOUT_SECS); mode: {}\n",
+        budget,
+        if full { "--full" } else { "quick rows only (pass --full for all)" }
+    );
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for row in rows() {
+        let (collective, pc, ps, pr) = row.probe;
+        let mut cells = vec![
+            row.label.to_string(),
+            row.chunks.to_string(),
+            row.steps.to_string(),
+            row.rounds.to_string(),
+            row.paper_optimality.to_string(),
+        ];
+        if !full && !row.quick {
+            cells.push("skipped (use --full)".to_string());
+            cells.push("-".to_string());
+            cells.push("-".to_string());
+            table.push(cells);
+            continue;
+        }
+        let result = probe(&amd, collective, pc, ps, pr, budget);
+        let ours_class = if result.is_sat() {
+            classify(&amd, collective, pc, ps, pr)
+        } else {
+            "-".to_string()
+        };
+        if let ProbeOutcome::Synthesized(alg) = &result.outcome {
+            alg.validate(&amd, &collective.spec(8, pc)).expect("synthesized schedule valid");
+            if row.label == "Allreduce" {
+                let ar = sccl_core::combining::compose_allreduce(alg);
+                validate_combining(&ar, &amd, &allreduce_required(ar.num_chunks, 8))
+                    .expect("composed allreduce valid");
+            }
+        }
+        cells.push(result.verdict().to_string());
+        cells.push(ours_class.clone());
+        cells.push(format_seconds(result.time));
+        csv.push(vec![
+            row.label.to_string(),
+            row.chunks.to_string(),
+            row.steps.to_string(),
+            row.rounds.to_string(),
+            row.paper_optimality.to_string(),
+            result.verdict().to_string(),
+            ours_class,
+            format!("{:.3}", result.time.as_secs_f64()),
+        ]);
+        table.push(cells);
+        eprintln!(
+            "probed {} (C={}, S={}, R={}): {} in {:?}",
+            row.label, row.chunks, row.steps, row.rounds, result.verdict(), result.time
+        );
+    }
+
+    print!(
+        "{}",
+        markdown_table(
+            &["Collective", "C", "S", "R", "paper optimality", "ours", "our optimality", "our time"],
+            &table
+        )
+    );
+    let csv_path = Path::new("results/table5.csv");
+    if write_csv(
+        csv_path,
+        &["collective", "C", "S", "R", "paper_optimality", "result", "our_optimality", "seconds"],
+        &csv,
+    )
+    .is_ok()
+    {
+        println!("\nwrote {}", csv_path.display());
+    }
+    println!("\nNote: 'For Reducescatter and Scatter C should be multiplied by 8' (paper footnote).");
+}

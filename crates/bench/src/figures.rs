@@ -1,0 +1,133 @@
+//! Speedup-curve computation for Figures 4–6.
+
+use sccl_core::{Algorithm, CostModel};
+use sccl_program::LoweringOptions;
+use sccl_runtime::simulate_time;
+use sccl_topology::Topology;
+use serde::Serialize;
+
+/// One point of a speedup curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeedupPoint {
+    pub input_bytes: u64,
+    pub speedup: f64,
+}
+
+/// One labelled series of a figure ("(6,7,7)", "(1,2,2)", …).
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeedupCurve {
+    pub label: String,
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupCurve {
+    /// Compute the speedup of `candidate` over `baseline` across sizes.
+    pub fn compute(
+        label: impl Into<String>,
+        candidate: (&Algorithm, &LoweringOptions),
+        baseline: (&Algorithm, &LoweringOptions),
+        topology: &Topology,
+        cost_model: &CostModel,
+        sizes: &[u64],
+    ) -> Self {
+        let points = sizes
+            .iter()
+            .map(|&bytes| {
+                let t_c = simulate_time(candidate.0, topology, bytes, cost_model, candidate.1);
+                let t_b = simulate_time(baseline.0, topology, bytes, cost_model, baseline.1);
+                SpeedupPoint {
+                    input_bytes: bytes,
+                    speedup: t_b / t_c,
+                }
+            })
+            .collect();
+        SpeedupCurve {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The largest input size (bytes) at which this curve is at least 1.0
+    /// (candidate no slower than the baseline), if any.
+    pub fn last_winning_size(&self) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.speedup >= 1.0)
+            .map(|p| p.input_bytes)
+            .max()
+    }
+
+    /// Maximum speedup across the sweep.
+    pub fn max_speedup(&self) -> f64 {
+        self.points.iter().map(|p| p.speedup).fold(0.0, f64::max)
+    }
+}
+
+/// The input-size sweep used by the figures: a geometric sweep from
+/// `min_bytes` to `max_bytes` with `factor`-spaced points, mirroring the
+/// x-axes of Figures 4–6.
+pub fn figure_sizes(min_bytes: u64, max_bytes: u64, factor: u64) -> Vec<u64> {
+    assert!(factor >= 2);
+    let mut sizes = Vec::new();
+    let mut s = min_bytes;
+    while s <= max_bytes {
+        sizes.push(s);
+        s = s.saturating_mul(factor);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_baselines::nccl_allgather_dgx1;
+    use sccl_collectives::Collective;
+    use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance};
+    use sccl_solver::{Limits, SolverConfig};
+    use sccl_topology::builders;
+
+    #[test]
+    fn size_sweep_is_geometric() {
+        let sizes = figure_sizes(960, 960 * 8 * 8, 8);
+        assert_eq!(sizes, vec![960, 7680, 61440]);
+    }
+
+    #[test]
+    fn latency_optimal_beats_nccl_at_small_sizes() {
+        // A miniature Figure 4: the synthesized (1,2,2) Allgather vs the
+        // NCCL 6-ring baseline on the DGX-1.
+        let topo = builders::dgx1();
+        let inst = SynCollInstance {
+            spec: Collective::Allgather.spec(8, 1),
+            per_node_chunks: 1,
+            num_steps: 2,
+            num_rounds: 2,
+        };
+        let lat = synthesize(
+            &topo,
+            &inst,
+            &EncodingOptions::default(),
+            SolverConfig::default(),
+            Limits::none(),
+        )
+        .outcome
+        .algorithm()
+        .expect("SAT");
+        let nccl = nccl_allgather_dgx1();
+        let lowering = LoweringOptions::default();
+        let curve = SpeedupCurve::compute(
+            "(1,2,2)",
+            (&lat, &lowering),
+            (&nccl, &lowering),
+            &topo,
+            &CostModel::nvlink(),
+            &figure_sizes(960, 256 * 1024 * 1024, 8),
+        );
+        // Small sizes: the 2-step algorithm wins clearly; very large sizes:
+        // the bandwidth-optimal NCCL rings win.
+        assert!(curve.points.first().expect("points").speedup > 1.5);
+        assert!(curve.points.last().expect("points").speedup < 1.0);
+        assert!(curve.max_speedup() >= curve.points[0].speedup);
+        assert!(curve.last_winning_size().is_some());
+    }
+}

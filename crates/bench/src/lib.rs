@@ -1,0 +1,16 @@
+//! # sccl-bench
+//!
+//! Shared harness code for regenerating every table and figure of the
+//! paper's evaluation (§5). The actual entry points are the binaries in
+//! `src/bin/` (one per table/figure) and the Criterion benches in
+//! `benches/`; this library holds the common pieces: Markdown/CSV table
+//! rendering, the input-size sweeps of Figures 4–6, and speedup-curve
+//! computation over the (α, β) simulator.
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use figures::{figure_sizes, SpeedupCurve, SpeedupPoint};
+pub use harness::{allgather_series, baseline_series, probe, probe_budget, ProbeOutcome, ProbeResult, Series};
+pub use report::{markdown_table, write_csv};

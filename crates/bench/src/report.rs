@@ -1,0 +1,89 @@
+//! Table rendering helpers shared by the table/figure binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Render rows as a GitHub-flavoured Markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Write rows as CSV (comma-separated, header first).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Format a duration in seconds with one decimal, like the paper's tables
+/// ("0.3 s", "133.7 s").
+pub fn format_seconds(duration: std::time::Duration) -> String {
+    format!("{:.1} s", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout() {
+        let table = markdown_table(
+            &["Collective", "C", "S", "R"],
+            &[vec![
+                "Allgather".to_string(),
+                "6".to_string(),
+                "7".to_string(),
+                "7".to_string(),
+            ]],
+        );
+        assert!(table.contains("| Collective | C | S | R |"));
+        assert!(table.contains("| Allgather | 6 | 7 | 7 |"));
+        assert!(table.contains("|---|---|---|---|"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("sccl-bench-test");
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["size", "speedup"],
+            &[vec!["1024".to_string(), "1.5".to_string()]],
+        )
+        .expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("size,speedup\n"));
+        assert!(text.contains("1024,1.5"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(
+            format_seconds(std::time::Duration::from_millis(340)),
+            "0.3 s"
+        );
+        assert_eq!(
+            format_seconds(std::time::Duration::from_secs_f64(133.72)),
+            "133.7 s"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # sccl-collectives
+//!
+//! Specifications of collective communication primitives as chunk pre- and
+//! post-conditions (§3.2.2, Tables 1–2 of the paper).
+//!
+//! A collective over `P` nodes and `G` global chunks is specified by two
+//! relations `pre, post ⊆ [G] × [P]`: where each chunk starts and where it
+//! must end up. Non-combining collectives (Allgather, Broadcast, Gather,
+//! Scatter, Alltoall) only move chunks; combining collectives (Reduce,
+//! ReduceScatter, Allreduce) additionally combine them and are derived from
+//! non-combining ones by inversion (§3.5), handled in `sccl-core`.
+//!
+//! ```
+//! use sccl_collectives::{Collective, ChunkRelation};
+//!
+//! // Allgather on 4 nodes with 2 chunks per node: 8 global chunks that
+//! // start Scattered and must end up on All nodes.
+//! let spec = Collective::Allgather.spec(4, 2);
+//! assert_eq!(spec.num_chunks, 8);
+//! assert_eq!(spec.pre.len(), 8);
+//! assert_eq!(spec.post.len(), 8 * 4);
+//! ```
+
+pub mod relations;
+pub mod spec;
+
+pub use relations::ChunkRelation;
+pub use spec::{Collective, CollectiveClass, CollectiveSpec};

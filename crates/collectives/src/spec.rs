@@ -1,0 +1,316 @@
+//! Collective primitives and their SynColl specifications (Table 2).
+
+use crate::relations::{ChunkRelation, Placement};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a collective only moves chunks or also combines them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveClass {
+    /// Chunks are only transferred (Allgather, Broadcast, …). These are
+    /// synthesized directly from the SMT encoding.
+    NonCombining,
+    /// Chunks are combined by a reduction operator (Reduce, ReduceScatter,
+    /// Allreduce). These are derived from non-combining collectives by
+    /// inversion (§3.5).
+    Combining,
+}
+
+/// The collective communication primitives supported by SCCL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Every node's data ends up on every node.
+    Allgather,
+    /// All data of `root` ends up on every node.
+    Broadcast { root: usize },
+    /// Every node's data ends up on `root`.
+    Gather { root: usize },
+    /// `root`'s data is partitioned across all nodes.
+    Scatter { root: usize },
+    /// Every node sends a distinct block to every node (personalized
+    /// exchange).
+    Alltoall,
+    /// Combining: everyone's contribution is reduced onto `root`.
+    Reduce { root: usize },
+    /// Combining: reduced data is partitioned across nodes.
+    ReduceScatter,
+    /// Combining: everyone ends up with the full reduction.
+    Allreduce,
+}
+
+/// A SynColl specification: the problem the synthesizer has to solve, minus
+/// the step/round/chunk-count parameters (§3.2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveSpec {
+    /// The collective this spec was generated from.
+    pub collective: Collective,
+    /// Number of nodes `P`.
+    pub num_nodes: usize,
+    /// Global number of chunks `G`.
+    pub num_chunks: usize,
+    /// Pre-condition: where each chunk starts.
+    pub pre: Placement,
+    /// Post-condition: where each chunk must end up.
+    pub post: Placement,
+}
+
+impl Collective {
+    /// All collectives parameterized over a default root of 0, in the order
+    /// the paper's tables list them.
+    pub fn all_with_root_zero() -> Vec<Collective> {
+        vec![
+            Collective::Allgather,
+            Collective::Broadcast { root: 0 },
+            Collective::Gather { root: 0 },
+            Collective::Scatter { root: 0 },
+            Collective::Alltoall,
+            Collective::Reduce { root: 0 },
+            Collective::ReduceScatter,
+            Collective::Allreduce,
+        ]
+    }
+
+    /// Combining or non-combining (§3).
+    pub fn class(&self) -> CollectiveClass {
+        match self {
+            Collective::Allgather
+            | Collective::Broadcast { .. }
+            | Collective::Gather { .. }
+            | Collective::Scatter { .. }
+            | Collective::Alltoall => CollectiveClass::NonCombining,
+            Collective::Reduce { .. } | Collective::ReduceScatter | Collective::Allreduce => {
+                CollectiveClass::Combining
+            }
+        }
+    }
+
+    /// For a combining collective with a single root per chunk, the
+    /// non-combining collective whose inversion implements it (§3.5):
+    /// Reduce ↔ Broadcast and ReduceScatter ↔ Allgather. `None` for
+    /// non-combining collectives and for Allreduce (which is synthesized as
+    /// ReduceScatter followed by Allgather).
+    pub fn inversion_dual(&self) -> Option<Collective> {
+        match self {
+            Collective::Reduce { root } => Some(Collective::Broadcast { root: *root }),
+            Collective::ReduceScatter => Some(Collective::Allgather),
+            _ => None,
+        }
+    }
+
+    /// Pre/post relations from Table 2 (non-combining collectives only).
+    pub fn relations(&self) -> Option<(ChunkRelation, ChunkRelation)> {
+        match self {
+            Collective::Gather { root } => Some((ChunkRelation::Scattered, ChunkRelation::Root(*root))),
+            Collective::Allgather => Some((ChunkRelation::Scattered, ChunkRelation::All)),
+            Collective::Alltoall => Some((ChunkRelation::Scattered, ChunkRelation::Transpose)),
+            Collective::Broadcast { root } => Some((ChunkRelation::Root(*root), ChunkRelation::All)),
+            Collective::Scatter { root } => Some((ChunkRelation::Root(*root), ChunkRelation::Scattered)),
+            _ => None,
+        }
+    }
+
+    /// Convert a per-node chunk count `C` to the global chunk count `G`
+    /// used by the SynColl formalization (§3.2.2).
+    ///
+    /// Broadcast and Scatter operate on a single root buffer, so `G = C`;
+    /// the gather-style collectives have one buffer per node, so `G = P·C`.
+    /// (For Scatter/Gather the paper reports `C` per destination, so the
+    /// same `G = P·C` accounting applies to Scatter's data volume; we follow
+    /// Table 2's relations which key off the global numbering.)
+    pub fn global_chunks(&self, num_nodes: usize, per_node_chunks: usize) -> usize {
+        match self {
+            Collective::Broadcast { .. } | Collective::Reduce { .. } => per_node_chunks,
+            Collective::Scatter { .. } | Collective::Gather { .. } => num_nodes * per_node_chunks,
+            Collective::Allgather
+            | Collective::Alltoall
+            | Collective::ReduceScatter
+            | Collective::Allreduce => num_nodes * per_node_chunks,
+        }
+    }
+
+    /// The SynColl specification for this collective on `num_nodes` nodes
+    /// with `per_node_chunks` chunks per node.
+    ///
+    /// Only defined for non-combining collectives; combining collectives
+    /// are derived in `sccl-core` by inversion and composition.
+    pub fn spec(&self, num_nodes: usize, per_node_chunks: usize) -> CollectiveSpec {
+        let (pre_rel, post_rel) = self
+            .relations()
+            .unwrap_or_else(|| panic!("{self} is combining; synthesize via its dual"));
+        let g = self.global_chunks(num_nodes, per_node_chunks);
+        CollectiveSpec {
+            collective: *self,
+            num_nodes,
+            num_chunks: g,
+            pre: pre_rel.materialize(g, num_nodes),
+            post: post_rel.materialize(g, num_nodes),
+        }
+    }
+
+    /// Short name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Collective::Allgather => "Allgather",
+            Collective::Broadcast { .. } => "Broadcast",
+            Collective::Gather { .. } => "Gather",
+            Collective::Scatter { .. } => "Scatter",
+            Collective::Alltoall => "Alltoall",
+            Collective::Reduce { .. } => "Reduce",
+            Collective::ReduceScatter => "Reducescatter",
+            Collective::Allreduce => "Allreduce",
+        }
+    }
+}
+
+impl fmt::Display for Collective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Collective::Broadcast { root }
+            | Collective::Gather { root }
+            | Collective::Scatter { root }
+            | Collective::Reduce { root } => write!(f, "{}(root={})", self.name(), root),
+            _ => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+impl CollectiveSpec {
+    /// `true` if the post-condition is already implied by the pre-condition
+    /// (nothing to do).
+    pub fn is_trivial(&self) -> bool {
+        self.post.is_subset(&self.pre)
+    }
+
+    /// Number of `(chunk, node)` deliveries an algorithm must perform: the
+    /// post-condition pairs not already satisfied by the pre-condition.
+    pub fn required_deliveries(&self) -> usize {
+        self.post.difference(&self.pre).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_relations() {
+        // Table 2 of the paper.
+        assert_eq!(
+            Collective::Gather { root: 0 }.relations(),
+            Some((ChunkRelation::Scattered, ChunkRelation::Root(0)))
+        );
+        assert_eq!(
+            Collective::Allgather.relations(),
+            Some((ChunkRelation::Scattered, ChunkRelation::All))
+        );
+        assert_eq!(
+            Collective::Alltoall.relations(),
+            Some((ChunkRelation::Scattered, ChunkRelation::Transpose))
+        );
+        assert_eq!(
+            Collective::Broadcast { root: 3 }.relations(),
+            Some((ChunkRelation::Root(3), ChunkRelation::All))
+        );
+        assert_eq!(
+            Collective::Scatter { root: 1 }.relations(),
+            Some((ChunkRelation::Root(1), ChunkRelation::Scattered))
+        );
+        assert_eq!(Collective::Reduce { root: 0 }.relations(), None);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Collective::Allgather.class(), CollectiveClass::NonCombining);
+        assert_eq!(Collective::Alltoall.class(), CollectiveClass::NonCombining);
+        assert_eq!(Collective::Allreduce.class(), CollectiveClass::Combining);
+        assert_eq!(
+            Collective::Reduce { root: 0 }.class(),
+            CollectiveClass::Combining
+        );
+    }
+
+    #[test]
+    fn inversion_duals() {
+        assert_eq!(
+            Collective::Reduce { root: 2 }.inversion_dual(),
+            Some(Collective::Broadcast { root: 2 })
+        );
+        assert_eq!(
+            Collective::ReduceScatter.inversion_dual(),
+            Some(Collective::Allgather)
+        );
+        assert_eq!(Collective::Allreduce.inversion_dual(), None);
+        assert_eq!(Collective::Allgather.inversion_dual(), None);
+    }
+
+    #[test]
+    fn allgather_spec_counts() {
+        let spec = Collective::Allgather.spec(8, 6);
+        assert_eq!(spec.num_chunks, 48);
+        assert_eq!(spec.pre.len(), 48);
+        assert_eq!(spec.post.len(), 48 * 8);
+        assert!(!spec.is_trivial());
+        assert_eq!(spec.required_deliveries(), 48 * 7);
+    }
+
+    #[test]
+    fn broadcast_spec_counts() {
+        let spec = Collective::Broadcast { root: 0 }.spec(8, 6);
+        assert_eq!(spec.num_chunks, 6);
+        assert_eq!(spec.pre.len(), 6);
+        assert_eq!(spec.post.len(), 48);
+        assert_eq!(spec.required_deliveries(), 6 * 7);
+    }
+
+    #[test]
+    fn alltoall_spec_counts() {
+        let spec = Collective::Alltoall.spec(4, 4);
+        // G = 16 chunks; each must end on exactly one node.
+        assert_eq!(spec.num_chunks, 16);
+        assert_eq!(spec.post.len(), 16);
+        // Diagonal blocks stay in place: 4 chunks need no transfer.
+        assert_eq!(spec.required_deliveries(), 12);
+    }
+
+    #[test]
+    fn scatter_spec() {
+        let spec = Collective::Scatter { root: 0 }.spec(4, 1);
+        assert_eq!(spec.num_chunks, 4);
+        // Chunk 0 is already at the root which is also its destination.
+        assert_eq!(spec.required_deliveries(), 3);
+    }
+
+    #[test]
+    fn gather_spec_is_reverse_of_scatter() {
+        let scatter = Collective::Scatter { root: 0 }.spec(4, 1);
+        let gather = Collective::Gather { root: 0 }.spec(4, 1);
+        assert_eq!(scatter.pre, gather.post);
+        assert_eq!(scatter.post, gather.pre);
+    }
+
+    #[test]
+    #[should_panic]
+    fn combining_spec_panics() {
+        Collective::Allreduce.spec(4, 1);
+    }
+
+    #[test]
+    fn display_includes_root() {
+        assert_eq!(Collective::Broadcast { root: 2 }.to_string(), "Broadcast(root=2)");
+        assert_eq!(Collective::Allgather.to_string(), "Allgather");
+    }
+
+    #[test]
+    fn global_chunk_accounting() {
+        assert_eq!(Collective::Broadcast { root: 0 }.global_chunks(8, 6), 6);
+        assert_eq!(Collective::Allgather.global_chunks(8, 6), 48);
+        assert_eq!(Collective::Alltoall.global_chunks(8, 24), 192);
+    }
+
+    #[test]
+    fn all_with_root_zero_lists_every_collective() {
+        let all = Collective::all_with_root_zero();
+        assert_eq!(all.len(), 8);
+        assert!(all.contains(&Collective::Allreduce));
+    }
+}

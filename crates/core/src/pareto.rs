@@ -1,0 +1,518 @@
+//! The Pareto-synthesis procedure (Algorithm 1 of the paper): enumerate
+//! step counts starting at the latency lower bound, and for each step count
+//! find the cheapest-bandwidth k-synchronous schedule, until the bandwidth
+//! lower bound is reached.
+
+use crate::algorithm::Algorithm;
+use crate::bounds::{bandwidth_lower_bound, latency_lower_bound};
+use crate::combining::{compose_allreduce, invert};
+use crate::cost::AlgorithmCost;
+use crate::encoding::{synthesize, EncodingOptions, EncodingStats, SynCollInstance, SynthesisOutcome};
+use sccl_collectives::{Collective, CollectiveClass};
+use sccl_solver::{Limits, SolverConfig};
+use sccl_topology::{Rational, Topology};
+use serde::Serialize;
+use std::time::Duration;
+
+/// Parameters of the Pareto search.
+#[derive(Clone, Debug)]
+pub struct SynthesisConfig {
+    /// The k-synchronous bound: per step count `S`, rounds `R ∈ [S, S+k]`
+    /// are considered (§3.1).
+    pub k: u64,
+    /// Upper bound on the number of steps to enumerate (the procedure may
+    /// otherwise not terminate, §3.7).
+    pub max_steps: usize,
+    /// Upper bound on the per-node chunk count `C`.
+    pub max_chunks: usize,
+    /// Resource budget per SMT query.
+    pub per_instance_limits: Limits,
+    /// Encoding options.
+    pub encoding: EncodingOptions,
+    /// Solver configuration.
+    pub solver: SolverConfig,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            k: 0,
+            max_steps: 10,
+            max_chunks: 24,
+            per_instance_limits: Limits::none(),
+            encoding: EncodingOptions::default(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Optimality classification of a synthesized algorithm with respect to the
+/// class of k-synchronous algorithms (§3.7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Optimality {
+    /// Matches the latency lower bound `a_l`.
+    Latency,
+    /// Matches the bandwidth lower bound `b_l`.
+    Bandwidth,
+    /// Matches both bounds simultaneously.
+    Both,
+    /// Pareto point strictly between the two bounds.
+    Intermediate,
+}
+
+impl Optimality {
+    fn classify(steps: usize, ratio: Rational, al: usize, bl: Rational) -> Self {
+        match (steps == al, ratio == bl) {
+            (true, true) => Optimality::Both,
+            (true, false) => Optimality::Latency,
+            (false, true) => Optimality::Bandwidth,
+            (false, false) => Optimality::Intermediate,
+        }
+    }
+
+    /// The label used in Tables 4–5 ("Latency", "Bandwidth", "Both" or
+    /// blank).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Optimality::Latency => "Latency",
+            Optimality::Bandwidth => "Bandwidth",
+            Optimality::Both => "Both",
+            Optimality::Intermediate => "",
+        }
+    }
+}
+
+/// One synthesized point on the Pareto frontier (one row of Tables 4–5).
+#[derive(Clone, Debug)]
+pub struct FrontierEntry {
+    /// Per-node chunk count `C` as reported in the tables (for combining
+    /// collectives this is the count of the non-combining dual that was
+    /// actually synthesized; the tables' footnote applies).
+    pub chunks: usize,
+    /// Steps `S`.
+    pub steps: usize,
+    /// Rounds `R`.
+    pub rounds: u64,
+    /// Optimality classification.
+    pub optimality: Optimality,
+    /// Wall-clock synthesis time (encode + solve), as in the tables.
+    pub synthesis_time: Duration,
+    /// Formula size.
+    pub encoding: EncodingStats,
+    /// The synthesized (and, for combining collectives, derived) algorithm.
+    pub algorithm: Algorithm,
+}
+
+impl FrontierEntry {
+    /// The `(S, R, C)` cost of this entry.
+    pub fn cost(&self) -> AlgorithmCost {
+        AlgorithmCost::new(self.steps as u64, self.rounds, self.chunks as u64)
+    }
+}
+
+/// The result of a Pareto synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthesisReport {
+    pub collective: Collective,
+    pub topology_name: String,
+    /// Latency lower bound `a_l` (in steps of the synthesized dual for
+    /// combining collectives).
+    pub latency_lower_bound: usize,
+    /// Bandwidth lower bound `b_l = R/C`.
+    pub bandwidth_lower_bound: Rational,
+    /// Pareto frontier entries in increasing step order.
+    pub entries: Vec<FrontierEntry>,
+    /// `true` if the search stopped because it reached `max_steps` rather
+    /// than the bandwidth lower bound.
+    pub hit_step_cap: bool,
+    /// `true` if some query exhausted its budget (results may be incomplete).
+    pub budget_exhausted: bool,
+}
+
+impl SynthesisReport {
+    /// The entry matching the latency lower bound, if any.
+    pub fn latency_optimal(&self) -> Option<&FrontierEntry> {
+        self.entries
+            .iter()
+            .find(|e| matches!(e.optimality, Optimality::Latency | Optimality::Both))
+    }
+
+    /// The entry matching the bandwidth lower bound, if any.
+    pub fn bandwidth_optimal(&self) -> Option<&FrontierEntry> {
+        self.entries
+            .iter()
+            .find(|e| matches!(e.optimality, Optimality::Bandwidth | Optimality::Both))
+    }
+}
+
+/// Errors that prevent synthesis from starting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The topology cannot implement the collective at all (disconnected).
+    Disconnected,
+    /// The collective requires at least two nodes.
+    TooFewNodes,
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Disconnected => write!(f, "topology is not connected for this collective"),
+            SynthesisError::TooFewNodes => write!(f, "collective requires at least two nodes"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// The per-node chunk counts worth trying for a collective: Alltoall needs
+/// `C` to be a multiple of `P` so that each node has a whole number of
+/// chunks per destination.
+fn chunk_step(collective: Collective, num_nodes: usize) -> usize {
+    match collective {
+        Collective::Alltoall => num_nodes,
+        _ => 1,
+    }
+}
+
+/// Run Algorithm 1 for any collective (non-combining directly; Reduce and
+/// ReduceScatter via their inversion duals on the reversed topology;
+/// Allreduce as inverse-Allgather followed by Allgather).
+pub fn pareto_synthesize(
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+) -> Result<SynthesisReport, SynthesisError> {
+    if topology.num_nodes() < 2 {
+        return Err(SynthesisError::TooFewNodes);
+    }
+    match collective.class() {
+        CollectiveClass::NonCombining => {
+            pareto_synthesize_noncombining(topology, collective, config)
+        }
+        CollectiveClass::Combining => match collective.inversion_dual() {
+            Some(dual) => {
+                // Synthesize the dual on the reversed topology, then invert
+                // every entry so it runs forward on `topology`.
+                let mut report =
+                    pareto_synthesize_noncombining(&topology.reversed(), dual, config)?;
+                for entry in &mut report.entries {
+                    entry.algorithm = invert(&entry.algorithm, collective);
+                    entry.algorithm.topology_name = topology.name().to_string();
+                }
+                report.collective = collective;
+                report.topology_name = topology.name().to_string();
+                Ok(report)
+            }
+            None => {
+                // Allreduce = ReduceScatter ∘ Allgather.
+                debug_assert_eq!(collective, Collective::Allreduce);
+                let base =
+                    pareto_synthesize_noncombining(topology, Collective::Allgather, config)?;
+                let p = topology.num_nodes();
+                let entries = base
+                    .entries
+                    .into_iter()
+                    .map(|e| {
+                        let algorithm = compose_allreduce(&e.algorithm);
+                        FrontierEntry {
+                            chunks: e.chunks * p,
+                            steps: e.steps * 2,
+                            rounds: e.rounds * 2,
+                            optimality: e.optimality,
+                            synthesis_time: e.synthesis_time,
+                            encoding: e.encoding,
+                            algorithm,
+                        }
+                    })
+                    .collect();
+                Ok(SynthesisReport {
+                    collective,
+                    topology_name: topology.name().to_string(),
+                    latency_lower_bound: base.latency_lower_bound * 2,
+                    bandwidth_lower_bound: Rational::new(
+                        2 * base.bandwidth_lower_bound.numerator(),
+                        base.bandwidth_lower_bound.denominator() * p as u64,
+                    ),
+                    entries,
+                    hit_step_cap: base.hit_step_cap,
+                    budget_exhausted: base.budget_exhausted,
+                })
+            }
+        },
+    }
+}
+
+fn pareto_synthesize_noncombining(
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+) -> Result<SynthesisReport, SynthesisError> {
+    let p = topology.num_nodes();
+    let step_c = chunk_step(collective, p);
+    let ref_spec = collective.spec(p, step_c);
+    let al = latency_lower_bound(topology, &ref_spec).ok_or(SynthesisError::Disconnected)?;
+    let bl = bandwidth_lower_bound(topology, &ref_spec, step_c)
+        .ok_or(SynthesisError::Disconnected)?;
+
+    let mut report = SynthesisReport {
+        collective,
+        topology_name: topology.name().to_string(),
+        latency_lower_bound: al,
+        bandwidth_lower_bound: bl,
+        entries: Vec::new(),
+        hit_step_cap: false,
+        budget_exhausted: false,
+    };
+
+    // Degenerate case: nothing to transfer (e.g. single-chunk collectives
+    // whose post-condition is already satisfied). Not expected for the
+    // collectives of Table 2 on ≥ 2 nodes, but handled for robustness.
+    if ref_spec.is_trivial() {
+        return Ok(report);
+    }
+
+    let mut best_bw: Option<Rational> = None;
+    let start_steps = al.max(1);
+    for s in start_steps..=config.max_steps {
+        // Candidate (R, C) pairs obeying the k-synchronous bound and the
+        // bandwidth lower bound, cheapest bandwidth first.
+        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        for r in s as u64..=s as u64 + config.k {
+            let mut c = step_c;
+            while c <= config.max_chunks {
+                if Rational::new(r, c as u64) >= bl {
+                    candidates.push((r, c));
+                }
+                c += step_c;
+            }
+        }
+        candidates.sort_by(|a, b| {
+            Rational::new(a.0, a.1 as u64)
+                .cmp(&Rational::new(b.0, b.1 as u64))
+                .then(a.1.cmp(&b.1))
+        });
+
+        for (r, c) in candidates {
+            let ratio = Rational::new(r, c as u64);
+            if let Some(best) = best_bw {
+                if ratio >= best {
+                    // Would be dominated by an already-reported entry.
+                    continue;
+                }
+            }
+            let instance = SynCollInstance {
+                spec: collective.spec(p, c),
+                per_node_chunks: c,
+                num_steps: s,
+                num_rounds: r,
+            };
+            let run = synthesize(
+                topology,
+                &instance,
+                &config.encoding,
+                config.solver.clone(),
+                config.per_instance_limits,
+            );
+            let total_time = run.total_time();
+            match run.outcome {
+                SynthesisOutcome::Satisfiable(algorithm) => {
+                    let optimality = Optimality::classify(s, ratio, al, bl);
+                    report.entries.push(FrontierEntry {
+                        chunks: c,
+                        steps: s,
+                        rounds: r,
+                        optimality,
+                        synthesis_time: total_time,
+                        encoding: run.encoding,
+                        algorithm,
+                    });
+                    best_bw = Some(ratio);
+                    if ratio == bl {
+                        return Ok(report);
+                    }
+                    break; // move on to the next step count
+                }
+                SynthesisOutcome::Unsatisfiable => continue,
+                SynthesisOutcome::Unknown => {
+                    report.budget_exhausted = true;
+                    continue;
+                }
+            }
+        }
+    }
+    report.hit_step_cap = true;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combining::{allreduce_required, reducescatter_required, validate_combining};
+    use sccl_topology::builders;
+
+    fn quick_config() -> SynthesisConfig {
+        SynthesisConfig {
+            max_steps: 8,
+            max_chunks: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring4_allgather_frontier() {
+        let topo = builders::ring(4, 1);
+        let report =
+            pareto_synthesize(&topo, Collective::Allgather, &quick_config()).expect("report");
+        assert_eq!(report.latency_lower_bound, 2);
+        assert_eq!(report.bandwidth_lower_bound, Rational::new(3, 2));
+        assert!(!report.entries.is_empty());
+        // The frontier starts at the latency bound and ends at the bandwidth
+        // bound.
+        assert!(report.latency_optimal().is_some());
+        assert!(report.bandwidth_optimal().is_some());
+        assert!(!report.hit_step_cap);
+        // Entries are strictly improving in bandwidth as steps grow.
+        for pair in report.entries.windows(2) {
+            assert!(pair[0].steps < pair[1].steps);
+            assert!(pair[0].cost().bandwidth_cost() > pair[1].cost().bandwidth_cost());
+        }
+        // Every reported algorithm validates.
+        for e in &report.entries {
+            let spec = Collective::Allgather.spec(4, e.chunks);
+            e.algorithm.validate(&topo, &spec).expect("valid");
+        }
+    }
+
+    #[test]
+    fn ring4_broadcast_frontier() {
+        let topo = builders::ring(4, 1);
+        let report =
+            pareto_synthesize(&topo, Collective::Broadcast { root: 0 }, &quick_config())
+                .expect("report");
+        assert_eq!(report.latency_lower_bound, 2);
+        assert_eq!(report.bandwidth_lower_bound, Rational::new(1, 2));
+        // The frontier starts at the latency bound; the exact 1/2 bandwidth
+        // bound needs a pipelined schedule with more chunks than this quick
+        // configuration allows, so only check the latency end here.
+        let first = report.latency_optimal().expect("latency-optimal entry");
+        assert_eq!(first.steps, 2);
+        for e in &report.entries {
+            let spec = Collective::Broadcast { root: 0 }.spec(4, e.chunks);
+            e.algorithm.validate(&topo, &spec).expect("valid");
+        }
+    }
+
+    #[test]
+    fn star_gather_frontier_single_point() {
+        // On a star, Gather to the centre is latency- and bandwidth-optimal
+        // at S = 1 only when every leaf can send directly; the frontier
+        // should contain a Both entry at (C=1, S=?, R=?) with ratio 1.
+        let topo = builders::star(5, 1);
+        let report =
+            pareto_synthesize(&topo, Collective::Gather { root: 0 }, &quick_config())
+                .expect("report");
+        assert_eq!(report.latency_lower_bound, 1);
+        assert_eq!(report.bandwidth_lower_bound, Rational::from_integer(1));
+        let first = &report.entries[0];
+        assert_eq!(first.optimality, Optimality::Both);
+        assert_eq!(first.steps, 1);
+    }
+
+    #[test]
+    fn reducescatter_frontier_from_inverted_allgather() {
+        let topo = builders::ring(4, 1);
+        let report =
+            pareto_synthesize(&topo, Collective::ReduceScatter, &quick_config()).expect("report");
+        assert_eq!(report.collective, Collective::ReduceScatter);
+        assert!(!report.entries.is_empty());
+        for e in &report.entries {
+            assert!(e.algorithm.is_combining());
+            validate_combining(
+                &e.algorithm,
+                &topo,
+                &reducescatter_required(e.algorithm.num_chunks, 4),
+            )
+            .expect("valid reduce-scatter");
+        }
+    }
+
+    #[test]
+    fn allreduce_frontier_composed() {
+        let topo = builders::ring(4, 1);
+        let report =
+            pareto_synthesize(&topo, Collective::Allreduce, &quick_config()).expect("report");
+        assert!(!report.entries.is_empty());
+        for e in &report.entries {
+            // Steps and rounds are doubled relative to the Allgather dual.
+            assert_eq!(e.steps % 2, 0);
+            assert_eq!(e.algorithm.num_steps(), e.steps);
+            validate_combining(
+                &e.algorithm,
+                &topo,
+                &allreduce_required(e.algorithm.num_chunks, 4),
+            )
+            .expect("valid allreduce");
+        }
+    }
+
+    #[test]
+    fn disconnected_topology_is_an_error() {
+        let mut topo = sccl_topology::Topology::new("split", 4);
+        topo.add_bidi_link(0, 1, 1);
+        topo.add_bidi_link(2, 3, 1);
+        let err = pareto_synthesize(&topo, Collective::Allgather, &quick_config()).unwrap_err();
+        assert_eq!(err, SynthesisError::Disconnected);
+    }
+
+    #[test]
+    fn single_node_is_an_error() {
+        let topo = sccl_topology::Topology::new("solo", 1);
+        let err = pareto_synthesize(&topo, Collective::Allgather, &quick_config()).unwrap_err();
+        assert_eq!(err, SynthesisError::TooFewNodes);
+    }
+
+    #[test]
+    fn step_cap_is_reported() {
+        // Cap the search below the bandwidth-optimal step count.
+        let topo = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 2,
+            max_chunks: 4,
+            ..Default::default()
+        };
+        let report = pareto_synthesize(&topo, Collective::Allgather, &config).expect("report");
+        assert!(report.hit_step_cap);
+        assert!(report.bandwidth_optimal().is_none());
+    }
+
+    #[test]
+    fn k_parameter_widens_candidates() {
+        // With k = 1, the 4-ring Allgather admits the (C=2, S=3, R=4)
+        // point: better bandwidth than (1,3,3)'s ratio 3 at the same step
+        // count... the frontier with k=1 at S=2 can use R=3 over 2 chunks.
+        let topo = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            k: 1,
+            max_steps: 8,
+            max_chunks: 8,
+            ..Default::default()
+        };
+        let report = pareto_synthesize(&topo, Collective::Allgather, &config).expect("report");
+        let k0 = pareto_synthesize(&topo, Collective::Allgather, &quick_config()).expect("k0");
+        // The k=1 frontier's first entry is at least as good in bandwidth at
+        // the latency-optimal step count.
+        let first_k1 = report.entries.first().expect("entry");
+        let first_k0 = k0.entries.first().expect("entry");
+        assert_eq!(first_k1.steps, first_k0.steps);
+        assert!(first_k1.cost().bandwidth_cost() <= first_k0.cost().bandwidth_cost());
+    }
+
+    #[test]
+    fn optimality_labels() {
+        assert_eq!(Optimality::Latency.label(), "Latency");
+        assert_eq!(Optimality::Bandwidth.label(), "Bandwidth");
+        assert_eq!(Optimality::Both.label(), "Both");
+        assert_eq!(Optimality::Intermediate.label(), "");
+    }
+}

@@ -1,0 +1,364 @@
+//! The rank-level program IR.
+//!
+//! A synthesized [`Algorithm`] is a global schedule; to execute it, SCCL
+//! lowers it to an SPMD program (§4): every rank gets, per synchronous
+//! step, the list of transfers it participates in. The IR is what both the
+//! CUDA-flavoured code generator and the threaded execution substrate
+//! consume.
+
+use sccl_core::{Algorithm, SendOp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The direction of a rank-local transfer operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Make a chunk available to (or write it into) a peer's buffer.
+    Send,
+    /// Obtain a chunk from a peer and store it.
+    Recv,
+    /// Obtain a chunk from a peer and reduce it into the local copy.
+    RecvReduce,
+}
+
+/// One rank-local operation within a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    pub kind: OpKind,
+    /// Global chunk index the operation touches.
+    pub chunk: usize,
+    /// The remote rank involved.
+    pub peer: usize,
+}
+
+/// All operations of one rank within one synchronous step.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepOps {
+    pub ops: Vec<Op>,
+}
+
+/// The program of a single rank.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankProgram {
+    pub rank: usize,
+    /// One entry per synchronous step.
+    pub steps: Vec<StepOps>,
+}
+
+impl RankProgram {
+    /// Total number of operations across all steps.
+    pub fn num_ops(&self) -> usize {
+        self.steps.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// Operations of a given kind.
+    pub fn ops_of_kind(&self, kind: OpKind) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .filter(|o| o.kind == kind)
+            .count()
+    }
+}
+
+/// How data movement is realized (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyEngine {
+    /// Loads/stores issued by a compute kernel (can fuse copy + reduction;
+    /// packets limited to the 128-byte cache-line size).
+    KernelCopy,
+    /// `cudaMemcpy` through a DMA engine (≈10 % higher bandwidth on NVLink,
+    /// higher fixed cost; cannot fuse reductions).
+    DmaMemcpy,
+}
+
+/// Which side's engine drives the transfer (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferModel {
+    /// The sender writes into the receiver's buffer: only write-request
+    /// packets cross the link (up to ~10 % faster bidirectionally).
+    Push,
+    /// The receiver reads from the sender's buffer: request packets consume
+    /// part of the reverse-direction bandwidth.
+    Pull,
+}
+
+/// Whether steps become separate kernel launches or one fused kernel (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelFusion {
+    /// One kernel per step; steps are separated by global synchronization.
+    PerStep,
+    /// A single kernel with fine-grained flag-based signal/wait between
+    /// chunks.
+    SingleFused,
+}
+
+/// Lowering choices; the defaults are the configuration the paper found
+/// fastest for synthesized algorithms (push copies in a single fused
+/// kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoweringOptions {
+    pub copy_engine: CopyEngine,
+    pub transfer_model: TransferModel,
+    pub kernel_fusion: KernelFusion,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions {
+            copy_engine: CopyEngine::KernelCopy,
+            transfer_model: TransferModel::Push,
+            kernel_fusion: KernelFusion::SingleFused,
+        }
+    }
+}
+
+impl LoweringOptions {
+    /// The `cudaMemcpy`-per-step lowering used for the "(6,7,7) cudamemcpy"
+    /// series of Figure 4.
+    pub fn dma_per_step() -> Self {
+        LoweringOptions {
+            copy_engine: CopyEngine::DmaMemcpy,
+            transfer_model: TransferModel::Push,
+            kernel_fusion: KernelFusion::PerStep,
+        }
+    }
+}
+
+/// A complete SPMD program lowered from an algorithm.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Name of the collective (for code generation and display).
+    pub collective: String,
+    /// Name of the topology.
+    pub topology: String,
+    pub num_ranks: usize,
+    /// Global number of chunks every rank's buffer is divided into.
+    pub num_chunks: usize,
+    /// Rounds per step (copied from the algorithm; used by the simulator).
+    pub rounds_per_step: Vec<u64>,
+    /// Per-node chunk count `C` of the source algorithm.
+    pub per_node_chunks: usize,
+    pub lowering: LoweringOptions,
+    pub ranks: Vec<RankProgram>,
+}
+
+impl Program {
+    /// Number of synchronous steps.
+    pub fn num_steps(&self) -> usize {
+        self.rounds_per_step.len()
+    }
+
+    /// Total number of sends in the whole program.
+    pub fn total_sends(&self) -> usize {
+        self.ranks
+            .iter()
+            .map(|r| r.ops_of_kind(OpKind::Send))
+            .sum()
+    }
+
+    /// Consistency check: every send has exactly one matching receive on
+    /// the peer at the same step and chunk, and vice versa.
+    pub fn check_matching(&self) -> Result<(), String> {
+        for rank in &self.ranks {
+            for (step, ops) in rank.steps.iter().enumerate() {
+                for op in &ops.ops {
+                    if op.peer >= self.num_ranks {
+                        return Err(format!("rank {} references peer {}", rank.rank, op.peer));
+                    }
+                    let peer = &self.ranks[op.peer];
+                    let expected_kind = match op.kind {
+                        OpKind::Send => None, // matched below
+                        OpKind::Recv | OpKind::RecvReduce => Some(OpKind::Send),
+                    };
+                    let matches = peer.steps[step]
+                        .ops
+                        .iter()
+                        .filter(|p| {
+                            p.chunk == op.chunk
+                                && p.peer == rank.rank
+                                && match op.kind {
+                                    OpKind::Send => {
+                                        p.kind == OpKind::Recv || p.kind == OpKind::RecvReduce
+                                    }
+                                    _ => Some(p.kind) == expected_kind,
+                                }
+                        })
+                        .count();
+                    if matches != 1 {
+                        return Err(format!(
+                            "rank {} step {} {:?} chunk {} with peer {}: {} matching ops",
+                            rank.rank, step, op.kind, op.chunk, op.peer, matches
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program {} on {} ({} ranks, {} steps, {:?})",
+            self.collective,
+            self.topology,
+            self.num_ranks,
+            self.num_steps(),
+            self.lowering.kernel_fusion
+        )?;
+        for rank in &self.ranks {
+            writeln!(f, "  rank {}:", rank.rank)?;
+            for (step, ops) in rank.steps.iter().enumerate() {
+                if ops.ops.is_empty() {
+                    continue;
+                }
+                let rendered: Vec<String> = ops
+                    .ops
+                    .iter()
+                    .map(|o| match o.kind {
+                        OpKind::Send => format!("send(c{},->{})", o.chunk, o.peer),
+                        OpKind::Recv => format!("recv(c{},<-{})", o.chunk, o.peer),
+                        OpKind::RecvReduce => format!("recv+red(c{},<-{})", o.chunk, o.peer),
+                    })
+                    .collect();
+                writeln!(f, "    step {}: {}", step, rendered.join(" "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lower an algorithm to its SPMD program.
+pub fn lower(algorithm: &Algorithm, options: LoweringOptions) -> Program {
+    let steps = algorithm.num_steps();
+    let mut ranks: Vec<RankProgram> = (0..algorithm.num_nodes)
+        .map(|rank| RankProgram {
+            rank,
+            steps: vec![StepOps::default(); steps],
+        })
+        .collect();
+    for send in &algorithm.sends {
+        ranks[send.src].steps[send.step].ops.push(Op {
+            kind: OpKind::Send,
+            chunk: send.chunk,
+            peer: send.dst,
+        });
+        ranks[send.dst].steps[send.step].ops.push(Op {
+            kind: match send.op {
+                SendOp::Copy => OpKind::Recv,
+                SendOp::Reduce => OpKind::RecvReduce,
+            },
+            chunk: send.chunk,
+            peer: send.src,
+        });
+    }
+    Program {
+        collective: algorithm.collective.to_string(),
+        topology: algorithm.topology_name.clone(),
+        num_ranks: algorithm.num_nodes,
+        num_chunks: algorithm.num_chunks,
+        rounds_per_step: algorithm.rounds_per_step.clone(),
+        per_node_chunks: algorithm.per_node_chunks,
+        lowering: options,
+        ranks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_collectives::Collective;
+    use sccl_core::Send;
+
+    fn ring_allgather_algorithm() -> Algorithm {
+        let mut sends = Vec::new();
+        for step in 0..3 {
+            for node in 0..4usize {
+                let chunk = (node + 4 - step) % 4;
+                sends.push(Send::copy(chunk, node, (node + 1) % 4, step));
+            }
+        }
+        Algorithm {
+            collective: Collective::Allgather,
+            topology_name: "ring-4".to_string(),
+            num_nodes: 4,
+            per_node_chunks: 1,
+            num_chunks: 4,
+            rounds_per_step: vec![1, 1, 1],
+            sends,
+        }
+    }
+
+    #[test]
+    fn lowering_produces_matched_program() {
+        let alg = ring_allgather_algorithm();
+        let program = lower(&alg, LoweringOptions::default());
+        assert_eq!(program.num_ranks, 4);
+        assert_eq!(program.num_steps(), 3);
+        assert_eq!(program.total_sends(), 12);
+        program.check_matching().expect("matched sends/recvs");
+        // Each rank sends one chunk and receives one chunk per step.
+        for rank in &program.ranks {
+            assert_eq!(rank.num_ops(), 6);
+            assert_eq!(rank.ops_of_kind(OpKind::Send), 3);
+            assert_eq!(rank.ops_of_kind(OpKind::Recv), 3);
+            assert_eq!(rank.ops_of_kind(OpKind::RecvReduce), 0);
+        }
+    }
+
+    #[test]
+    fn reduce_sends_become_recv_reduce() {
+        let mut alg = ring_allgather_algorithm();
+        for s in &mut alg.sends {
+            s.op = SendOp::Reduce;
+        }
+        let program = lower(&alg, LoweringOptions::default());
+        program.check_matching().expect("matched");
+        assert_eq!(program.ranks[0].ops_of_kind(OpKind::RecvReduce), 3);
+        assert_eq!(program.ranks[0].ops_of_kind(OpKind::Recv), 0);
+    }
+
+    #[test]
+    fn mismatched_program_is_rejected() {
+        let alg = ring_allgather_algorithm();
+        let mut program = lower(&alg, LoweringOptions::default());
+        // Drop one receive: its matching send becomes dangling.
+        let ops = &mut program.ranks[1].steps[0].ops;
+        let pos = ops.iter().position(|o| o.kind == OpKind::Recv).unwrap();
+        ops.remove(pos);
+        assert!(program.check_matching().is_err());
+    }
+
+    #[test]
+    fn display_mentions_steps_and_ops() {
+        let alg = ring_allgather_algorithm();
+        let program = lower(&alg, LoweringOptions::default());
+        let text = program.to_string();
+        assert!(text.contains("rank 0"));
+        assert!(text.contains("send(c0,->1)"));
+        assert!(text.contains("recv(c3,<-3)"));
+    }
+
+    #[test]
+    fn lowering_options_presets() {
+        let default = LoweringOptions::default();
+        assert_eq!(default.transfer_model, TransferModel::Push);
+        assert_eq!(default.kernel_fusion, KernelFusion::SingleFused);
+        let dma = LoweringOptions::dma_per_step();
+        assert_eq!(dma.copy_engine, CopyEngine::DmaMemcpy);
+        assert_eq!(dma.kernel_fusion, KernelFusion::PerStep);
+    }
+
+    #[test]
+    fn empty_steps_preserved() {
+        // A rank that does nothing at some step still has an entry for it.
+        let mut alg = ring_allgather_algorithm();
+        alg.sends.retain(|s| s.step != 1);
+        let program = lower(&alg, LoweringOptions::default());
+        assert_eq!(program.num_steps(), 3);
+        assert!(program.ranks[0].steps[1].ops.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # sccl-program
+//!
+//! Lowering of synthesized algorithms to executable artifacts (§4 of the
+//! paper): a rank-level SPMD IR, the lowering choices the paper discusses
+//! (push vs. pull transfers, kernel copies vs. DMA engines, one kernel per
+//! step vs. a single fused kernel), and a CUDA-flavoured code generator.
+//!
+//! ```
+//! use sccl_program::{lower, generate_cuda, LoweringOptions};
+//! use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+//! use sccl_collectives::Collective;
+//! use sccl_topology::builders;
+//!
+//! let ring = builders::ring(4, 1);
+//! let report = pareto_synthesize(&ring, Collective::Allgather, &SynthesisConfig::default())
+//!     .expect("synthesis");
+//! let program = lower(&report.entries[0].algorithm, LoweringOptions::default());
+//! program.check_matching().expect("sends and receives pair up");
+//! let cuda = generate_cuda(&program);
+//! assert!(cuda.contains("__global__"));
+//! ```
+
+pub mod codegen;
+pub mod ir;
+pub mod msccl;
+
+pub use codegen::generate_cuda;
+pub use ir::{
+    lower, CopyEngine, KernelFusion, LoweringOptions, Op, OpKind, Program, RankProgram, StepOps,
+    TransferModel,
+};
+pub use msccl::{to_msccl_xml, xml_stats, MscclXmlStats};

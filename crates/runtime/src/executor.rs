@@ -1,0 +1,305 @@
+//! Threaded shared-memory execution substrate.
+//!
+//! The paper runs lowered collectives on 8-GPU machines; this reproduction
+//! executes the same rank programs on OS threads, one thread per rank, with
+//! per-chunk buffers shared between threads. Two execution modes mirror the
+//! §4 lowering choice:
+//!
+//! * [`ExecutionMode::Stepped`] — a barrier between synchronous steps
+//!   (the "one kernel per step" lowering). Receiver-driven; supports both
+//!   copying and reducing transfers.
+//! * [`ExecutionMode::Fused`] — no barriers; the sender pushes data into
+//!   the receiver's buffer and raises a per-chunk flag, exactly like the
+//!   single fused kernel with signal/wait flags. Supported for
+//!   non-combining (copy-only) schedules; combining schedules fall back to
+//!   the stepped mode.
+//!
+//! Besides performance experiments, the executor is the functional
+//! correctness check of the whole pipeline: synthesized schedules move real
+//! data, and tests compare the result against sequential oracles.
+
+use parking_lot::RwLock;
+use sccl_program::{OpKind, Program};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Execution strategy (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    Stepped,
+    Fused,
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutionConfig {
+    /// Number of `f32` elements per chunk.
+    pub chunk_elems: usize,
+    /// Execution strategy.
+    pub mode: ExecutionMode,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            chunk_elems: 64,
+            mode: ExecutionMode::Stepped,
+        }
+    }
+}
+
+/// Result of executing a program.
+#[derive(Clone, Debug)]
+pub struct ExecutionResult {
+    /// Final buffer of every rank (`num_chunks * chunk_elems` floats).
+    pub buffers: Vec<Vec<f32>>,
+    /// Wall-clock execution time (dominated by thread scheduling on a CPU;
+    /// use the simulator for (α, β) predictions).
+    pub elapsed: Duration,
+    /// The mode that actually ran (fused requests downgrade to stepped for
+    /// combining schedules).
+    pub mode: ExecutionMode,
+}
+
+/// A flag value meaning "this chunk is not valid on this rank yet".
+const INVALID: usize = usize::MAX;
+
+/// Execute `program` starting from `initial` per-rank buffers.
+///
+/// `initial_valid[r]` lists the chunks rank `r` holds valid data for before
+/// the collective starts (the pre-condition placement); all other chunk
+/// regions may contain garbage and are only defined once written.
+///
+/// # Panics
+/// Panics if buffer sizes do not match `num_chunks * chunk_elems`.
+pub fn execute(
+    program: &Program,
+    initial: &[Vec<f32>],
+    initial_valid: &[BTreeSet<usize>],
+    config: ExecutionConfig,
+) -> ExecutionResult {
+    let p = program.num_ranks;
+    assert_eq!(initial.len(), p, "one initial buffer per rank");
+    assert_eq!(initial_valid.len(), p);
+    let chunk_elems = config.chunk_elems;
+    for buf in initial {
+        assert_eq!(
+            buf.len(),
+            program.num_chunks * chunk_elems,
+            "buffer must hold num_chunks * chunk_elems floats"
+        );
+    }
+    let has_reduce = program
+        .ranks
+        .iter()
+        .flat_map(|r| r.steps.iter())
+        .flat_map(|s| s.ops.iter())
+        .any(|o| o.kind == OpKind::RecvReduce);
+    let mode = if has_reduce && config.mode == ExecutionMode::Fused {
+        ExecutionMode::Stepped
+    } else {
+        config.mode
+    };
+
+    // Shared state: per-rank, per-chunk buffer regions behind RwLocks.
+    let buffers: Vec<Vec<RwLock<Vec<f32>>>> = initial
+        .iter()
+        .map(|buf| {
+            buf.chunks(chunk_elems)
+                .map(|chunk| RwLock::new(chunk.to_vec()))
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    match mode {
+        ExecutionMode::Stepped => execute_stepped(program, &buffers),
+        ExecutionMode::Fused => execute_fused(program, &buffers, initial_valid),
+    }
+    let elapsed = start.elapsed();
+
+    let out: Vec<Vec<f32>> = buffers
+        .iter()
+        .map(|rank_bufs| {
+            let mut flat = Vec::with_capacity(program.num_chunks * chunk_elems);
+            for chunk in rank_bufs {
+                flat.extend_from_slice(&chunk.read());
+            }
+            flat
+        })
+        .collect();
+    ExecutionResult {
+        buffers: out,
+        elapsed,
+        mode,
+    }
+}
+
+/// Barrier-per-step, receiver-driven execution.
+fn execute_stepped(program: &Program, buffers: &[Vec<RwLock<Vec<f32>>>]) {
+    let p = program.num_ranks;
+    let steps = program.num_steps();
+    let barrier = Barrier::new(p);
+    std::thread::scope(|scope| {
+        for rank_program in &program.ranks {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let me = rank_program.rank;
+                for step in 0..steps {
+                    for op in &rank_program.steps[step].ops {
+                        match op.kind {
+                            OpKind::Send => {} // the receiver performs the transfer
+                            OpKind::Recv => {
+                                let src = buffers[op.peer][op.chunk].read().clone();
+                                *buffers[me][op.chunk].write() = src;
+                            }
+                            OpKind::RecvReduce => {
+                                let src = buffers[op.peer][op.chunk].read().clone();
+                                let mut dst = buffers[me][op.chunk].write();
+                                for (d, s) in dst.iter_mut().zip(src.iter()) {
+                                    *d += s;
+                                }
+                            }
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+/// Fused execution: the sender pushes into the receiver's buffer and raises
+/// a per-(rank, chunk) flag; a sender forwarding a chunk it does not own
+/// initially first waits for its own flag. Copy-only schedules have at most
+/// one writer per (rank, chunk), so every region has a single producer.
+fn execute_fused(
+    program: &Program,
+    buffers: &[Vec<RwLock<Vec<f32>>>],
+    initial_valid: &[BTreeSet<usize>],
+) {
+    let p = program.num_ranks;
+    let g = program.num_chunks;
+    let flags: Vec<Vec<AtomicUsize>> = (0..p)
+        .map(|r| {
+            (0..g)
+                .map(|c| {
+                    AtomicUsize::new(if initial_valid[r].contains(&c) { 0 } else { INVALID })
+                })
+                .collect()
+        })
+        .collect();
+    let steps = program.num_steps();
+    std::thread::scope(|scope| {
+        for rank_program in &program.ranks {
+            let flags = &flags;
+            scope.spawn(move || {
+                let me = rank_program.rank;
+                for step in 0..steps {
+                    for op in &rank_program.steps[step].ops {
+                        if op.kind != OpKind::Send {
+                            continue; // push model: senders do all the work
+                        }
+                        // Wait until our own copy of the chunk is valid at or
+                        // before this step (signal/wait of the fused kernel).
+                        loop {
+                            let v = flags[me][op.chunk].load(Ordering::Acquire);
+                            if v != INVALID && v <= step {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                        let data = buffers[me][op.chunk].read().clone();
+                        *buffers[op.peer][op.chunk].write() = data;
+                        // The Release store plays the role of __threadfence +
+                        // flag update in the CUDA lowering.
+                        flags[op.peer][op.chunk].store(step + 1, Ordering::Release);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use sccl_collectives::Collective;
+    use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+    use sccl_program::{lower, LoweringOptions};
+    use sccl_topology::builders;
+
+    fn synth_allgather_ring4() -> sccl_core::Algorithm {
+        let topo = builders::ring(4, 1);
+        pareto_synthesize(&topo, Collective::Allgather, &SynthesisConfig::default())
+            .expect("report")
+            .entries
+            .remove(0)
+            .algorithm
+    }
+
+    #[test]
+    fn stepped_allgather_matches_oracle() {
+        let alg = synth_allgather_ring4();
+        let program = lower(&alg, LoweringOptions::default());
+        let config = ExecutionConfig {
+            chunk_elems: 16,
+            mode: ExecutionMode::Stepped,
+        };
+        let inputs = oracle::allgather_inputs(4, alg.num_chunks, config.chunk_elems, 7);
+        let valid = oracle::scattered_valid(4, alg.num_chunks);
+        let result = execute(&program, &inputs, &valid, config);
+        let expected = oracle::allgather_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
+        assert_eq!(result.buffers, expected);
+        assert_eq!(result.mode, ExecutionMode::Stepped);
+    }
+
+    #[test]
+    fn fused_allgather_matches_oracle() {
+        let alg = synth_allgather_ring4();
+        let program = lower(&alg, LoweringOptions::default());
+        let config = ExecutionConfig {
+            chunk_elems: 32,
+            mode: ExecutionMode::Fused,
+        };
+        let inputs = oracle::allgather_inputs(4, alg.num_chunks, config.chunk_elems, 3);
+        let valid = oracle::scattered_valid(4, alg.num_chunks);
+        let result = execute(&program, &inputs, &valid, config);
+        let expected = oracle::allgather_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
+        assert_eq!(result.buffers, expected);
+        assert_eq!(result.mode, ExecutionMode::Fused);
+    }
+
+    #[test]
+    fn fused_downgrades_for_combining_schedules() {
+        let topo = builders::ring(4, 1);
+        let report = pareto_synthesize(&topo, Collective::Allreduce, &SynthesisConfig::default())
+            .expect("report");
+        let alg = &report.entries[0].algorithm;
+        let program = lower(alg, LoweringOptions::default());
+        let config = ExecutionConfig {
+            chunk_elems: 8,
+            mode: ExecutionMode::Fused,
+        };
+        let inputs = oracle::allreduce_inputs(4, alg.num_chunks, config.chunk_elems, 11);
+        let valid = oracle::all_valid(4, alg.num_chunks);
+        let result = execute(&program, &inputs, &valid, config);
+        assert_eq!(result.mode, ExecutionMode::Stepped);
+        let expected = oracle::allreduce_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
+        oracle::assert_close(&result.buffers, &expected, 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_buffer_size_panics() {
+        let alg = synth_allgather_ring4();
+        let program = lower(&alg, LoweringOptions::default());
+        let config = ExecutionConfig::default();
+        let inputs = vec![vec![0.0f32; 3]; 4];
+        let valid = oracle::scattered_valid(4, alg.num_chunks);
+        execute(&program, &inputs, &valid, config);
+    }
+}

@@ -1,0 +1,23 @@
+//! # sccl-runtime
+//!
+//! Execution substrates standing in for the paper's 8-GPU machines:
+//!
+//! * [`executor`] — runs lowered SPMD programs on one OS thread per rank
+//!   with shared per-chunk buffers, either with a barrier per step (the
+//!   per-step-kernel lowering) or with fine-grained per-chunk flags (the
+//!   fused single-kernel lowering). Used to check functional correctness of
+//!   every synthesized schedule on real data.
+//! * [`simulator`] — predicts wall-clock time under the (α, β) model at
+//!   link granularity, parameterized by the §4 lowering choices; this is
+//!   what regenerates the shapes of Figures 4–6.
+//! * [`oracle`] — sequential reference implementations and input
+//!   generators used by tests and benches.
+
+pub mod executor;
+pub mod library;
+pub mod oracle;
+pub mod simulator;
+
+pub use executor::{execute, ExecutionConfig, ExecutionMode, ExecutionResult};
+pub use library::{CollectiveLibrary, LibraryEntry};
+pub use simulator::{closed_form_time, effective_cost_model, simulate_time, speedup};

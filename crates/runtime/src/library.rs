@@ -1,0 +1,220 @@
+//! A collective-algorithm library with size-based selection.
+//!
+//! §5.5 of the paper notes that "It is possible for SCCL to automatically
+//! switch between multiple implementations based on the input size. In
+//! which case, SCCL will consistently outperform NCCL." This module is that
+//! switching layer: it holds the synthesized Pareto frontier (plus any
+//! baselines) per collective and picks the fastest implementation for a
+//! given buffer size under the (α, β) cost model.
+
+use crate::simulator::simulate_time;
+use sccl_collectives::Collective;
+use sccl_core::pareto::SynthesisReport;
+use sccl_core::{Algorithm, CostModel};
+use sccl_program::LoweringOptions;
+use sccl_topology::Topology;
+
+/// One registered implementation.
+#[derive(Clone, Debug)]
+pub struct LibraryEntry {
+    pub algorithm: Algorithm,
+    pub lowering: LoweringOptions,
+    /// Display label, e.g. `"(6,7,7)"` or `"NCCL rings"`.
+    pub label: String,
+}
+
+/// A per-machine library of collective implementations.
+#[derive(Clone, Debug)]
+pub struct CollectiveLibrary {
+    topology: Topology,
+    cost_model: CostModel,
+    entries: Vec<LibraryEntry>,
+}
+
+impl CollectiveLibrary {
+    /// Create an empty library for one machine.
+    pub fn new(topology: Topology, cost_model: CostModel) -> Self {
+        CollectiveLibrary {
+            topology,
+            cost_model,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of registered implementations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no implementation has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register a single implementation.
+    pub fn register(&mut self, label: impl Into<String>, algorithm: Algorithm, lowering: LoweringOptions) {
+        self.entries.push(LibraryEntry {
+            label: label.into(),
+            algorithm,
+            lowering,
+        });
+    }
+
+    /// Register every entry of a synthesis report (a whole Pareto frontier).
+    pub fn register_frontier(&mut self, report: &SynthesisReport, lowering: LoweringOptions) {
+        for entry in &report.entries {
+            self.register(entry.algorithm.label(), entry.algorithm.clone(), lowering);
+        }
+    }
+
+    /// All implementations of a collective.
+    pub fn implementations(&self, collective: Collective) -> Vec<&LibraryEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.algorithm.collective == collective)
+            .collect()
+    }
+
+    /// The predicted-fastest implementation of `collective` for an input of
+    /// `input_bytes` bytes, or `None` if none is registered.
+    pub fn select(&self, collective: Collective, input_bytes: u64) -> Option<&LibraryEntry> {
+        self.implementations(collective)
+            .into_iter()
+            .min_by(|a, b| {
+                let ta = simulate_time(&a.algorithm, &self.topology, input_bytes, &self.cost_model, &a.lowering);
+                let tb = simulate_time(&b.algorithm, &self.topology, input_bytes, &self.cost_model, &b.lowering);
+                ta.partial_cmp(&tb).expect("finite times")
+            })
+    }
+
+    /// Predicted execution time of the selected implementation.
+    pub fn predicted_time(&self, collective: Collective, input_bytes: u64) -> Option<f64> {
+        self.select(collective, input_bytes).map(|e| {
+            simulate_time(&e.algorithm, &self.topology, input_bytes, &self.cost_model, &e.lowering)
+        })
+    }
+
+    /// The selection table: which implementation wins at each size of a
+    /// sweep (useful to find the switching thresholds).
+    pub fn selection_table(&self, collective: Collective, sizes: &[u64]) -> Vec<(u64, String)> {
+        sizes
+            .iter()
+            .filter_map(|&bytes| {
+                self.select(collective, bytes)
+                    .map(|e| (bytes, e.label.clone()))
+            })
+            .collect()
+    }
+
+    /// The machine this library targets.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_collectives::Collective;
+    use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+    use sccl_topology::builders;
+
+    fn ring_library() -> CollectiveLibrary {
+        let topo = builders::ring(4, 1);
+        let report = pareto_synthesize(&topo, Collective::Allgather, &SynthesisConfig::default())
+            .expect("synthesis");
+        let mut lib = CollectiveLibrary::new(topo, CostModel::nvlink());
+        lib.register_frontier(&report, LoweringOptions::default());
+        lib
+    }
+
+    #[test]
+    fn selects_latency_optimal_for_small_buffers() {
+        let lib = ring_library();
+        assert_eq!(lib.len(), 2);
+        let small = lib.select(Collective::Allgather, 1_024).expect("entry");
+        assert_eq!(small.algorithm.num_steps(), 2);
+    }
+
+    #[test]
+    fn selects_bandwidth_optimal_for_large_buffers() {
+        let lib = ring_library();
+        let large = lib.select(Collective::Allgather, 1 << 30).expect("entry");
+        assert_eq!(large.algorithm.total_rounds(), 3);
+        assert_eq!(large.algorithm.per_node_chunks, 2);
+    }
+
+    #[test]
+    fn selection_table_switches_once() {
+        let lib = ring_library();
+        let sizes: Vec<u64> = (0..20).map(|i| 1u64 << i).collect();
+        let table = lib.selection_table(Collective::Allgather, &sizes);
+        assert_eq!(table.len(), sizes.len());
+        // The winner changes at most once along the sweep (monotone switch).
+        let switches = table.windows(2).filter(|w| w[0].1 != w[1].1).count();
+        assert!(switches <= 1, "selection switched {switches} times");
+    }
+
+    #[test]
+    fn unknown_collective_returns_none() {
+        let lib = ring_library();
+        assert!(lib.select(Collective::Alltoall, 1_024).is_none());
+        assert!(lib.predicted_time(Collective::Alltoall, 1_024).is_none());
+    }
+
+    #[test]
+    fn switching_beats_any_single_algorithm() {
+        // The whole point of the library: per-size selection is at least as
+        // good as any fixed algorithm at every size.
+        let lib = ring_library();
+        let sizes: Vec<u64> = vec![256, 4_096, 1 << 20, 1 << 28];
+        for &bytes in &sizes {
+            let best = lib.predicted_time(Collective::Allgather, bytes).expect("entry");
+            for entry in lib.implementations(Collective::Allgather) {
+                let t = simulate_time(
+                    &entry.algorithm,
+                    lib.topology(),
+                    bytes,
+                    &CostModel::nvlink(),
+                    &entry.lowering,
+                );
+                assert!(best <= t + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_can_be_registered_alongside() {
+        let mut lib = ring_library();
+        let topo = builders::ring(4, 1);
+        let ring: Vec<usize> = (0..4).collect();
+        let nccl_style = sccl_baselines_ring(&topo, &ring);
+        lib.register("ring-baseline", nccl_style, LoweringOptions::default());
+        assert_eq!(lib.implementations(Collective::Allgather).len(), 3);
+    }
+
+    /// Local helper constructing a plain single-ring allgather without
+    /// depending on `sccl-baselines` (which would be a dependency cycle).
+    fn sccl_baselines_ring(topo: &Topology, ring: &[usize]) -> Algorithm {
+        use sccl_core::Send;
+        let n = ring.len();
+        let mut sends = Vec::new();
+        for step in 0..n - 1 {
+            for i in 0..n {
+                let src = ring[i];
+                let dst = ring[(i + 1) % n];
+                let owner = ring[(i + n - step) % n];
+                sends.push(Send::copy(owner, src, dst, step));
+            }
+        }
+        Algorithm {
+            collective: Collective::Allgather,
+            topology_name: topo.name().to_string(),
+            num_nodes: n,
+            per_node_chunks: 1,
+            num_chunks: n,
+            rounds_per_step: vec![1; n - 1],
+            sends,
+        }
+    }
+}

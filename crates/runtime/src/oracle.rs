@@ -1,0 +1,244 @@
+//! Sequential oracles and input generators for functional verification of
+//! executed collectives.
+//!
+//! Data layout convention: every rank owns a buffer of `num_chunks` global
+//! chunks, each `chunk_elems` floats. The chunk-to-owner mapping follows
+//! the Scattered relation (chunk `c` belongs to rank `c mod P`) exactly as
+//! in the collective specifications.
+
+use std::collections::BTreeSet;
+
+/// Deterministic pseudo-random value for (rank, chunk, element) — keeps the
+/// oracles reproducible without threading a RNG through every test.
+fn value(rank: usize, chunk: usize, elem: usize, seed: u64) -> f32 {
+    let mut h = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(rank as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        .wrapping_add(chunk as u64)
+        .wrapping_mul(0x94d0_49bb_1331_11eb)
+        .wrapping_add(elem as u64);
+    h ^= h >> 31;
+    ((h % 1000) as f32) / 100.0 - 5.0
+}
+
+/// Per-rank buffers for a gather-style collective: rank `c mod P` holds
+/// real data for chunk `c`, everything else is a sentinel.
+pub fn allgather_inputs(
+    num_ranks: usize,
+    num_chunks: usize,
+    chunk_elems: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    (0..num_ranks)
+        .map(|rank| {
+            let mut buf = vec![f32::MIN; num_chunks * chunk_elems];
+            for chunk in 0..num_chunks {
+                if chunk % num_ranks == rank {
+                    for e in 0..chunk_elems {
+                        buf[chunk * chunk_elems + e] = value(rank, chunk, e, seed);
+                    }
+                }
+            }
+            buf
+        })
+        .collect()
+}
+
+/// Expected result of Allgather: every rank ends up with every owner's data.
+pub fn allgather_expected(
+    inputs: &[Vec<f32>],
+    num_ranks: usize,
+    num_chunks: usize,
+    chunk_elems: usize,
+) -> Vec<Vec<f32>> {
+    let mut gathered = vec![0.0f32; num_chunks * chunk_elems];
+    for chunk in 0..num_chunks {
+        let owner = chunk % num_ranks;
+        let range = chunk * chunk_elems..(chunk + 1) * chunk_elems;
+        gathered[range.clone()].copy_from_slice(&inputs[owner][range]);
+    }
+    vec![gathered; num_ranks]
+}
+
+/// Per-rank buffers for Allreduce/ReduceScatter: every rank has a
+/// contribution to every chunk.
+pub fn allreduce_inputs(
+    num_ranks: usize,
+    num_chunks: usize,
+    chunk_elems: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    (0..num_ranks)
+        .map(|rank| {
+            (0..num_chunks * chunk_elems)
+                .map(|i| value(rank, i / chunk_elems, i % chunk_elems, seed))
+                .collect()
+        })
+        .collect()
+}
+
+/// Expected result of Allreduce: every rank holds the element-wise sum.
+pub fn allreduce_expected(
+    inputs: &[Vec<f32>],
+    num_ranks: usize,
+    num_chunks: usize,
+    chunk_elems: usize,
+) -> Vec<Vec<f32>> {
+    let mut sum = vec![0.0f32; num_chunks * chunk_elems];
+    for buf in inputs {
+        for (s, v) in sum.iter_mut().zip(buf.iter()) {
+            *s += v;
+        }
+    }
+    vec![sum; num_ranks]
+}
+
+/// Expected result of ReduceScatter: rank `c mod P` holds the sum for chunk
+/// `c`; other regions are unspecified (compared only on owned chunks).
+pub fn reducescatter_expected_chunk(
+    inputs: &[Vec<f32>],
+    chunk: usize,
+    chunk_elems: usize,
+) -> Vec<f32> {
+    let mut sum = vec![0.0f32; chunk_elems];
+    for buf in inputs {
+        for (s, v) in sum.iter_mut().zip(buf[chunk * chunk_elems..(chunk + 1) * chunk_elems].iter())
+        {
+            *s += v;
+        }
+    }
+    sum
+}
+
+/// Per-rank buffers for Broadcast: the root holds all chunks.
+pub fn broadcast_inputs(
+    num_ranks: usize,
+    root: usize,
+    num_chunks: usize,
+    chunk_elems: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    (0..num_ranks)
+        .map(|rank| {
+            if rank == root {
+                (0..num_chunks * chunk_elems)
+                    .map(|i| value(root, i / chunk_elems, i % chunk_elems, seed))
+                    .collect()
+            } else {
+                vec![f32::MIN; num_chunks * chunk_elems]
+            }
+        })
+        .collect()
+}
+
+/// Expected result of Broadcast: everyone has the root's buffer.
+pub fn broadcast_expected(inputs: &[Vec<f32>], num_ranks: usize, root: usize) -> Vec<Vec<f32>> {
+    vec![inputs[root].clone(); num_ranks]
+}
+
+/// Initial-validity sets for the Scattered pre-condition.
+pub fn scattered_valid(num_ranks: usize, num_chunks: usize) -> Vec<BTreeSet<usize>> {
+    (0..num_ranks)
+        .map(|rank| (0..num_chunks).filter(|c| c % num_ranks == rank).collect())
+        .collect()
+}
+
+/// Initial-validity sets for the Root pre-condition.
+pub fn root_valid(num_ranks: usize, root: usize, num_chunks: usize) -> Vec<BTreeSet<usize>> {
+    (0..num_ranks)
+        .map(|rank| {
+            if rank == root {
+                (0..num_chunks).collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect()
+}
+
+/// Initial-validity sets where every rank holds every chunk (Allreduce).
+pub fn all_valid(num_ranks: usize, num_chunks: usize) -> Vec<BTreeSet<usize>> {
+    vec![(0..num_chunks).collect(); num_ranks]
+}
+
+/// Assert that two sets of per-rank buffers agree within `tol`.
+pub fn assert_close(actual: &[Vec<f32>], expected: &[Vec<f32>], tol: f32) {
+    assert_eq!(actual.len(), expected.len(), "rank count mismatch");
+    for (rank, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(a.len(), e.len(), "buffer length mismatch on rank {rank}");
+        for (i, (x, y)) in a.iter().zip(e.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "rank {rank} element {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_oracle_shapes() {
+        let inputs = allgather_inputs(4, 8, 4, 1);
+        assert_eq!(inputs.len(), 4);
+        assert_eq!(inputs[0].len(), 32);
+        // Rank 1 owns chunks 1 and 5 only.
+        assert!(inputs[1][1 * 4] > f32::MIN);
+        assert!(inputs[1][5 * 4] > f32::MIN);
+        assert_eq!(inputs[1][0], f32::MIN);
+        let expected = allgather_expected(&inputs, 4, 8, 4);
+        assert_eq!(expected.len(), 4);
+        assert_eq!(expected[0], expected[3]);
+        // Every chunk region is real data in the expectation.
+        assert!(expected[0].iter().all(|&v| v > f32::MIN));
+    }
+
+    #[test]
+    fn allreduce_oracle_sums() {
+        let inputs = allreduce_inputs(3, 2, 2, 5);
+        let expected = allreduce_expected(&inputs, 3, 2, 2);
+        for i in 0..4 {
+            let sum: f32 = inputs.iter().map(|b| b[i]).sum();
+            assert!((expected[0][i] - sum).abs() < 1e-6);
+        }
+        let rs = reducescatter_expected_chunk(&inputs, 1, 2);
+        assert!((rs[0] - expected[0][2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_oracle() {
+        let inputs = broadcast_inputs(4, 2, 3, 2, 9);
+        assert_eq!(inputs[0][0], f32::MIN);
+        assert!(inputs[2][0] > f32::MIN);
+        let expected = broadcast_expected(&inputs, 4, 2);
+        assert_eq!(expected[0], inputs[2]);
+    }
+
+    #[test]
+    fn validity_sets() {
+        let scattered = scattered_valid(4, 8);
+        assert!(scattered[0].contains(&0));
+        assert!(scattered[0].contains(&4));
+        assert!(!scattered[0].contains(&1));
+        let root = root_valid(4, 1, 3);
+        assert_eq!(root[1].len(), 3);
+        assert!(root[0].is_empty());
+        let all = all_valid(2, 3);
+        assert_eq!(all[0].len(), 3);
+    }
+
+    #[test]
+    fn deterministic_values() {
+        assert_eq!(value(1, 2, 3, 42), value(1, 2, 3, 42));
+        assert_ne!(value(1, 2, 3, 42), value(2, 2, 3, 42));
+    }
+
+    #[test]
+    #[should_panic]
+    fn assert_close_detects_mismatch() {
+        assert_close(&[vec![1.0]], &[vec![2.0]], 1e-6);
+    }
+}

@@ -1,0 +1,189 @@
+//! Clause storage.
+//!
+//! Clauses live in a flat arena ([`ClauseDb`]) and are referenced by the
+//! index type [`CRef`]. Learnt clauses carry an activity score and an LBD
+//! (literal block distance) used by the clause-database reduction policy.
+
+use crate::types::Lit;
+
+/// Reference to a clause inside a [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct CRef(pub(crate) u32);
+
+impl CRef {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) deleted: bool,
+    pub(crate) activity: f64,
+    pub(crate) lbd: u32,
+}
+
+impl Clause {
+    pub(crate) fn new(lits: Vec<Lit>, learnt: bool) -> Self {
+        Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd: 0,
+        }
+    }
+
+    /// The literals of the clause. The first two are the watched literals.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the clause has no literals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// `true` if this clause was learnt during conflict analysis.
+    #[inline]
+    pub fn is_learnt(&self) -> bool {
+        self.learnt
+    }
+
+    /// `true` if this clause has been removed by database reduction.
+    #[inline]
+    pub fn is_deleted(&self) -> bool {
+        self.deleted
+    }
+
+    /// Literal block distance assigned when the clause was learnt.
+    #[inline]
+    pub fn lbd(&self) -> u32 {
+        self.lbd
+    }
+}
+
+/// Arena of clauses.
+#[derive(Default)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of literals across live (non-deleted) clauses; used for stats.
+    live_literals: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a clause and return its reference.
+    pub fn push(&mut self, lits: Vec<Lit>, learnt: bool) -> CRef {
+        let cref = CRef(self.clauses.len() as u32);
+        self.live_literals += lits.len();
+        self.clauses.push(Clause::new(lits, learnt));
+        cref
+    }
+
+    /// Mark a clause deleted. Watch lists drop deleted clauses lazily.
+    pub fn delete(&mut self, cref: CRef) {
+        let c = &mut self.clauses[cref.index()];
+        if !c.deleted {
+            c.deleted = true;
+            self.live_literals -= c.lits.len();
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, cref: CRef) -> &Clause {
+        &self.clauses[cref.index()]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, cref: CRef) -> &mut Clause {
+        &mut self.clauses[cref.index()]
+    }
+
+    /// Total number of clauses ever added (including deleted ones).
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if no clause was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Number of literals in live clauses.
+    pub fn live_literals(&self) -> usize {
+        self.live_literals
+    }
+
+    /// Iterate over references of all live learnt clauses.
+    pub fn learnt_refs(&self) -> impl Iterator<Item = CRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| CRef(i as u32))
+    }
+
+    /// Iterate over references of all live clauses.
+    pub fn all_refs(&self) -> impl Iterator<Item = CRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| CRef(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(i: usize) -> Lit {
+        Var::from_index(i).positive()
+    }
+
+    #[test]
+    fn push_get_delete() {
+        let mut db = ClauseDb::new();
+        let c0 = db.push(vec![lit(0), lit(1)], false);
+        let c1 = db.push(vec![lit(2), lit(3), lit(4)], true);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.live_literals(), 5);
+        assert_eq!(db.get(c0).len(), 2);
+        assert!(db.get(c1).is_learnt());
+        db.delete(c1);
+        assert!(db.get(c1).is_deleted());
+        assert_eq!(db.live_literals(), 2);
+        // Deleting twice is a no-op.
+        db.delete(c1);
+        assert_eq!(db.live_literals(), 2);
+    }
+
+    #[test]
+    fn learnt_refs_filters() {
+        let mut db = ClauseDb::new();
+        db.push(vec![lit(0)], false);
+        let l1 = db.push(vec![lit(1)], true);
+        let l2 = db.push(vec![lit(2)], true);
+        db.delete(l2);
+        let learnt: Vec<_> = db.learnt_refs().collect();
+        assert_eq!(learnt, vec![l1]);
+        assert_eq!(db.all_refs().count(), 2);
+    }
+}

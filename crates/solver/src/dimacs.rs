@@ -1,0 +1,137 @@
+//! DIMACS CNF import/export, used for debugging the solver against external
+//! tools and for loading benchmark formulas in tests.
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+use std::fmt::Write as _;
+
+/// A plain CNF formula: number of variables plus clauses of DIMACS literals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Parse DIMACS CNF text. Comment lines (`c …`) and the problem line
+    /// (`p cnf …`) are accepted; clauses are zero-terminated.
+    pub fn parse(text: &str) -> Result<Cnf, String> {
+        let mut num_vars = 0usize;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut parts = rest.split_whitespace();
+                let fmt = parts.next().ok_or("missing format in problem line")?;
+                if fmt != "cnf" {
+                    return Err(format!("unsupported format {fmt:?}"));
+                }
+                num_vars = parts
+                    .next()
+                    .ok_or("missing variable count")?
+                    .parse()
+                    .map_err(|e| format!("bad variable count: {e}"))?;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|e| format!("bad literal {tok:?}: {e}"))?;
+                if v == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let lit = Lit::from_dimacs(v);
+                    num_vars = num_vars.max(lit.var().index() + 1);
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            clauses.push(current);
+        }
+        Ok(Cnf { num_vars, clauses })
+    }
+
+    /// Render in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &l in clause {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Load this formula into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        self.load_into(&mut s);
+        s
+    }
+
+    /// Add all variables and clauses of this formula to `solver`.
+    pub fn load_into(&self, solver: &mut Solver) -> Vec<Var> {
+        let base = solver.num_vars();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let shifted: Vec<Lit> = clause
+                .iter()
+                .map(|l| Lit::new(Var::from_index(base + l.var().index()), l.sign()))
+                .collect();
+            solver.add_clause(&shifted);
+        }
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "c a simple instance\np cnf 3 2\n1 -2 0\n2 3 0\n";
+
+    #[test]
+    fn parse_sample() {
+        let cnf = Cnf::parse(SAMPLE).expect("parse");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = Cnf::parse(SAMPLE).expect("parse");
+        let text = cnf.to_dimacs();
+        let again = Cnf::parse(&text).expect("reparse");
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn solve_parsed_formula() {
+        let cnf = Cnf::parse(SAMPLE).expect("parse");
+        let mut solver = cnf.to_solver();
+        let m = solver.solve().model().expect("sat");
+        for clause in &cnf.clauses {
+            assert!(m.satisfies_clause(clause));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_format() {
+        assert!(Cnf::parse("p sat 3 2\n1 0\n").is_err());
+        assert!(Cnf::parse("p cnf x 2\n").is_err());
+        assert!(Cnf::parse("1 two 0\n").is_err());
+    }
+
+    #[test]
+    fn unsat_formula() {
+        let cnf = Cnf::parse("p cnf 1 2\n1 0\n-1 0\n").expect("parse");
+        let mut solver = cnf.to_solver();
+        assert!(solver.solve().is_unsat());
+    }
+}

@@ -1,0 +1,201 @@
+//! Indexed max-heap ordered by variable activity, used for VSIDS branching.
+
+use crate::types::Var;
+
+/// A binary max-heap over variables keyed by an external activity array.
+///
+/// Supports `O(log n)` insert/remove-max and `decrease`/`increase` key via
+/// [`VarHeap::update`]. Each variable appears at most once.
+#[derive(Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make room for variables up to index `n - 1`.
+    pub fn grow(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, var: Var) -> bool {
+        self.positions
+            .get(var.index())
+            .map(|&p| p != ABSENT)
+            .unwrap_or(false)
+    }
+
+    /// Insert `var` (no-op if already present).
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var);
+        self.positions[var.index()] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    /// Remove and return the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.positions[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Re-establish heap order for `var` after its activity increased.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.positions.get(var.index()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    /// Rebuild the heap from scratch (used after global activity rescaling;
+    /// rescaling preserves order so this is rarely needed, but kept for
+    /// safety when activities are reset).
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let vars: Vec<Var> = self.heap.drain(..).collect();
+        for p in self.positions.iter_mut() {
+            *p = ABSENT;
+        }
+        for v in vars {
+            self.insert(v, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos].index()] > activity[self.heap[parent].index()] {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut best = pos;
+            if left < self.heap.len()
+                && activity[self.heap[left].index()] > activity[self.heap[best].index()]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[best].index()]
+            {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a].index()] = a;
+        self.positions[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarHeap::new();
+        for i in 0..4 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        // Bump variable 0 to the top.
+        activity[0] = 10.0;
+        heap.update(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0; 4];
+        let mut heap = VarHeap::new();
+        let v = Var::from_index(2);
+        assert!(!heap.contains(v));
+        heap.insert(v, &activity);
+        assert!(heap.contains(v));
+        heap.pop_max(&activity);
+        assert!(!heap.contains(v));
+    }
+
+    #[test]
+    fn rebuild_preserves_membership() {
+        let mut activity = vec![1.0, 5.0, 2.0];
+        let mut heap = VarHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity = vec![3.0, 1.0, 2.0];
+        heap.rebuild(&activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+        assert_eq!(heap.len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+
+/// Returns the `i`-th element (1-based) of the Luby sequence.
+///
+/// The restart policy multiplies this by a base conflict interval.
+pub fn luby(i: u64) -> u64 {
+    // Find the finite subsequence that contains index `i`, and the index of
+    // `i` within that subsequence (Knuth's method as used by MiniSat).
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    let mut seq = seq;
+    let mut size = size;
+    while size - 1 != i {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+/// Iterator over the Luby sequence scaled by `base`.
+pub struct LubyRestarts {
+    base: u64,
+    index: u64,
+}
+
+impl LubyRestarts {
+    pub fn new(base: u64) -> Self {
+        LubyRestarts { base, index: 0 }
+    }
+}
+
+impl Iterator for LubyRestarts {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        let v = luby(self.index) * self.base;
+        self.index += 1;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn restarts_iterator_scales() {
+        let seq: Vec<u64> = LubyRestarts::new(100).take(7).collect();
+        assert_eq!(seq, vec![100, 100, 200, 100, 100, 200, 400]);
+    }
+
+    #[test]
+    fn luby_is_power_of_two() {
+        for i in 0..200 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+}

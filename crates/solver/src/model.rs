@@ -1,0 +1,81 @@
+//! Satisfying assignments extracted from the solver.
+
+use crate::types::{Lit, Var};
+
+/// A complete satisfying assignment.
+///
+/// Every variable created before the successful `solve` call has a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    pub(crate) fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the model assigns no variables (empty formula).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Truth value of a variable.
+    pub fn var_value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Truth value of a literal.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.values[lit.var().index()] == lit.sign()
+    }
+
+    /// Evaluate a clause (disjunction of literals) under this model.
+    pub fn satisfies_clause(&self, clause: &[Lit]) -> bool {
+        clause.iter().any(|&l| self.lit_value(l))
+    }
+
+    /// Evaluate a weighted pseudo-Boolean sum `Σ coef·lit` under this model.
+    pub fn pb_sum(&self, terms: &[(u64, Lit)]) -> u64 {
+        terms
+            .iter()
+            .filter(|&&(_, l)| self.lit_value(l))
+            .map(|&(c, _)| c)
+            .sum()
+    }
+
+    /// Iterate over `(Var, bool)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Var::from_index(i), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_evaluation() {
+        let m = Model::new(vec![true, false, true]);
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert!(m.var_value(v0));
+        assert!(!m.var_value(v1));
+        assert!(m.lit_value(v0.positive()));
+        assert!(!m.lit_value(v0.negative()));
+        assert!(m.lit_value(v1.negative()));
+        assert!(m.satisfies_clause(&[v1.positive(), v0.positive()]));
+        assert!(!m.satisfies_clause(&[v1.positive()]));
+        assert_eq!(m.pb_sum(&[(2, v0.positive()), (3, v1.positive())]), 2);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().filter(|&(_, v)| v).count(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Brute-force reference solver used to cross-validate the CDCL engine in
+//! tests and property-based tests. Only suitable for small formulas.
+
+use crate::model::Model;
+use crate::types::Lit;
+
+/// A formula for the reference solver: clauses plus pseudo-Boolean `≤`
+/// constraints over `num_vars` variables.
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceFormula {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<Lit>>,
+    pub pb_les: Vec<(Vec<(u64, Lit)>, u64)>,
+}
+
+impl ReferenceFormula {
+    pub fn new(num_vars: usize) -> Self {
+        ReferenceFormula {
+            num_vars,
+            clauses: Vec::new(),
+            pb_les: Vec::new(),
+        }
+    }
+
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.clauses.push(lits.to_vec());
+    }
+
+    pub fn add_pb_le(&mut self, terms: &[(u64, Lit)], bound: u64) {
+        self.pb_les.push((terms.to_vec(), bound));
+    }
+
+    fn assignment_satisfies(&self, bits: u64) -> bool {
+        let value = |l: Lit| -> bool {
+            let v = (bits >> l.var().index()) & 1 == 1;
+            if l.sign() {
+                v
+            } else {
+                !v
+            }
+        };
+        for clause in &self.clauses {
+            if !clause.iter().any(|&l| value(l)) {
+                return false;
+            }
+        }
+        for (terms, bound) in &self.pb_les {
+            let sum: u64 = terms.iter().filter(|&&(_, l)| value(l)).map(|&(c, _)| c).sum();
+            if sum > *bound {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exhaustively search all `2^num_vars` assignments.
+    ///
+    /// Panics if `num_vars > 24` to avoid accidental blow-ups in tests.
+    pub fn solve_exhaustive(&self) -> Option<Model> {
+        assert!(
+            self.num_vars <= 24,
+            "reference solver limited to 24 variables"
+        );
+        let n = self.num_vars as u32;
+        for bits in 0u64..(1u64 << n) {
+            if self.assignment_satisfies(bits) {
+                let values = (0..self.num_vars).map(|i| (bits >> i) & 1 == 1).collect();
+                return Some(Model::new(values));
+            }
+        }
+        None
+    }
+
+    /// Count the number of satisfying assignments (for sanity checks).
+    pub fn count_models(&self) -> u64 {
+        assert!(self.num_vars <= 24);
+        let n = self.num_vars as u32;
+        (0u64..(1u64 << n))
+            .filter(|&bits| self.assignment_satisfies(bits))
+            .count() as u64
+    }
+
+    /// Check that a model satisfies every constraint of this formula.
+    pub fn check_model(&self, model: &Model) -> bool {
+        for clause in &self.clauses {
+            if !model.satisfies_clause(clause) {
+                return false;
+            }
+        }
+        for (terms, bound) in &self.pb_les {
+            if model.pb_sum(terms) > *bound {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(i: usize) -> Lit {
+        Var::from_index(i).positive()
+    }
+
+    #[test]
+    fn simple_sat_and_count() {
+        let mut f = ReferenceFormula::new(2);
+        f.add_clause(&[lit(0), lit(1)]);
+        assert!(f.solve_exhaustive().is_some());
+        assert_eq!(f.count_models(), 3);
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut f = ReferenceFormula::new(1);
+        f.add_clause(&[lit(0)]);
+        f.add_clause(&[!lit(0)]);
+        assert!(f.solve_exhaustive().is_none());
+        assert_eq!(f.count_models(), 0);
+    }
+
+    #[test]
+    fn pb_constraint_limits_models() {
+        let mut f = ReferenceFormula::new(3);
+        f.add_pb_le(&[(1, lit(0)), (1, lit(1)), (1, lit(2))], 1);
+        // At most one of three: 1 (none) + 3 (single) = 4 models.
+        assert_eq!(f.count_models(), 4);
+    }
+
+    #[test]
+    fn check_model_detects_violation() {
+        let mut f = ReferenceFormula::new(2);
+        f.add_clause(&[lit(0)]);
+        let good = Model::new(vec![true, false]);
+        let bad = Model::new(vec![false, false]);
+        assert!(f.check_model(&good));
+        assert!(!f.check_model(&bad));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for order-encoded integer variables.
+
+use proptest::prelude::*;
+use sccl_solver::{add_linear_eq, IntVar, SolveResult, Solver};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A variable constrained to a sub-range takes a value in that range.
+    #[test]
+    fn range_constraints_are_respected(
+        hi in 1i64..12,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        let lower = (hi as f64 * lo_frac) as i64;
+        let upper = lower.max((hi as f64 * hi_frac) as i64);
+        let mut solver = Solver::new();
+        let x = IntVar::new(&mut solver, 0, hi);
+        x.assert_ge(&mut solver, lower);
+        x.assert_le(&mut solver, upper);
+        let model = solver.solve().model().expect("non-empty range is satisfiable");
+        let v = x.value_in(&model);
+        prop_assert!(v >= lower && v <= upper, "{v} outside [{lower}, {upper}]");
+    }
+
+    /// `eq_lit` is consistent with the extracted value.
+    #[test]
+    fn eq_literal_matches_value(hi in 1i64..10, target in 0i64..10) {
+        let mut solver = Solver::new();
+        let x = IntVar::new(&mut solver, 0, hi);
+        let eq = x.eq_lit(&mut solver, target);
+        let model = solver.solve().model().expect("satisfiable");
+        prop_assert_eq!(model.lit_value(eq), x.value_in(&model) == target && target <= hi);
+    }
+
+    /// `imply_less_than` forces a strict ordering whenever the condition
+    /// literal is true.
+    #[test]
+    fn conditional_strict_order(hi in 1i64..8, force_cond in any::<bool>()) {
+        let mut solver = Solver::new();
+        let cond = solver.new_var().positive();
+        let x = IntVar::new(&mut solver, 0, hi);
+        let y = IntVar::new(&mut solver, 0, hi);
+        IntVar::imply_less_than(&mut solver, cond, &x, &y);
+        solver.add_clause(&[if force_cond { cond } else { !cond }]);
+        let model = solver.solve().model().expect("satisfiable");
+        if force_cond {
+            prop_assert!(x.value_in(&model) < y.value_in(&model));
+        }
+    }
+
+    /// `add_linear_eq` makes the variables sum exactly to the target, and is
+    /// UNSAT for out-of-range targets.
+    #[test]
+    fn linear_sum_is_exact(widths in prop::collection::vec(1i64..5, 1..5), target in 0i64..20) {
+        let mut solver = Solver::new();
+        let vars: Vec<IntVar> = widths.iter().map(|&w| IntVar::new(&mut solver, 0, w)).collect();
+        let refs: Vec<&IntVar> = vars.iter().collect();
+        add_linear_eq(&mut solver, &refs, target);
+        let max_total: i64 = widths.iter().sum();
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                let total: i64 = vars.iter().map(|v| v.value_in(&model)).sum();
+                prop_assert_eq!(total, target);
+                prop_assert!(target <= max_total);
+            }
+            SolveResult::Unsat => prop_assert!(target > max_total),
+            SolveResult::Unknown => prop_assert!(false, "no limits were set"),
+        }
+    }
+
+    /// Values extracted from any model always lie within the declared domain.
+    #[test]
+    fn value_always_in_domain(lo in -5i64..5, width in 0i64..8) {
+        let hi = lo + width;
+        let mut solver = Solver::new();
+        let x = IntVar::new(&mut solver, lo, hi);
+        let model = solver.solve().model().expect("satisfiable");
+        let v = x.value_in(&model);
+        prop_assert!(v >= lo && v <= hi);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: the CDCL solver against the exhaustive reference
+//! solver on random formulas.
+
+use proptest::prelude::*;
+use sccl_solver::{Lit, ReferenceFormula, SolveResult, Solver, SolverConfig, Var};
+
+/// Strategy: a random clause over `num_vars` variables with 1..=max_len
+/// literals.
+fn clause_strategy(num_vars: usize, max_len: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..=max_len)
+}
+
+fn to_lits(clause: &[(usize, bool)]) -> Vec<Lit> {
+    clause
+        .iter()
+        .map(|&(v, sign)| Lit::new(Var::from_index(v), sign))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SAT/UNSAT verdicts agree with exhaustive enumeration, and returned
+    /// models satisfy every clause.
+    #[test]
+    fn cdcl_agrees_with_reference_on_random_cnf(
+        clauses in prop::collection::vec(clause_strategy(8, 4), 1..40)
+    ) {
+        let num_vars = 8;
+        let mut reference = ReferenceFormula::new(num_vars);
+        let mut solver = Solver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for clause in &clauses {
+            let lits = to_lits(clause);
+            reference.add_clause(&lits);
+            solver.add_clause(&lits);
+        }
+        let expected_sat = reference.solve_exhaustive().is_some();
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected_sat, "solver found a model for an UNSAT formula");
+                prop_assert!(reference.check_model(&model), "model violates a clause");
+            }
+            SolveResult::Unsat => prop_assert!(!expected_sat, "solver claims UNSAT for a SAT formula"),
+            SolveResult::Unknown => prop_assert!(false, "no limits were set"),
+        }
+    }
+
+    /// Same agreement when pseudo-Boolean constraints are mixed in.
+    #[test]
+    fn cdcl_agrees_with_reference_on_random_pb(
+        clauses in prop::collection::vec(clause_strategy(7, 3), 0..15),
+        pbs in prop::collection::vec(
+            (prop::collection::vec((1u64..4, 0usize..7, any::<bool>()), 1..6), 0u64..8),
+            1..6
+        )
+    ) {
+        let num_vars = 7;
+        let mut reference = ReferenceFormula::new(num_vars);
+        let mut solver = Solver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for clause in &clauses {
+            let lits = to_lits(clause);
+            reference.add_clause(&lits);
+            solver.add_clause(&lits);
+        }
+        for (terms, bound) in &pbs {
+            let t: Vec<(u64, Lit)> = terms
+                .iter()
+                .map(|&(c, v, sign)| (c, Lit::new(Var::from_index(v), sign)))
+                .collect();
+            reference.add_pb_le(&t, *bound);
+            solver.add_pb_le(&t, *bound);
+        }
+        let expected_sat = reference.solve_exhaustive().is_some();
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected_sat, "solver found a model for an UNSAT formula");
+                prop_assert!(reference.check_model(&model), "model violates a constraint");
+            }
+            SolveResult::Unsat => prop_assert!(!expected_sat, "solver claims UNSAT for a SAT formula"),
+            SolveResult::Unknown => prop_assert!(false, "no limits were set"),
+        }
+    }
+
+    /// Whatever the configuration (learning or VSIDS disabled, different
+    /// polarity), verdicts do not change.
+    #[test]
+    fn solver_configurations_agree(
+        clauses in prop::collection::vec(clause_strategy(6, 3), 1..25)
+    ) {
+        let configs = [
+            SolverConfig::default(),
+            SolverConfig { clause_learning: false, ..Default::default() },
+            SolverConfig { vsids: false, ..Default::default() },
+            SolverConfig { default_polarity: true, phase_saving: false, ..Default::default() },
+        ];
+        let mut verdicts = Vec::new();
+        for config in configs {
+            let mut solver = Solver::with_config(config);
+            for _ in 0..6 {
+                solver.new_var();
+            }
+            for clause in &clauses {
+                solver.add_clause(&to_lits(clause));
+            }
+            verdicts.push(solver.solve().is_sat());
+        }
+        prop_assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "verdicts differ: {verdicts:?}");
+    }
+
+    /// Exactly-one constraints produce exactly one true literal.
+    #[test]
+    fn exactly_one_invariant(n in 2usize..10, forced in prop::option::of(0usize..10)) {
+        let mut solver = Solver::new();
+        let lits: Vec<Lit> = (0..n).map(|_| solver.new_var().positive()).collect();
+        solver.add_exactly_one(&lits);
+        if let Some(f) = forced {
+            if f < n {
+                solver.add_clause(&[lits[f]]);
+            }
+        }
+        let model = solver.solve().model().expect("exactly-one is satisfiable");
+        let count = lits.iter().filter(|&&l| model.lit_value(l)).count();
+        prop_assert_eq!(count, 1);
+        if let Some(f) = forced {
+            if f < n {
+                prop_assert!(model.lit_value(lits[f]));
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Builders for the topologies evaluated in the paper (NVIDIA DGX-1,
+//! Gigabyte Z52 with AMD MI50 GPUs) and for the standard families used in
+//! tests and additional experiments (rings, chains, stars, hypercubes,
+//! meshes, fully-connected).
+
+use crate::model::Topology;
+
+/// Bidirectional ring of `n` nodes: node `i` is linked with `(i + 1) % n`
+/// in both directions, `bandwidth` chunks per round per direction.
+pub fn ring(n: usize, bandwidth: u64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("ring-{n}"), n);
+    for i in 0..n {
+        t.add_bidi_link(i, (i + 1) % n, bandwidth);
+    }
+    t
+}
+
+/// Unidirectional ring of `n` nodes: node `i` sends only to `(i + 1) % n`.
+pub fn ring_unidirectional(n: usize, bandwidth: u64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("uniring-{n}"), n);
+    for i in 0..n {
+        t.add_link(i, (i + 1) % n, bandwidth);
+    }
+    t
+}
+
+/// Bidirectional chain (line) of `n` nodes.
+pub fn chain(n: usize, bandwidth: u64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("chain-{n}"), n);
+    for i in 0..n - 1 {
+        t.add_bidi_link(i, i + 1, bandwidth);
+    }
+    t
+}
+
+/// Star of `n` nodes with node 0 at the centre.
+pub fn star(n: usize, bandwidth: u64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("star-{n}"), n);
+    for i in 1..n {
+        t.add_bidi_link(0, i, bandwidth);
+    }
+    t
+}
+
+/// Fully-connected topology of `n` nodes.
+pub fn fully_connected(n: usize, bandwidth: u64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("fc-{n}"), n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                t.add_link(i, j, bandwidth);
+            }
+        }
+    }
+    t
+}
+
+/// Hypercube of dimension `dim` (`2^dim` nodes); neighbours differ in one
+/// bit.
+pub fn hypercube(dim: u32, bandwidth: u64) -> Topology {
+    let n = 1usize << dim;
+    let mut t = Topology::new(format!("hypercube-{dim}"), n);
+    for i in 0..n {
+        for b in 0..dim {
+            let j = i ^ (1 << b);
+            if i < j {
+                t.add_bidi_link(i, j, bandwidth);
+            }
+        }
+    }
+    t
+}
+
+/// 2D mesh (grid) of `rows × cols` nodes with nearest-neighbour links.
+pub fn mesh2d(rows: usize, cols: usize, bandwidth: u64) -> Topology {
+    assert!(rows * cols >= 2);
+    let mut t = Topology::new(format!("mesh-{rows}x{cols}"), rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.add_bidi_link(id(r, c), id(r, c + 1), bandwidth);
+            }
+            if r + 1 < rows {
+                t.add_bidi_link(id(r, c), id(r + 1, c), bandwidth);
+            }
+        }
+    }
+    t
+}
+
+/// The NVLink ring orders of the DGX-1 (§2.2, §5.2.1).
+///
+/// The first Hamiltonian cycle has two NVLinks per hop, the second one.
+pub const DGX1_DOUBLE_RING: [usize; 8] = [0, 1, 4, 5, 6, 7, 2, 3];
+pub const DGX1_SINGLE_RING: [usize; 8] = [0, 2, 1, 3, 6, 4, 7, 5];
+
+/// NVIDIA DGX-1: 8 V100 GPUs connected by NVLink (Figure 1 of the paper).
+///
+/// The topology is the union of two non-overlapping bidirectional
+/// Hamiltonian cycles; hops of the first cycle have two NVLinks (2 chunks
+/// per round), hops of the second have one. Every GPU therefore has 6
+/// incoming and 6 outgoing NVLink "units".
+pub fn dgx1() -> Topology {
+    let mut t = Topology::new("dgx1", 8);
+    for w in 0..8 {
+        let a = DGX1_DOUBLE_RING[w];
+        let b = DGX1_DOUBLE_RING[(w + 1) % 8];
+        t.add_bidi_link(a, b, 2);
+        t.set_transport(a, b, "nvlink-x2");
+        t.set_transport(b, a, "nvlink-x2");
+    }
+    for w in 0..8 {
+        let a = DGX1_SINGLE_RING[w];
+        let b = DGX1_SINGLE_RING[(w + 1) % 8];
+        t.add_bidi_link(a, b, 1);
+        t.set_transport(a, b, "nvlink-x1");
+        t.set_transport(b, a, "nvlink-x1");
+    }
+    t
+}
+
+/// The ring order used to model the Gigabyte Z52 (§5.2.2).
+pub const AMD_Z52_RING: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+
+/// Gigabyte Z52: 8 AMD MI50 GPUs (Figure 3 of the paper).
+///
+/// xGMI links form two islands bridged by PCIe; because xGMI and PCIe could
+/// not be used simultaneously, the paper models the machine as a single
+/// bidirectional ring with one chunk per round on every hop and the same β
+/// for both transports. GPUs 1 and 5 are the PCIe bridges between islands.
+pub fn amd_z52() -> Topology {
+    let mut t = Topology::new("amd-z52", 8);
+    for w in 0..8 {
+        let a = AMD_Z52_RING[w];
+        let b = AMD_Z52_RING[(w + 1) % 8];
+        t.add_bidi_link(a, b, 1);
+        // Hops adjacent to the bridge GPUs are PCIe, the rest xGMI; the
+        // split is descriptive only (same bandwidth either way).
+        let transport = if a == 1 || b == 1 || a == 5 || b == 5 {
+            "pcie"
+        } else {
+            "xgmi"
+        };
+        t.set_transport(a, b, transport);
+        t.set_transport(b, a, transport);
+    }
+    t
+}
+
+/// An NVSwitch-style machine (DGX-2-like): `n` GPUs, all pairs connected
+/// with the same per-round budget. With a full crossbar every collective
+/// has diameter 1, so the interesting trade-offs collapse — useful as a
+/// contrast to the DGX-1 in co-design experiments.
+pub fn nvswitch(n: usize, bandwidth: u64) -> Topology {
+    let mut t = fully_connected(n, bandwidth);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                t.set_transport(i, j, "nvswitch");
+            }
+        }
+    }
+    t
+}
+
+/// Two DGX-1 boxes bridged by `cross_links` InfiniBand-style links between
+/// corresponding GPUs (GPU `i` of box 0 to GPU `i` of box 1), each with
+/// `cross_bandwidth` chunks per round.
+///
+/// The paper synthesizes for a single node and leaves hierarchical
+/// multi-node algorithms to systems like Horovod/BlueConnect/PLink (§6);
+/// this builder exercises that future-work direction: the same synthesis
+/// machinery runs unchanged on the 16-GPU two-box graph, it just gets a
+/// much smaller bisection bandwidth.
+pub fn dual_dgx1(cross_links: usize, cross_bandwidth: u64) -> Topology {
+    assert!(cross_links >= 1 && cross_links <= 8);
+    let single = dgx1();
+    let mut t = Topology::new("dual-dgx1", 16);
+    for box_id in 0..2usize {
+        let offset = box_id * 8;
+        for &(src, dst) in &single.links() {
+            let bw = single.link_bandwidth(src, dst).expect("link exists");
+            t.add_link(src + offset, dst + offset, bw);
+            t.set_transport(src + offset, dst + offset, "nvlink");
+        }
+    }
+    for i in 0..cross_links {
+        t.add_bidi_link(i, i + 8, cross_bandwidth);
+        t.set_transport(i, i + 8, "infiniband");
+        t.set_transport(i + 8, i, "infiniband");
+    }
+    t
+}
+
+/// A DGX-1 whose inter-GPU links are all reduced to a single NVLink, used
+/// in ablation experiments on how link multiplicity changes the frontier.
+pub fn dgx1_single_links() -> Topology {
+    let mut t = Topology::new("dgx1-single", 8);
+    for ring_order in [DGX1_DOUBLE_RING, DGX1_SINGLE_RING] {
+        for w in 0..8 {
+            let a = ring_order[w];
+            let b = ring_order[(w + 1) % 8];
+            t.add_bidi_link(a, b, 1);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(4, 2);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_links(), 8);
+        assert_eq!(t.link_bandwidth(0, 1), Some(2));
+        assert_eq!(t.link_bandwidth(1, 0), Some(2));
+        assert_eq!(t.link_bandwidth(0, 2), None);
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = star(5, 1);
+        assert_eq!(t.out_neighbors(0).len(), 4);
+        assert_eq!(t.out_neighbors(3), vec![0]);
+    }
+
+    #[test]
+    fn fully_connected_structure() {
+        let t = fully_connected(4, 1);
+        assert_eq!(t.num_links(), 12);
+        assert_eq!(t.in_bandwidth(2), 3);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = hypercube(3, 1);
+        assert_eq!(t.num_links(), 8 * 3);
+        assert!(t.has_link(0, 1));
+        assert!(t.has_link(0, 2));
+        assert!(t.has_link(0, 4));
+        assert!(!t.has_link(0, 3));
+    }
+
+    #[test]
+    fn mesh_structure() {
+        let t = mesh2d(2, 3);
+        assert_eq!(t.num_nodes(), 6);
+        assert!(t.has_link(0, 1));
+        assert!(t.has_link(0, 3));
+        assert!(!t.has_link(0, 4));
+    }
+
+    fn mesh2d(rows: usize, cols: usize) -> Topology {
+        super::mesh2d(rows, cols, 1)
+    }
+
+    #[test]
+    fn dgx1_structure() {
+        let t = dgx1();
+        assert_eq!(t.num_nodes(), 8);
+        // 16 undirected NVLink hops = 32 directed edges.
+        assert_eq!(t.num_links(), 32);
+        // Every GPU has 6 NVLink units in and out (§5.1.1).
+        for n in 0..8 {
+            assert_eq!(t.in_bandwidth(n), 6, "GPU {n} in-bandwidth");
+            assert_eq!(t.out_bandwidth(n), 6, "GPU {n} out-bandwidth");
+        }
+        // The double ring hops have bandwidth 2.
+        assert_eq!(t.link_bandwidth(0, 1), Some(2));
+        assert_eq!(t.link_bandwidth(1, 4), Some(2));
+        // The single ring hops have bandwidth 1.
+        assert_eq!(t.link_bandwidth(0, 2), Some(1));
+        assert_eq!(t.link_bandwidth(3, 6), Some(1));
+        // Cross-socket pairs not connected by NVLink.
+        assert!(!t.has_link(0, 6));
+    }
+
+    #[test]
+    fn dgx1_rings_are_disjoint_hamiltonian_cycles() {
+        let hops = |order: [usize; 8]| -> BTreeSet<(usize, usize)> {
+            (0..8)
+                .flat_map(|i| {
+                    let a = order[i];
+                    let b = order[(i + 1) % 8];
+                    [(a.min(b), a.max(b))]
+                })
+                .collect()
+        };
+        let double = hops(DGX1_DOUBLE_RING);
+        let single = hops(DGX1_SINGLE_RING);
+        assert_eq!(double.len(), 8);
+        assert_eq!(single.len(), 8);
+        assert!(double.is_disjoint(&single));
+    }
+
+    #[test]
+    fn amd_z52_structure() {
+        let t = amd_z52();
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.num_links(), 16);
+        for n in 0..8 {
+            assert_eq!(t.in_bandwidth(n), 2);
+        }
+        assert_eq!(t.transport(0, 1), Some("pcie"));
+        assert_eq!(t.transport(2, 3), Some("xgmi"));
+    }
+
+    #[test]
+    fn dgx1_single_links_halves_double_ring() {
+        let t = dgx1_single_links();
+        assert_eq!(t.link_bandwidth(0, 1), Some(1));
+        assert_eq!(t.in_bandwidth(0), 4);
+    }
+
+    #[test]
+    fn nvswitch_is_a_full_crossbar() {
+        let t = nvswitch(16, 1);
+        assert_eq!(t.num_nodes(), 16);
+        assert_eq!(t.num_links(), 16 * 15);
+        assert_eq!(t.diameter(), Some(1));
+        assert_eq!(t.transport(3, 9), Some("nvswitch"));
+    }
+
+    #[test]
+    fn dual_dgx1_structure() {
+        let t = dual_dgx1(4, 1);
+        assert_eq!(t.num_nodes(), 16);
+        // Intra-box NVLink structure is preserved in both boxes.
+        assert_eq!(t.link_bandwidth(0, 1), Some(2));
+        assert_eq!(t.link_bandwidth(8, 9), Some(2));
+        assert!(!t.has_link(0, 9));
+        // Cross-box InfiniBand bridges on the first four GPUs.
+        assert!(t.has_link(2, 10));
+        assert!(!t.has_link(5, 13));
+        assert_eq!(t.transport(2, 10), Some("infiniband"));
+        assert!(t.is_strongly_connected());
+        assert_eq!(t.diameter(), Some(4));
+        // The bisection between the two boxes is the 4 IB links each way.
+        let inside: Vec<bool> = (0..16).map(|i| i >= 8).collect();
+        assert_eq!(t.cut_in_bandwidth(&inside), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dual_dgx1_requires_at_least_one_cross_link() {
+        dual_dgx1(0, 1);
+    }
+}

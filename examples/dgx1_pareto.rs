@@ -1,0 +1,93 @@
+//! Reproduce the paper's headline DGX-1 results (§2.4–2.5): synthesize the
+//! latency-optimal 2-step and bandwidth-optimal Allgather algorithms for
+//! the NVLink topology of Figure 1, show that 1 step is impossible, and
+//! compare the predicted performance with NCCL's 6-ring algorithm.
+//!
+//! ```bash
+//! cargo run --release --example dgx1_pareto
+//! ```
+
+use sccl::prelude::*;
+use sccl_baselines::nccl_allgather_dgx1;
+use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance};
+use sccl_solver::{Limits, SolverConfig};
+
+fn probe(topology: &Topology, chunks: usize, steps: usize, rounds: u64) -> Option<Algorithm> {
+    let instance = SynCollInstance {
+        spec: Collective::Allgather.spec(topology.num_nodes(), chunks),
+        per_node_chunks: chunks,
+        num_steps: steps,
+        num_rounds: rounds,
+    };
+    let run = synthesize(
+        topology,
+        &instance,
+        &EncodingOptions::default(),
+        SolverConfig::default(),
+        Limits::none(),
+    );
+    println!(
+        "  (C={chunks}, S={steps}, R={rounds}): {} in {:.2?} ({} vars, {} clauses, {} PB)",
+        if run.outcome.is_sat() { "SAT" } else { "UNSAT" },
+        run.total_time(),
+        run.encoding.num_vars,
+        run.encoding.num_clauses,
+        run.encoding.num_pb_constraints,
+    );
+    run.outcome.algorithm()
+}
+
+fn main() {
+    let dgx1 = builders::dgx1();
+    println!("DGX-1 NVLink topology: {} GPUs, {} directed links", dgx1.num_nodes(), dgx1.num_links());
+    println!(
+        "diameter = {:?}, per-GPU ingress bandwidth = {} chunks/round",
+        dgx1.diameter(),
+        dgx1.in_bandwidth(0)
+    );
+
+    println!("\nProbing Allgather schedules (Table 4 rows):");
+    // The diameter is 2, so a single step must be impossible.
+    assert!(probe(&dgx1, 1, 1, 1).is_none());
+    // §2.5: the latency-optimal 2-step algorithm with cost 2α + (3/2)Lβ.
+    let latency_optimal = probe(&dgx1, 2, 2, 3).expect("latency-optimal (2,2,3) exists");
+    // §2.4: the bandwidth-optimal 3-step algorithm with cost 3α + (7/6)Lβ.
+    let bandwidth_optimal = probe(&dgx1, 6, 3, 7).expect("bandwidth-optimal (6,3,7) exists");
+
+    // Validate both against the specification and the topology.
+    latency_optimal
+        .validate(&dgx1, &Collective::Allgather.spec(8, 2))
+        .expect("latency-optimal schedule is valid");
+    bandwidth_optimal
+        .validate(&dgx1, &Collective::Allgather.spec(8, 6))
+        .expect("bandwidth-optimal schedule is valid");
+
+    println!("\nLatency-optimal schedule:\n{latency_optimal}");
+
+    // How well does each schedule use the NVLink fabric?
+    for (name, alg) in [("(2,2,3)", &latency_optimal), ("(6,3,7)", &bandwidth_optimal)] {
+        let util = sccl_core::LinkUtilization::analyse(alg, &dgx1);
+        println!("link utilization of {name}:\n{}", util.render());
+    }
+
+    // Compare against NCCL's 6-ring Allgather under the (α, β) simulator.
+    let nccl = nccl_allgather_dgx1();
+    let cost_model = CostModel::nvlink();
+    let lowering = LoweringOptions::default();
+    println!("predicted time vs NCCL (6,7,7) ring allgather:");
+    println!("{:>12}  {:>12} {:>12} {:>12}", "bytes", "(2,2,3)", "(6,3,7)", "NCCL");
+    for bytes in [1_024u64, 65_536, 1 << 20, 1 << 24, 1 << 28] {
+        let t_lat = simulate_time(&latency_optimal, &dgx1, bytes, &cost_model, &lowering);
+        let t_bw = simulate_time(&bandwidth_optimal, &dgx1, bytes, &cost_model, &lowering);
+        let t_nccl = simulate_time(&nccl, &dgx1, bytes, &cost_model, &lowering);
+        println!("{bytes:>12}  {t_lat:>10.1}us {t_bw:>10.1}us {t_nccl:>10.1}us");
+    }
+
+    // Emit the CUDA-flavoured code for the bandwidth-optimal schedule.
+    let program = lower(&bandwidth_optimal, LoweringOptions::default());
+    let code = generate_cuda(&program);
+    println!(
+        "\ngenerated {} lines of CUDA-flavoured code for the (6,3,7) schedule",
+        code.lines().count()
+    );
+}

@@ -1,0 +1,94 @@
+//! Topology co-design: probe what collective performance a custom
+//! interconnect can support (§5.5 notes SCCL "can help design future
+//! interconnects and co-design them with communication libraries").
+//!
+//! This example builds a hypothetical 8-GPU machine with an asymmetric
+//! link budget, asks the synthesizer which (steps, rounds/chunk) points are
+//! achievable for Allgather, and reports where the hardware — not the
+//! algorithm — is the bottleneck.
+//!
+//! ```bash
+//! cargo run --release --example probe_topology
+//! ```
+
+use sccl::prelude::*;
+use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
+use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance};
+use sccl_solver::{Limits, SolverConfig};
+
+/// A hypothetical machine: two quads of fully-connected GPUs bridged by
+/// only two cross links — cheaper to build than a DGX-1, but how much
+/// collective performance does it give up?
+fn prototype_machine() -> Topology {
+    let mut t = Topology::new("prototype-2x4", 8);
+    for group in [0usize, 4] {
+        for i in group..group + 4 {
+            for j in group..group + 4 {
+                if i != j {
+                    t.add_link(i, j, 1);
+                }
+            }
+        }
+    }
+    // Two cross-group bridges.
+    t.add_bidi_link(0, 4, 1);
+    t.add_bidi_link(3, 7, 1);
+    t
+}
+
+fn main() {
+    let machine = prototype_machine();
+    println!("{machine}");
+
+    let spec = Collective::Allgather.spec(8, 1);
+    let al = latency_lower_bound(&machine, &spec).expect("connected");
+    let bl = bandwidth_lower_bound(&machine, &spec, 1).expect("connected");
+    println!("structural lower bounds: latency {al} steps, bandwidth {bl} rounds/chunk");
+    println!(
+        "(for comparison, the DGX-1 achieves latency 2 and bandwidth 7/6)"
+    );
+
+    // Probe the k-synchronous design space: which (S, R, C) combinations
+    // does this machine admit?
+    println!("\nfeasibility map for Allgather (C = chunks per node):");
+    println!("{:>4} {:>4} {:>4}  result", "C", "S", "R");
+    for (c, s, r) in [
+        (1usize, 2usize, 2u64),
+        (1, 3, 3),
+        (2, 3, 4),
+        (1, 4, 4),
+        (2, 4, 5),
+        (2, 5, 7),
+    ] {
+        let instance = SynCollInstance {
+            spec: Collective::Allgather.spec(8, c),
+            per_node_chunks: c,
+            num_steps: s,
+            num_rounds: r,
+        };
+        let run = synthesize(
+            &machine,
+            &instance,
+            &EncodingOptions::default(),
+            SolverConfig::default(),
+            Limits::time(std::time::Duration::from_secs(30)),
+        );
+        let verdict = match &run.outcome {
+            sccl_core::SynthesisOutcome::Satisfiable(_) => "SAT  — achievable",
+            sccl_core::SynthesisOutcome::Unsatisfiable => "UNSAT — hardware bound",
+            sccl_core::SynthesisOutcome::Unknown => "unknown (budget)",
+        };
+        println!("{c:>4} {s:>4} {r:>4}  {verdict} ({:.2?})", run.total_time());
+    }
+
+    // What would one extra pair of cross links buy? Re-run the bounds on an
+    // upgraded machine.
+    let mut upgraded = prototype_machine();
+    upgraded.add_bidi_link(1, 5, 1);
+    upgraded.add_bidi_link(2, 6, 1);
+    let bl_upgraded = bandwidth_lower_bound(&upgraded, &spec, 1).expect("connected");
+    println!(
+        "\nadding two more cross links improves the bandwidth bound from {bl} to {bl_upgraded} rounds/chunk"
+    );
+    println!("=> the prototype is bisection-limited; the upgrade is worth it for large buffers.");
+}

@@ -1,0 +1,265 @@
+//! The `sccl` command-line tool: synthesize collective algorithms for a
+//! topology, print Pareto frontiers, probe individual `(C, S, R)` points,
+//! compute structural lower bounds and emit generated code — the same
+//! workflow the paper's SCCL tool exposes.
+//!
+//! ```bash
+//! cargo run --release --bin sccl -- bounds --topology dgx1 --collective allgather
+//! cargo run --release --bin sccl -- probe --topology dgx1 --collective allgather --chunks 2 --steps 2 --rounds 3
+//! cargo run --release --bin sccl -- pareto --topology ring:4 --collective allreduce --max-steps 6
+//! cargo run --release --bin sccl -- codegen --topology ring:4 --collective allgather --chunks 1 --steps 3 --rounds 3
+//! ```
+
+use sccl::prelude::*;
+use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
+use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
+use sccl_solver::{Limits, SolverConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sccl <command> [--key value ...]\n\
+         \n\
+         commands:\n\
+           bounds   --topology T --collective C          structural lower bounds\n\
+           probe    --topology T --collective C --chunks N --steps S --rounds R [--timeout SECS]\n\
+           pareto   --topology T --collective C [--k K] [--max-steps N] [--max-chunks N]\n\
+           codegen  --topology T --collective C --chunks N --steps S --rounds R [--dma]\n\
+         \n\
+         topologies: dgx1 | dgx1-single | amd | ring:N | uniring:N | chain:N |\n\
+                     star:N | fc:N | hypercube:D | mesh:RxC\n\
+         collectives: allgather | broadcast | gather | scatter | alltoall |\n\
+                      reduce | reducescatter | allreduce (root defaults to 0)"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_topology(spec: &str) -> Option<Topology> {
+    if let Some((kind, arg)) = spec.split_once(':') {
+        let parse_n = || arg.parse::<usize>().ok();
+        return match kind {
+            "ring" => Some(builders::ring(parse_n()?, 1)),
+            "uniring" => Some(builders::ring_unidirectional(parse_n()?, 1)),
+            "chain" => Some(builders::chain(parse_n()?, 1)),
+            "star" => Some(builders::star(parse_n()?, 1)),
+            "fc" => Some(builders::fully_connected(parse_n()?, 1)),
+            "hypercube" => Some(builders::hypercube(arg.parse().ok()?, 1)),
+            "mesh" => {
+                let (r, c) = arg.split_once('x')?;
+                Some(builders::mesh2d(r.parse().ok()?, c.parse().ok()?, 1))
+            }
+            _ => None,
+        };
+    }
+    match spec {
+        "dgx1" => Some(builders::dgx1()),
+        "dgx1-single" => Some(builders::dgx1_single_links()),
+        "amd" | "amd-z52" | "z52" => Some(builders::amd_z52()),
+        _ => None,
+    }
+}
+
+fn parse_collective(spec: &str, root: usize) -> Option<Collective> {
+    match spec.to_ascii_lowercase().as_str() {
+        "allgather" => Some(Collective::Allgather),
+        "broadcast" => Some(Collective::Broadcast { root }),
+        "gather" => Some(Collective::Gather { root }),
+        "scatter" => Some(Collective::Scatter { root }),
+        "alltoall" => Some(Collective::Alltoall),
+        "reduce" => Some(Collective::Reduce { root }),
+        "reducescatter" => Some(Collective::ReduceScatter),
+        "allreduce" => Some(Collective::Allreduce),
+        _ => None,
+    }
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let Some(topology) = flags.get("topology").and_then(|t| parse_topology(t)) else {
+        eprintln!("error: missing or unknown --topology");
+        return usage();
+    };
+    let root = get_usize(&flags, "root", 0);
+    let Some(collective) = flags.get("collective").and_then(|c| parse_collective(c, root)) else {
+        eprintln!("error: missing or unknown --collective");
+        return usage();
+    };
+
+    match command.as_str() {
+        "bounds" => {
+            let reference_chunks = match collective {
+                Collective::Alltoall => topology.num_nodes(),
+                _ => 1,
+            };
+            let probe_collective = match collective.inversion_dual() {
+                Some(dual) => dual,
+                None if collective == Collective::Allreduce => Collective::Allgather,
+                None => collective,
+            };
+            let spec = probe_collective.spec(topology.num_nodes(), reference_chunks);
+            match (
+                latency_lower_bound(&topology, &spec),
+                bandwidth_lower_bound(&topology, &spec, reference_chunks),
+            ) {
+                (Some(al), Some(bl)) => {
+                    println!("topology: {} ({} nodes)", topology.name(), topology.num_nodes());
+                    println!("collective: {collective}");
+                    if collective == Collective::Allreduce {
+                        println!("latency lower bound: {} steps (2x the Allgather bound)", 2 * al);
+                    } else {
+                        println!("latency lower bound: {al} steps");
+                    }
+                    println!("bandwidth lower bound (dual): {bl} rounds/chunk");
+                    ExitCode::SUCCESS
+                }
+                _ => {
+                    eprintln!("error: topology is not connected for this collective");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "probe" | "codegen" => {
+            let chunks = get_usize(&flags, "chunks", 1);
+            let steps = get_usize(&flags, "steps", 1);
+            let rounds = get_usize(&flags, "rounds", steps) as u64;
+            let timeout = get_usize(&flags, "timeout", 300) as u64;
+            let probe_collective = match collective.class() {
+                sccl_collectives::CollectiveClass::NonCombining => collective,
+                _ => {
+                    eprintln!(
+                        "note: {collective} is combining; probing its non-combining dual and inverting"
+                    );
+                    collective.inversion_dual().unwrap_or(Collective::Allgather)
+                }
+            };
+            let instance = SynCollInstance {
+                spec: probe_collective.spec(topology.num_nodes(), chunks),
+                per_node_chunks: chunks,
+                num_steps: steps,
+                num_rounds: rounds,
+            };
+            let run = synthesize(
+                &topology,
+                &instance,
+                &EncodingOptions::default(),
+                SolverConfig::default(),
+                Limits::time(Duration::from_secs(timeout)),
+            );
+            println!(
+                "encoded {} vars, {} clauses, {} PB constraints in {:.2?}",
+                run.encoding.num_vars,
+                run.encoding.num_clauses,
+                run.encoding.num_pb_constraints,
+                run.encode_time
+            );
+            match run.outcome {
+                SynthesisOutcome::Satisfiable(mut algorithm) => {
+                    println!("SAT in {:.2?}", run.solve_time);
+                    if collective.class() == sccl_collectives::CollectiveClass::Combining {
+                        algorithm = match collective {
+                            Collective::Allreduce => {
+                                sccl_core::combining::compose_allreduce(&algorithm)
+                            }
+                            other => sccl_core::combining::invert(&algorithm, other),
+                        };
+                    }
+                    println!("{algorithm}");
+                    if command == "codegen" {
+                        let lowering = if flags.contains_key("dma") {
+                            LoweringOptions::dma_per_step()
+                        } else {
+                            LoweringOptions::default()
+                        };
+                        let program = lower(&algorithm, lowering);
+                        println!("{}", generate_cuda(&program));
+                    }
+                    ExitCode::SUCCESS
+                }
+                SynthesisOutcome::Unsatisfiable => {
+                    println!("UNSAT in {:.2?}: no such k-synchronous algorithm exists", run.solve_time);
+                    ExitCode::SUCCESS
+                }
+                SynthesisOutcome::Unknown => {
+                    println!("unknown: solver budget of {timeout}s exhausted");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "pareto" => {
+            let config = SynthesisConfig {
+                k: get_usize(&flags, "k", 0) as u64,
+                max_steps: get_usize(&flags, "max-steps", 8),
+                max_chunks: get_usize(&flags, "max-chunks", 8),
+                per_instance_limits: Limits::time(Duration::from_secs(
+                    get_usize(&flags, "timeout", 120) as u64,
+                )),
+                ..Default::default()
+            };
+            match pareto_synthesize(&topology, collective, &config) {
+                Ok(report) => {
+                    println!(
+                        "Pareto frontier of {} on {} (a_l = {}, b_l = {}):",
+                        report.collective,
+                        report.topology_name,
+                        report.latency_lower_bound,
+                        report.bandwidth_lower_bound
+                    );
+                    for entry in &report.entries {
+                        println!(
+                            "  C={:<3} S={:<3} R={:<3} {:<10} {:.2?}",
+                            entry.chunks,
+                            entry.steps,
+                            entry.rounds,
+                            entry.optimality.label(),
+                            entry.synthesis_time
+                        );
+                    }
+                    if report.hit_step_cap {
+                        println!("  (stopped at --max-steps before reaching the bandwidth bound)");
+                    }
+                    if report.budget_exhausted {
+                        println!("  (some probes hit the per-instance timeout)");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

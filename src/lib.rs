@@ -1,0 +1,50 @@
+//! # sccl
+//!
+//! A from-scratch Rust reproduction of **"Synthesizing Optimal Collective
+//! Algorithms"** (SCCL, PPoPP 2021): synthesis of latency- and
+//! bandwidth-optimal collective communication algorithms for a given
+//! hardware topology, plus the lowering, execution and benchmarking
+//! infrastructure around it.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`solver`] — CDCL SAT + pseudo-Boolean solver (the Z3 substitute).
+//! * [`topology`] — hardware topology models (DGX-1, Gigabyte Z52, …).
+//! * [`collectives`] — collective primitive specifications.
+//! * [`core`] — the synthesis engine (encoding, Pareto search, inversion).
+//! * [`program`] — rank-program IR, lowering and CUDA-flavoured codegen.
+//! * [`runtime`] — threaded executor and (α, β) simulator.
+//! * [`baselines`] — NCCL/RCCL-style ring algorithms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sccl::prelude::*;
+//!
+//! // Synthesize the Pareto frontier of Allgather algorithms for a 4-node
+//! // ring, lower the latency-optimal one, and execute it on threads.
+//! let ring = sccl::topology::builders::ring(4, 1);
+//! let report = pareto_synthesize(&ring, Collective::Allgather, &SynthesisConfig::default())
+//!     .expect("synthesis succeeds");
+//! let algorithm = &report.entries[0].algorithm;
+//! let program = lower(algorithm, LoweringOptions::default());
+//! program.check_matching().expect("consistent program");
+//! ```
+
+pub use sccl_baselines as baselines;
+pub use sccl_collectives as collectives;
+pub use sccl_core as core;
+pub use sccl_program as program;
+pub use sccl_runtime as runtime;
+pub use sccl_solver as solver;
+pub use sccl_topology as topology;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use sccl_collectives::{ChunkRelation, Collective, CollectiveSpec};
+    pub use sccl_core::pareto::{pareto_synthesize, SynthesisConfig, SynthesisReport};
+    pub use sccl_core::{Algorithm, AlgorithmCost, CostModel, SendOp};
+    pub use sccl_program::{generate_cuda, lower, LoweringOptions};
+    pub use sccl_runtime::{execute, simulate_time, ExecutionConfig, ExecutionMode};
+    pub use sccl_topology::{builders, Rational, Topology};
+}

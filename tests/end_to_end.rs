@@ -1,0 +1,150 @@
+//! End-to-end integration tests: synthesize → lower → generate code →
+//! execute on threads → verify against a sequential oracle, for several
+//! collectives and topologies.
+
+use sccl::prelude::*;
+use sccl_core::combining::{allreduce_required, validate_combining};
+use sccl_program::OpKind;
+use sccl_runtime::oracle;
+
+fn synthesize_frontier(topology: &Topology, collective: Collective) -> SynthesisReport {
+    let config = SynthesisConfig {
+        max_steps: 6,
+        max_chunks: 4,
+        ..Default::default()
+    };
+    pareto_synthesize(topology, collective, &config).expect("synthesis succeeds")
+}
+
+#[test]
+fn ring_allgather_end_to_end() {
+    let topo = builders::ring(4, 1);
+    let report = synthesize_frontier(&topo, Collective::Allgather);
+    assert!(report.entries.len() >= 2);
+    for entry in &report.entries {
+        let alg = &entry.algorithm;
+        let spec = Collective::Allgather.spec(4, entry.chunks);
+        alg.validate(&topo, &spec).expect("valid schedule");
+
+        let program = lower(alg, LoweringOptions::default());
+        program.check_matching().expect("matched program");
+        let code = generate_cuda(&program);
+        assert!(code.contains("switch (rank)"));
+
+        for mode in [ExecutionMode::Stepped, ExecutionMode::Fused] {
+            let config = ExecutionConfig {
+                chunk_elems: 8,
+                mode,
+            };
+            let inputs = oracle::allgather_inputs(4, alg.num_chunks, config.chunk_elems, 77);
+            let valid = oracle::scattered_valid(4, alg.num_chunks);
+            let result = execute(&program, &inputs, &valid, config);
+            let expected =
+                oracle::allgather_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
+            assert_eq!(result.buffers, expected, "mode {mode:?}, entry {}", alg.label());
+        }
+    }
+}
+
+#[test]
+fn chain_broadcast_end_to_end() {
+    let topo = builders::chain(4, 1);
+    let report = synthesize_frontier(&topo, Collective::Broadcast { root: 0 });
+    let entry = report.latency_optimal().expect("latency-optimal broadcast");
+    let alg = &entry.algorithm;
+    let program = lower(alg, LoweringOptions::default());
+    program.check_matching().expect("matched");
+
+    let config = ExecutionConfig {
+        chunk_elems: 16,
+        mode: ExecutionMode::Fused,
+    };
+    let inputs = oracle::broadcast_inputs(4, 0, alg.num_chunks, config.chunk_elems, 5);
+    let valid = oracle::root_valid(4, 0, alg.num_chunks);
+    let result = execute(&program, &inputs, &valid, config);
+    let expected = oracle::broadcast_expected(&inputs, 4, 0);
+    assert_eq!(result.buffers, expected);
+}
+
+#[test]
+fn ring_allreduce_end_to_end() {
+    let topo = builders::ring(4, 1);
+    let report = synthesize_frontier(&topo, Collective::Allreduce);
+    assert!(!report.entries.is_empty());
+    for entry in &report.entries {
+        let alg = &entry.algorithm;
+        validate_combining(alg, &topo, &allreduce_required(alg.num_chunks, 4))
+            .expect("valid allreduce schedule");
+        let program = lower(alg, LoweringOptions::default());
+        program.check_matching().expect("matched");
+        // Combining schedules have RecvReduce ops.
+        assert!(program.ranks.iter().any(|r| r.ops_of_kind(OpKind::RecvReduce) > 0));
+
+        let config = ExecutionConfig {
+            chunk_elems: 8,
+            mode: ExecutionMode::Stepped,
+        };
+        let inputs = oracle::allreduce_inputs(4, alg.num_chunks, config.chunk_elems, 13);
+        let valid = oracle::all_valid(4, alg.num_chunks);
+        let result = execute(&program, &inputs, &valid, config);
+        let expected =
+            oracle::allreduce_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
+        oracle::assert_close(&result.buffers, &expected, 1e-3);
+    }
+}
+
+#[test]
+fn star_scatter_and_gather_end_to_end() {
+    let topo = builders::star(4, 1);
+    // Scatter: the root's buffer ends up distributed.
+    let scatter = synthesize_frontier(&topo, Collective::Scatter { root: 0 });
+    let alg = &scatter.entries[0].algorithm;
+    alg.validate(&topo, &Collective::Scatter { root: 0 }.spec(4, scatter.entries[0].chunks))
+        .expect("valid scatter");
+    // Gather: all buffers end up at the root.
+    let gather = synthesize_frontier(&topo, Collective::Gather { root: 0 });
+    let alg = &gather.entries[0].algorithm;
+    alg.validate(&topo, &Collective::Gather { root: 0 }.spec(4, gather.entries[0].chunks))
+        .expect("valid gather");
+}
+
+#[test]
+fn nccl_baseline_executes_correctly_on_dgx1() {
+    // The NCCL 6-ring Allgather baseline is itself runnable end to end.
+    let dgx1 = builders::dgx1();
+    let alg = sccl::baselines::nccl_allgather_dgx1();
+    alg.validate(&dgx1, &Collective::Allgather.spec(8, 6))
+        .expect("valid NCCL schedule");
+    let program = lower(&alg, LoweringOptions::default());
+    let config = ExecutionConfig {
+        chunk_elems: 4,
+        mode: ExecutionMode::Fused,
+    };
+    let inputs = oracle::allgather_inputs(8, alg.num_chunks, config.chunk_elems, 99);
+    let valid = oracle::scattered_valid(8, alg.num_chunks);
+    let result = execute(&program, &inputs, &valid, config);
+    let expected = oracle::allgather_expected(&inputs, 8, alg.num_chunks, config.chunk_elems);
+    assert_eq!(result.buffers, expected);
+}
+
+#[test]
+fn simulator_predicts_crossovers_on_the_frontier() {
+    // Along a Pareto frontier, the latency-optimal entry must win at small
+    // sizes and the bandwidth-optimal entry at large sizes.
+    let topo = builders::ring(4, 1);
+    let report = synthesize_frontier(&topo, Collective::Allgather);
+    let lat = &report.latency_optimal().expect("latency entry").algorithm;
+    let bw = &report.bandwidth_optimal().expect("bandwidth entry").algorithm;
+    let model = CostModel::nvlink();
+    let lowering = LoweringOptions::default();
+    let small = 1_024;
+    let large = 512 * 1024 * 1024;
+    assert!(
+        simulate_time(lat, &topo, small, &model, &lowering)
+            <= simulate_time(bw, &topo, small, &model, &lowering)
+    );
+    assert!(
+        simulate_time(bw, &topo, large, &model, &lowering)
+            < simulate_time(lat, &topo, large, &model, &lowering)
+    );
+}

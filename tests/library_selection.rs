@@ -1,0 +1,109 @@
+//! Integration test for the size-switching collective library (§5.5: "It is
+//! possible for SCCL to automatically switch between multiple
+//! implementations based on the input size. In which case, SCCL will
+//! consistently outperform NCCL.").
+
+use sccl::prelude::*;
+use sccl_baselines::{nccl_allgather_dgx1, nccl_allreduce_dgx1};
+use sccl_core::combining::compose_allreduce;
+use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance};
+use sccl_runtime::{simulate_time, CollectiveLibrary};
+use sccl_solver::{Limits, SolverConfig};
+
+fn synthesize_allgather(topology: &Topology, chunks: usize, steps: usize, rounds: u64) -> Algorithm {
+    let instance = SynCollInstance {
+        spec: Collective::Allgather.spec(topology.num_nodes(), chunks),
+        per_node_chunks: chunks,
+        num_steps: steps,
+        num_rounds: rounds,
+    };
+    synthesize(
+        topology,
+        &instance,
+        &EncodingOptions::default(),
+        SolverConfig::default(),
+        Limits::none(),
+    )
+    .outcome
+    .algorithm()
+    .expect("SAT")
+}
+
+/// Build a DGX-1 library holding the synthesized latency-end algorithms and
+/// the NCCL rings as the bandwidth-end implementation.
+fn dgx1_allgather_library() -> (CollectiveLibrary, Algorithm) {
+    let dgx1 = builders::dgx1();
+    let lat122 = synthesize_allgather(&dgx1, 1, 2, 2);
+    let lat223 = synthesize_allgather(&dgx1, 2, 2, 3);
+    let nccl = nccl_allgather_dgx1();
+    let mut lib = CollectiveLibrary::new(dgx1, CostModel::nvlink());
+    lib.register("(1,2,2)", lat122, LoweringOptions::default());
+    lib.register("(2,2,3)", lat223, LoweringOptions::default());
+    lib.register("NCCL rings (6,7,7)", nccl.clone(), LoweringOptions::default());
+    (lib, nccl)
+}
+
+#[test]
+fn switching_library_never_loses_to_nccl_allgather() {
+    let (lib, nccl) = dgx1_allgather_library();
+    let model = CostModel::nvlink();
+    let lowering = LoweringOptions::default();
+    // Sweep the Figure 4 size range: at every size the library's pick is at
+    // least as fast as NCCL (because NCCL itself is one of the choices).
+    let mut size = 960u64;
+    let mut sccl_won_somewhere = false;
+    while size <= 251_658_240 {
+        let t_lib = lib
+            .predicted_time(Collective::Allgather, size)
+            .expect("registered");
+        let t_nccl = simulate_time(&nccl, lib.topology(), size, &model, &lowering);
+        assert!(
+            t_lib <= t_nccl + 1e-9,
+            "library pick slower than NCCL at {size} bytes"
+        );
+        if t_lib < t_nccl * 0.95 {
+            sccl_won_somewhere = true;
+        }
+        size *= 4;
+    }
+    // And at small sizes the synthesized algorithms give a real win.
+    assert!(sccl_won_somewhere, "expected a >5% win at some size");
+}
+
+#[test]
+fn library_switches_from_latency_to_bandwidth_algorithm() {
+    let (lib, _) = dgx1_allgather_library();
+    let small = lib.select(Collective::Allgather, 1_024).expect("entry");
+    assert_eq!(
+        small.algorithm.num_steps(),
+        2,
+        "small buffers use a 2-step algorithm"
+    );
+    let large = lib
+        .select(Collective::Allgather, 256 * 1024 * 1024)
+        .expect("entry");
+    assert_eq!(
+        large.algorithm.total_rounds() as f64 / large.algorithm.per_node_chunks as f64,
+        7.0 / 6.0,
+        "large buffers use the bandwidth-optimal ring structure"
+    );
+}
+
+#[test]
+fn allreduce_library_mixes_synthesized_and_baseline() {
+    let dgx1 = builders::dgx1();
+    // Latency-end Allreduce composed from the (1,2,2) Allgather, plus the
+    // NCCL ring Allreduce for the bandwidth end.
+    let allreduce_latency = compose_allreduce(&synthesize_allgather(&dgx1, 1, 2, 2));
+    let nccl = nccl_allreduce_dgx1();
+    let mut lib = CollectiveLibrary::new(dgx1, CostModel::nvlink());
+    lib.register("(8,4,4)", allreduce_latency, LoweringOptions::default());
+    lib.register("NCCL (48,14,14)", nccl, LoweringOptions::default());
+
+    let small = lib.select(Collective::Allreduce, 8_192).expect("entry");
+    assert_eq!(small.label, "(8,4,4)");
+    let large = lib
+        .select(Collective::Allreduce, 1 << 30)
+        .expect("entry");
+    assert_eq!(large.label, "NCCL (48,14,14)");
+}

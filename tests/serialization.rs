@@ -1,0 +1,61 @@
+//! Integration test: synthesized artifacts round-trip through serde (JSON),
+//! so algorithms, programs and topologies can be cached on disk and shipped
+//! between the synthesis and execution sides like SCCL/MSCCL deployments do.
+
+use sccl::prelude::*;
+use sccl_program::{lower, to_msccl_xml, Program};
+
+fn synthesized_ring_allgather() -> Algorithm {
+    let ring = builders::ring(4, 1);
+    pareto_synthesize(&ring, Collective::Allgather, &SynthesisConfig::default())
+        .expect("synthesis")
+        .entries
+        .remove(0)
+        .algorithm
+}
+
+#[test]
+fn algorithm_roundtrips_through_json() {
+    let algorithm = synthesized_ring_allgather();
+    let json = serde_json::to_string_pretty(&algorithm).expect("serialize");
+    assert!(json.contains("\"collective\""));
+    assert!(json.contains("\"sends\""));
+    let back: Algorithm = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, algorithm);
+    // The deserialized copy still validates against the spec.
+    let ring = builders::ring(4, 1);
+    back.validate(&ring, &Collective::Allgather.spec(4, back.per_node_chunks))
+        .expect("valid after round trip");
+}
+
+#[test]
+fn program_roundtrips_through_json() {
+    let algorithm = synthesized_ring_allgather();
+    let program = lower(&algorithm, LoweringOptions::default());
+    let json = serde_json::to_string(&program).expect("serialize");
+    let back: Program = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, program);
+    back.check_matching().expect("still consistent");
+    // Codegen artifacts are identical for identical programs.
+    assert_eq!(generate_cuda(&back), generate_cuda(&program));
+    assert_eq!(to_msccl_xml(&back), to_msccl_xml(&program));
+}
+
+#[test]
+fn topology_roundtrips_through_json() {
+    let dgx1 = builders::dgx1();
+    let json = serde_json::to_string(&dgx1).expect("serialize");
+    let back: Topology = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, dgx1);
+    assert_eq!(back.links(), dgx1.links());
+    assert_eq!(back.diameter(), Some(2));
+}
+
+#[test]
+fn cost_tuples_roundtrip_through_json() {
+    let cost = AlgorithmCost::new(3, 7, 6);
+    let json = serde_json::to_string(&cost).expect("serialize");
+    let back: AlgorithmCost = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, cost);
+    assert_eq!(back.bandwidth_cost(), Rational::new(7, 6));
+}
