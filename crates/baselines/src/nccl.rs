@@ -8,8 +8,7 @@
 //! Gigabyte Z52 uses the single physical ring in both directions.
 
 use crate::rings::{
-    pipelined_broadcast, pipelined_reduce, ring_allgather, ring_allreduce, ring_reducescatter,
-    Ring,
+    pipelined_broadcast, pipelined_reduce, ring_allgather, ring_allreduce, ring_reducescatter, Ring,
 };
 use sccl_core::Algorithm;
 use sccl_topology::builders::{AMD_Z52_RING, DGX1_DOUBLE_RING, DGX1_SINGLE_RING};

@@ -220,7 +220,8 @@ mod tests {
             assert_eq!(alg.per_node_chunks, m);
             assert_eq!(alg.num_steps(), m + 2);
             let spec = Collective::Broadcast { root: 0 }.spec(4, m);
-            alg.validate(&topo, &spec).expect("valid pipelined broadcast");
+            alg.validate(&topo, &spec)
+                .expect("valid pipelined broadcast");
         }
     }
 
@@ -247,7 +248,8 @@ mod tests {
         assert_eq!(alg.num_steps(), 3);
         assert_eq!(alg.total_rounds(), 7);
         let spec = Collective::Allgather.spec(8, 1);
-        alg.validate(&topo, &spec).expect("valid recursive doubling");
+        alg.validate(&topo, &spec)
+            .expect("valid recursive doubling");
     }
 
     #[test]

@@ -47,7 +47,8 @@ fn bench_ring_allgather_execution(c: &mut Criterion) {
             |b, &mode| {
                 b.iter(|| {
                     let config = ExecutionConfig { chunk_elems, mode };
-                    let result = execute(&prepared.program, &prepared.inputs, &prepared.valid, config);
+                    let result =
+                        execute(&prepared.program, &prepared.inputs, &prepared.valid, config);
                     assert_eq!(result.buffers.len(), 8);
                 })
             },
@@ -71,7 +72,8 @@ fn bench_nccl_allgather_execution(c: &mut Criterion) {
             |b, &mode| {
                 b.iter(|| {
                     let config = ExecutionConfig { chunk_elems, mode };
-                    let result = execute(&prepared.program, &prepared.inputs, &prepared.valid, config);
+                    let result =
+                        execute(&prepared.program, &prepared.inputs, &prepared.valid, config);
                     assert_eq!(result.buffers.len(), 8);
                 })
             },
@@ -80,5 +82,9 @@ fn bench_nccl_allgather_execution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring_allgather_execution, bench_nccl_allgather_execution);
+criterion_group!(
+    benches,
+    bench_ring_allgather_execution,
+    bench_nccl_allgather_execution
+);
 criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Benchmarks for the synthesis scheduler: the work-queue parallel Pareto
+//! search against the sequential Algorithm 1 loop on a multi-collective
+//! DGX-1 manifest, and the persistent cache's warm-path latency.
+//!
+//! On a multi-core host the parallel driver's wall clock approaches the
+//! longest dependent chain of solver calls instead of their sum; on a
+//! single core it degrades gracefully to sequential-plus-epsilon (the
+//! speedup assertion below is therefore gated on the core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+use sccl_sched::{
+    parse_manifest, run_batch, AlgorithmCache, BatchMode, BatchOptions, ParallelConfig,
+};
+use std::time::Instant;
+
+const MANIFEST: &str = "\
+dgx1 allgather
+dgx1 broadcast
+dgx1 gather
+dgx1 scatter
+dgx1 reducescatter
+dgx1 allreduce
+";
+
+fn bench_config() -> SynthesisConfig {
+    SynthesisConfig {
+        k: 1,
+        max_steps: 4,
+        max_chunks: 6,
+        ..Default::default()
+    }
+}
+
+fn bench_batch_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/dgx1-manifest");
+    group.sample_size(10);
+    let jobs = parse_manifest(MANIFEST).expect("manifest");
+    let config = bench_config();
+    for (label, mode) in [
+        ("sequential", BatchMode::Sequential),
+        ("parallel", BatchMode::Parallel),
+    ] {
+        let options = BatchOptions {
+            mode,
+            parallel: ParallelConfig::default(),
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    let report = run_batch(&jobs, &config, options, None);
+                    assert_eq!(report.failures(), 0);
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Direct speedup measurement (one timed run per mode), with the
+    // acceptance assertion applied only where hardware parallelism exists.
+    let sequential_options = BatchOptions {
+        mode: BatchMode::Sequential,
+        parallel: ParallelConfig::default(),
+    };
+    let parallel_options = BatchOptions {
+        mode: BatchMode::Parallel,
+        parallel: ParallelConfig::default(),
+    };
+    let start = Instant::now();
+    run_batch(&jobs, &config, &sequential_options, None);
+    let sequential = start.elapsed();
+    let start = Instant::now();
+    run_batch(&jobs, &config, &parallel_options, None);
+    let parallel = start.elapsed();
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "sched/dgx1-manifest speedup: {speedup:.2}x (sequential {sequential:?}, parallel {parallel:?}, {cores} cores)"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup > 1.5,
+            "parallel scheduler speedup {speedup:.2}x below 1.5x on a {cores}-core host"
+        );
+    }
+}
+
+fn bench_cache_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/cache");
+    group.sample_size(10);
+    let ring = sccl_topology::builders::ring(8, 1);
+    let config = SynthesisConfig {
+        max_steps: 8,
+        max_chunks: 4,
+        ..Default::default()
+    };
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("solve"),
+        &config,
+        |b, config| {
+            b.iter(|| {
+                pareto_synthesize(&ring, sccl_collectives::Collective::Allgather, config)
+                    .expect("synthesis")
+            })
+        },
+    );
+
+    let dir = std::env::temp_dir().join(format!("sccl-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = AlgorithmCache::open(&dir).expect("open");
+    let key = sccl_sched::CacheKey::new(&ring, sccl_collectives::Collective::Allgather, &config);
+    let report = pareto_synthesize(&ring, sccl_collectives::Collective::Allgather, &config)
+        .expect("synthesis");
+    cache.store(&key, &report).expect("store");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("warm-lookup"),
+        &key,
+        |b, key| b.iter(|| cache.lookup(key).expect("hit")),
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_batch_modes, bench_cache_paths);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
 //! Criterion benchmarks for the CDCL + pseudo-Boolean solver substrate.
+#![allow(clippy::needless_range_loop)] // pigeonhole column loops read best with indices
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sccl_solver::{Lit, Solver, SolverConfig};
@@ -149,5 +150,10 @@ fn bench_solver_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pigeonhole, bench_random_3sat, bench_solver_ablation);
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_random_3sat,
+    bench_solver_ablation
+);
 criterion_main!(benches);

@@ -9,7 +9,13 @@ use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
 use sccl_solver::{Limits, SolverConfig};
 use sccl_topology::{builders, Topology};
 
-fn instance(topology: &Topology, collective: Collective, c: usize, s: usize, r: u64) -> SynCollInstance {
+fn instance(
+    topology: &Topology,
+    collective: Collective,
+    c: usize,
+    s: usize,
+    r: u64,
+) -> SynCollInstance {
     SynCollInstance {
         spec: collective.spec(topology.num_nodes(), c),
         per_node_chunks: c,
@@ -26,12 +32,47 @@ fn bench_table_rows(c: &mut Criterion) {
     let amd = builders::amd_z52();
     let ring4 = builders::ring(4, 1);
     let cases: Vec<(&str, &Topology, Collective, usize, usize, u64)> = vec![
-        ("ring4-allgather-1-3-3", &ring4, Collective::Allgather, 1, 3, 3),
-        ("dgx1-allgather-1-2-2", &dgx1, Collective::Allgather, 1, 2, 2),
-        ("dgx1-allgather-2-2-3", &dgx1, Collective::Allgather, 2, 2, 3),
-        ("dgx1-broadcast-2-2-2", &dgx1, Collective::Broadcast { root: 0 }, 2, 2, 2),
+        (
+            "ring4-allgather-1-3-3",
+            &ring4,
+            Collective::Allgather,
+            1,
+            3,
+            3,
+        ),
+        (
+            "dgx1-allgather-1-2-2",
+            &dgx1,
+            Collective::Allgather,
+            1,
+            2,
+            2,
+        ),
+        (
+            "dgx1-allgather-2-2-3",
+            &dgx1,
+            Collective::Allgather,
+            2,
+            2,
+            3,
+        ),
+        (
+            "dgx1-broadcast-2-2-2",
+            &dgx1,
+            Collective::Broadcast { root: 0 },
+            2,
+            2,
+            2,
+        ),
         ("amd-allgather-1-4-4", &amd, Collective::Allgather, 1, 4, 4),
-        ("amd-gather-1-4-4", &amd, Collective::Gather { root: 0 }, 1, 4, 4),
+        (
+            "amd-gather-1-4-4",
+            &amd,
+            Collective::Gather { root: 0 },
+            1,
+            4,
+            4,
+        ),
     ];
     for (name, topo, coll, chunks, steps, rounds) in cases {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -118,5 +159,10 @@ fn bench_k_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table_rows, bench_encoding_ablation, bench_k_sweep);
+criterion_group!(
+    benches,
+    bench_table_rows,
+    bench_encoding_ablation,
+    bench_k_sweep
+);
 criterion_main!(benches);

@@ -41,7 +41,13 @@ fn main() {
     let mut series: Vec<Series> = Vec::new();
     for (c, s, r, lowering, suffix) in series_specs {
         let entry = if closed_form_only {
-            Series::from_cost(format!("({c},{s},{r}){suffix}"), c as u64, s as u64, r, lowering)
+            Series::from_cost(
+                format!("({c},{s},{r}){suffix}"),
+                c as u64,
+                s as u64,
+                r,
+                lowering,
+            )
         } else {
             allgather_series(&dgx1, c, s, r, lowering, budget, suffix)
         };

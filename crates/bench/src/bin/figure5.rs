@@ -15,7 +15,9 @@
 
 use sccl_baselines::nccl_allreduce_dgx1;
 use sccl_bench::figures::figure_sizes;
-use sccl_bench::harness::{baseline_series, probe, probe_budget, speedup_row, ProbeOutcome, Series};
+use sccl_bench::harness::{
+    baseline_series, probe, probe_budget, speedup_row, ProbeOutcome, Series,
+};
 use sccl_bench::report::{markdown_table, write_csv};
 use sccl_collectives::Collective;
 use sccl_core::combining::compose_allreduce;
@@ -61,7 +63,11 @@ fn main() {
         );
         series.push(entry);
     }
-    let baseline = baseline_series("NCCL (48,14,14) ring allreduce", nccl_allreduce_dgx1(), push);
+    let baseline = baseline_series(
+        "NCCL (48,14,14) ring allreduce",
+        nccl_allreduce_dgx1(),
+        push,
+    );
 
     println!("# Figure 5: Allreduce speedup over NCCL on the DGX-1 (simulated)\n");
     let mut headers: Vec<String> = vec!["input bytes".to_string()];

@@ -29,7 +29,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", markdown_table(&["Name", "Relation", "Example size"], &rows));
+    print!(
+        "{}",
+        markdown_table(&["Name", "Relation", "Example size"], &rows)
+    );
 
     println!("\n# Table 2: collective specifications as SynColl instances\n");
     let collectives = [
@@ -55,7 +58,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        markdown_table(&["Collective", "pre", "post", "global chunks", "work"], &rows)
+        markdown_table(
+            &["Collective", "pre", "post", "global chunks", "work"],
+            &rows
+        )
     );
 
     println!("\n# Combining collectives and their duals (Section 3.5)\n");

@@ -63,8 +63,12 @@ fn main() {
     ]);
 
     let allreduce = nccl_allreduce_dgx1();
-    validate_combining(&allreduce, &dgx1, &allreduce_required(allreduce.num_chunks, 8))
-        .expect("NCCL allreduce valid");
+    validate_combining(
+        &allreduce,
+        &dgx1,
+        &allreduce_required(allreduce.num_chunks, 8),
+    )
+    .expect("NCCL allreduce valid");
     rows.push(vec![
         "Allreduce".into(),
         allreduce.per_node_chunks.to_string(),

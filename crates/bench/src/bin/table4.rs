@@ -176,7 +176,11 @@ fn main() {
     println!(
         "per-row budget: {:?} (override with SCCL_PROBE_TIMEOUT_SECS); mode: {}\n",
         budget,
-        if full { "--full" } else { "quick rows only (pass --full for all)" }
+        if full {
+            "--full"
+        } else {
+            "quick rows only (pass --full for all)"
+        }
     );
 
     let mut table: Vec<Vec<String>> = Vec::new();
@@ -206,7 +210,8 @@ fn main() {
         // Extra check: validate the synthesized schedule (and for Allreduce
         // rows, the composed reduce-scatter + allgather algorithm).
         if let ProbeOutcome::Synthesized(alg) = &result.outcome {
-            alg.validate(&dgx1, &collective.spec(8, pc)).expect("synthesized schedule valid");
+            alg.validate(&dgx1, &collective.spec(8, pc))
+                .expect("synthesized schedule valid");
             if row.label == "Allreduce" {
                 let ar = sccl_core::combining::compose_allreduce(alg);
                 validate_combining(&ar, &dgx1, &allreduce_required(ar.num_chunks, 8))
@@ -229,26 +234,51 @@ fn main() {
         table.push(cells);
         eprintln!(
             "probed {} (C={}, S={}, R={}): {} in {:?}",
-            row.label, row.chunks, row.steps, row.rounds, result.verdict(), result.time
+            row.label,
+            row.chunks,
+            row.steps,
+            row.rounds,
+            result.verdict(),
+            result.time
         );
     }
 
     print!(
         "{}",
         markdown_table(
-            &["Collective", "C", "S", "R", "paper optimality", "ours", "our optimality", "our time"],
+            &[
+                "Collective",
+                "C",
+                "S",
+                "R",
+                "paper optimality",
+                "ours",
+                "our optimality",
+                "our time"
+            ],
             &table
         )
     );
     let csv_path = Path::new("results/table4.csv");
     if write_csv(
         csv_path,
-        &["collective", "C", "S", "R", "paper_optimality", "result", "our_optimality", "seconds"],
+        &[
+            "collective",
+            "C",
+            "S",
+            "R",
+            "paper_optimality",
+            "result",
+            "our_optimality",
+            "seconds",
+        ],
         &csv,
     )
     .is_ok()
     {
         println!("\nwrote {}", csv_path.display());
     }
-    println!("\nNote: 'For Reducescatter and Scatter C should be multiplied by 8' (paper footnote).");
+    println!(
+        "\nNote: 'For Reducescatter and Scatter C should be multiplied by 8' (paper footnote)."
+    );
 }

@@ -131,11 +131,17 @@ fn main() {
     let budget = probe_budget(60);
     let amd = sccl_topology::builders::amd_z52();
 
-    println!("# Table 5: Gigabyte Z52 (AMD) synthesized collectives (paper vs this reproduction)\n");
+    println!(
+        "# Table 5: Gigabyte Z52 (AMD) synthesized collectives (paper vs this reproduction)\n"
+    );
     println!(
         "per-row budget: {:?} (override with SCCL_PROBE_TIMEOUT_SECS); mode: {}\n",
         budget,
-        if full { "--full" } else { "quick rows only (pass --full for all)" }
+        if full {
+            "--full"
+        } else {
+            "quick rows only (pass --full for all)"
+        }
     );
 
     let mut table: Vec<Vec<String>> = Vec::new();
@@ -163,7 +169,8 @@ fn main() {
             "-".to_string()
         };
         if let ProbeOutcome::Synthesized(alg) = &result.outcome {
-            alg.validate(&amd, &collective.spec(8, pc)).expect("synthesized schedule valid");
+            alg.validate(&amd, &collective.spec(8, pc))
+                .expect("synthesized schedule valid");
             if row.label == "Allreduce" {
                 let ar = sccl_core::combining::compose_allreduce(alg);
                 validate_combining(&ar, &amd, &allreduce_required(ar.num_chunks, 8))
@@ -186,26 +193,51 @@ fn main() {
         table.push(cells);
         eprintln!(
             "probed {} (C={}, S={}, R={}): {} in {:?}",
-            row.label, row.chunks, row.steps, row.rounds, result.verdict(), result.time
+            row.label,
+            row.chunks,
+            row.steps,
+            row.rounds,
+            result.verdict(),
+            result.time
         );
     }
 
     print!(
         "{}",
         markdown_table(
-            &["Collective", "C", "S", "R", "paper optimality", "ours", "our optimality", "our time"],
+            &[
+                "Collective",
+                "C",
+                "S",
+                "R",
+                "paper optimality",
+                "ours",
+                "our optimality",
+                "our time"
+            ],
             &table
         )
     );
     let csv_path = Path::new("results/table5.csv");
     if write_csv(
         csv_path,
-        &["collective", "C", "S", "R", "paper_optimality", "result", "our_optimality", "seconds"],
+        &[
+            "collective",
+            "C",
+            "S",
+            "R",
+            "paper_optimality",
+            "result",
+            "our_optimality",
+            "seconds",
+        ],
         &csv,
     )
     .is_ok()
     {
         println!("\nwrote {}", csv_path.display());
     }
-    println!("\nNote: 'For Reducescatter and Scatter C should be multiplied by 8' (paper footnote).");
+    println!(
+        "\nNote: 'For Reducescatter and Scatter C should be multiplied by 8' (paper footnote)."
+    );
 }

@@ -103,7 +103,11 @@ pub struct Series {
 
 impl Series {
     /// Build a series from a synthesized algorithm.
-    pub fn from_algorithm(label: impl Into<String>, algorithm: Algorithm, lowering: LoweringOptions) -> Self {
+    pub fn from_algorithm(
+        label: impl Into<String>,
+        algorithm: Algorithm,
+        lowering: LoweringOptions,
+    ) -> Self {
         let cost = algorithm.cost();
         Series {
             label: label.into(),
@@ -115,7 +119,13 @@ impl Series {
     }
 
     /// Build a series from a `(C, S, R)` cost tuple only.
-    pub fn from_cost(label: impl Into<String>, chunks: u64, steps: u64, rounds: u64, lowering: LoweringOptions) -> Self {
+    pub fn from_cost(
+        label: impl Into<String>,
+        chunks: u64,
+        steps: u64,
+        rounds: u64,
+        lowering: LoweringOptions,
+    ) -> Self {
         Series {
             label: label.into(),
             algorithm: None,
@@ -151,7 +161,14 @@ pub fn allgather_series(
     label_suffix: &str,
 ) -> Series {
     let label = format!("({chunks},{steps},{rounds}){label_suffix}");
-    let result = probe(topology, Collective::Allgather, chunks, steps, rounds, budget);
+    let result = probe(
+        topology,
+        Collective::Allgather,
+        chunks,
+        steps,
+        rounds,
+        budget,
+    );
     match result.outcome {
         ProbeOutcome::Synthesized(alg) => Series::from_algorithm(label, *alg, lowering),
         _ => Series::from_cost(label, chunks as u64, steps as u64, rounds, lowering),
@@ -193,11 +210,18 @@ pub fn probe_budget(default_secs: u64) -> Duration {
 /// of synthesizing schedules (set `SCCL_FIGURE_CLOSED_FORM=1`); useful for
 /// quickly regenerating the figure shapes.
 pub fn figures_closed_form() -> bool {
-    std::env::var("SCCL_FIGURE_CLOSED_FORM").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SCCL_FIGURE_CLOSED_FORM")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Re-export used by `Series::time`; kept public for the binaries.
-pub fn closed_form(alg: &Algorithm, bytes: u64, model: &CostModel, lowering: &LoweringOptions) -> f64 {
+pub fn closed_form(
+    alg: &Algorithm,
+    bytes: u64,
+    model: &CostModel,
+    lowering: &LoweringOptions,
+) -> f64 {
     closed_form_time(alg, bytes, model, lowering)
 }
 
@@ -209,10 +233,24 @@ mod tests {
     #[test]
     fn probe_ring_allgather_sat_and_unsat() {
         let topo = builders::ring(4, 1);
-        let sat = probe(&topo, Collective::Allgather, 1, 3, 3, Duration::from_secs(30));
+        let sat = probe(
+            &topo,
+            Collective::Allgather,
+            1,
+            3,
+            3,
+            Duration::from_secs(30),
+        );
         assert!(sat.is_sat());
         assert_eq!(sat.verdict(), "SAT");
-        let unsat = probe(&topo, Collective::Allgather, 1, 1, 1, Duration::from_secs(30));
+        let unsat = probe(
+            &topo,
+            Collective::Allgather,
+            1,
+            1,
+            1,
+            Duration::from_secs(30),
+        );
         assert!(!unsat.is_sat());
         assert_eq!(unsat.verdict(), "UNSAT");
     }

@@ -12,5 +12,7 @@ pub mod harness;
 pub mod report;
 
 pub use figures::{figure_sizes, SpeedupCurve, SpeedupPoint};
-pub use harness::{allgather_series, baseline_series, probe, probe_budget, ProbeOutcome, ProbeResult, Series};
+pub use harness::{
+    allgather_series, baseline_series, probe, probe_budget, ProbeOutcome, ProbeResult, Series,
+};
 pub use report::{markdown_table, write_csv};

@@ -156,7 +156,11 @@ mod tests {
             let set = rel.materialize(g, p);
             for c in 0..g {
                 for n in 0..p {
-                    assert_eq!(set.contains(&(c, n)), rel.contains(c, n, p), "{rel:?} {c} {n}");
+                    assert_eq!(
+                        set.contains(&(c, n)),
+                        rel.contains(c, n, p),
+                        "{rel:?} {c} {n}"
+                    );
                 }
             }
         }

@@ -100,11 +100,17 @@ impl Collective {
     /// Pre/post relations from Table 2 (non-combining collectives only).
     pub fn relations(&self) -> Option<(ChunkRelation, ChunkRelation)> {
         match self {
-            Collective::Gather { root } => Some((ChunkRelation::Scattered, ChunkRelation::Root(*root))),
+            Collective::Gather { root } => {
+                Some((ChunkRelation::Scattered, ChunkRelation::Root(*root)))
+            }
             Collective::Allgather => Some((ChunkRelation::Scattered, ChunkRelation::All)),
             Collective::Alltoall => Some((ChunkRelation::Scattered, ChunkRelation::Transpose)),
-            Collective::Broadcast { root } => Some((ChunkRelation::Root(*root), ChunkRelation::All)),
-            Collective::Scatter { root } => Some((ChunkRelation::Root(*root), ChunkRelation::Scattered)),
+            Collective::Broadcast { root } => {
+                Some((ChunkRelation::Root(*root), ChunkRelation::All))
+            }
+            Collective::Scatter { root } => {
+                Some((ChunkRelation::Root(*root), ChunkRelation::Scattered))
+            }
             _ => None,
         }
     }
@@ -144,6 +150,23 @@ impl Collective {
             num_chunks: g,
             pre: pre_rel.materialize(g, num_nodes),
             post: post_rel.materialize(g, num_nodes),
+        }
+    }
+
+    /// Parse a textual collective name (case-insensitive), as accepted by
+    /// the `sccl` CLI and by batch manifests. Rooted collectives take their
+    /// root from `root`.
+    pub fn parse_spec(spec: &str, root: usize) -> Option<Collective> {
+        match spec.to_ascii_lowercase().as_str() {
+            "allgather" => Some(Collective::Allgather),
+            "broadcast" => Some(Collective::Broadcast { root }),
+            "gather" => Some(Collective::Gather { root }),
+            "scatter" => Some(Collective::Scatter { root }),
+            "alltoall" => Some(Collective::Alltoall),
+            "reduce" => Some(Collective::Reduce { root }),
+            "reducescatter" => Some(Collective::ReduceScatter),
+            "allreduce" => Some(Collective::Allreduce),
+            _ => None,
         }
     }
 
@@ -296,7 +319,10 @@ mod tests {
 
     #[test]
     fn display_includes_root() {
-        assert_eq!(Collective::Broadcast { root: 2 }.to_string(), "Broadcast(root=2)");
+        assert_eq!(
+            Collective::Broadcast { root: 2 }.to_string(),
+            "Broadcast(root=2)"
+        );
         assert_eq!(Collective::Allgather.to_string(), "Allgather");
     }
 
@@ -312,5 +338,18 @@ mod tests {
         let all = Collective::all_with_root_zero();
         assert_eq!(all.len(), 8);
         assert!(all.contains(&Collective::Allreduce));
+    }
+
+    #[test]
+    fn parse_spec_round_trips_names() {
+        for collective in Collective::all_with_root_zero() {
+            let parsed = Collective::parse_spec(collective.name(), 0).expect("parses");
+            assert_eq!(parsed, collective);
+        }
+        assert_eq!(
+            Collective::parse_spec("Broadcast", 3),
+            Some(Collective::Broadcast { root: 3 })
+        );
+        assert_eq!(Collective::parse_spec("allsum", 0), None);
     }
 }

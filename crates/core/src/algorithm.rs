@@ -153,7 +153,11 @@ impl Algorithm {
 
     /// Sends scheduled for a given step.
     pub fn sends_at_step(&self, step: usize) -> Vec<Send> {
-        self.sends.iter().copied().filter(|s| s.step == step).collect()
+        self.sends
+            .iter()
+            .copied()
+            .filter(|s| s.step == step)
+            .collect()
     }
 
     /// `true` if any send is a reduction.

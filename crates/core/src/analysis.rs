@@ -44,11 +44,7 @@ impl LinkUtilization {
 
     /// Total chunk-transfers of the schedule.
     pub fn total_transfers(&self) -> u64 {
-        self.counts
-            .iter()
-            .flat_map(|m| m.values())
-            .copied()
-            .sum()
+        self.counts.iter().flat_map(|m| m.values()).copied().sum()
     }
 
     /// Total link-round capacity of the schedule
@@ -126,7 +122,11 @@ impl LinkUtilization {
                 self.step_balance(step)
             );
         }
-        let _ = writeln!(out, "overall link utilization: {:.1}%", self.utilization() * 100.0);
+        let _ = writeln!(
+            out,
+            "overall link utilization: {:.1}%",
+            self.utilization() * 100.0
+        );
         out
     }
 }

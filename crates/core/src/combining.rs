@@ -87,11 +87,23 @@ pub enum CombiningError {
     /// A send uses a link that does not exist in the topology.
     MissingLink { src: usize, dst: usize },
     /// A bandwidth constraint is violated at a step.
-    BandwidthExceeded { step: usize, used: u64, allowed: u64 },
+    BandwidthExceeded {
+        step: usize,
+        used: u64,
+        allowed: u64,
+    },
     /// A reducing send would fold the same contribution in twice.
-    DoubleCounted { chunk: usize, node: usize, step: usize },
+    DoubleCounted {
+        chunk: usize,
+        node: usize,
+        step: usize,
+    },
     /// A node required to hold the full reduction is missing contributions.
-    IncompleteReduction { chunk: usize, node: usize, missing: usize },
+    IncompleteReduction {
+        chunk: usize,
+        node: usize,
+        missing: usize,
+    },
 }
 
 impl std::fmt::Display for CombiningError {
@@ -100,14 +112,22 @@ impl std::fmt::Display for CombiningError {
             CombiningError::MissingLink { src, dst } => {
                 write!(f, "send over missing link {src}->{dst}")
             }
-            CombiningError::BandwidthExceeded { step, used, allowed } => {
+            CombiningError::BandwidthExceeded {
+                step,
+                used,
+                allowed,
+            } => {
                 write!(f, "bandwidth exceeded at step {step}: {used} > {allowed}")
             }
             CombiningError::DoubleCounted { chunk, node, step } => write!(
                 f,
                 "chunk {chunk}: contribution folded twice into node {node} at step {step}"
             ),
-            CombiningError::IncompleteReduction { chunk, node, missing } => write!(
+            CombiningError::IncompleteReduction {
+                chunk,
+                node,
+                missing,
+            } => write!(
                 f,
                 "chunk {chunk}: node {node} is missing {missing} contributions"
             ),
@@ -276,8 +296,7 @@ mod tests {
         // shape); inverting yields a Reduce onto node 0.
         let bc = synth(&topo.reversed(), Collective::Broadcast { root: 0 }, 1, 3, 3);
         let red = invert(&bc, Collective::Reduce { root: 0 });
-        validate_combining(&red, &topo, &reduce_required(red.num_chunks, 0))
-            .expect("valid reduce");
+        validate_combining(&red, &topo, &reduce_required(red.num_chunks, 0)).expect("valid reduce");
     }
 
     #[test]

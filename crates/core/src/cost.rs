@@ -132,7 +132,11 @@ impl ParetoFront {
     /// Insert a cost; returns `true` if it is non-dominated (and prunes any
     /// entries it dominates).
     pub fn insert(&mut self, cost: AlgorithmCost) -> bool {
-        if self.entries.iter().any(|e| e.dominates(&cost) || *e == cost) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.dominates(&cost) || *e == cost)
+        {
             return false;
         }
         self.entries.retain(|e| !cost.dominates(e));
@@ -209,8 +213,14 @@ mod tests {
         assert!(x > 0.0);
         // Below the crossover the latency-optimal one is faster, above it
         // the bandwidth-optimal one is.
-        assert!(lat.predicted_time(&model, (x / 2.0) as u64) < bw.predicted_time(&model, (x / 2.0) as u64));
-        assert!(lat.predicted_time(&model, (x * 2.0) as u64) > bw.predicted_time(&model, (x * 2.0) as u64));
+        assert!(
+            lat.predicted_time(&model, (x / 2.0) as u64)
+                < bw.predicted_time(&model, (x / 2.0) as u64)
+        );
+        assert!(
+            lat.predicted_time(&model, (x * 2.0) as u64)
+                > bw.predicted_time(&model, (x * 2.0) as u64)
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   `(c, n, n', s)` plus per-step presence Booleans, which the paper
 //!   reports does not scale (§5.4.3). Kept for the encoding-ablation bench.
 
+#![allow(clippy::needless_range_loop)] // chunk x node grids read best with explicit indices
+
 use crate::algorithm::{Algorithm, Send};
 use sccl_collectives::CollectiveSpec;
 use sccl_solver::{add_linear_eq, IntVar, Limits, Lit, SolveResult, Solver, SolverConfig};
@@ -595,11 +597,17 @@ mod tests {
     fn scatter_and_gather_on_star() {
         let topo = builders::star(4, 1);
         let scatter = instance(Collective::Scatter { root: 0 }, 4, 1, 3, 3);
-        let alg = run_default(&topo, &scatter).outcome.algorithm().expect("SAT");
+        let alg = run_default(&topo, &scatter)
+            .outcome
+            .algorithm()
+            .expect("SAT");
         alg.validate(&topo, &scatter.spec).expect("valid");
 
         let gather = instance(Collective::Gather { root: 0 }, 4, 1, 3, 3);
-        let alg = run_default(&topo, &gather).outcome.algorithm().expect("SAT");
+        let alg = run_default(&topo, &gather)
+            .outcome
+            .algorithm()
+            .expect("SAT");
         alg.validate(&topo, &gather.spec).expect("valid");
     }
 

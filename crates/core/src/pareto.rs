@@ -2,16 +2,35 @@
 //! step counts starting at the latency lower bound, and for each step count
 //! find the cheapest-bandwidth k-synchronous schedule, until the bandwidth
 //! lower bound is reached.
+//!
+//! The procedure is factored into three composable pieces so that the
+//! sequential driver here and the parallel work-queue driver in
+//! `sccl-sched` share one decision procedure:
+//!
+//! 1. [`enumerate_candidates`] turns a synthesis request into a
+//!    [`CandidatePlan`]: the full, ordered list of `(S, R, C)` SynColl
+//!    instances the sequential loop could ever consider.
+//! 2. [`ParetoMerge`] is the decision procedure itself, expressed as a
+//!    state machine over the plan: it asks for the outcome of one candidate
+//!    at a time ([`MergeAction::Need`]), records which candidates became
+//!    skippable (so a parallel driver can cancel their in-flight solves),
+//!    and assembles the frontier. Any driver that answers `Need` with the
+//!    solver's outcome reproduces the sequential frontier exactly.
+//! 3. [`base_problem`] / [`finalize_report`] bracket the non-combining
+//!    search with the combining-collective derivations of §3.5 (inversion
+//!    duals and the Allreduce composition).
 
 use crate::algorithm::Algorithm;
 use crate::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use crate::combining::{compose_allreduce, invert};
 use crate::cost::AlgorithmCost;
-use crate::encoding::{synthesize, EncodingOptions, EncodingStats, SynCollInstance, SynthesisOutcome};
+use crate::encoding::{
+    synthesize, EncodingOptions, EncodingStats, SynCollInstance, SynthesisOutcome, SynthesisRun,
+};
 use sccl_collectives::{Collective, CollectiveClass};
 use sccl_solver::{Limits, SolverConfig};
 use sccl_topology::{Rational, Topology};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Parameters of the Pareto search.
@@ -48,7 +67,7 @@ impl Default for SynthesisConfig {
 
 /// Optimality classification of a synthesized algorithm with respect to the
 /// class of k-synchronous algorithms (§3.7).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Optimality {
     /// Matches the latency lower bound `a_l`.
     Latency,
@@ -82,8 +101,48 @@ impl Optimality {
     }
 }
 
+/// Why the Pareto search stopped (distinguishes the historic `hit_step_cap`
+/// flag into its actual causes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// The bandwidth lower bound `b_l` was attained: the frontier is
+    /// complete for this k-synchronous family.
+    BandwidthOptimal,
+    /// Every candidate within the chunk cap was settled and no step count
+    /// beyond `max_steps` can improve on the best reported bandwidth: a
+    /// round takes at least one step, so the cheapest ratio available at
+    /// step `S` is `S / max_chunks`, which *grows* with `S`. Raising
+    /// `max_steps` alone cannot extend this frontier — only `max_chunks`
+    /// can.
+    ChunkLimited,
+    /// The search exhausted `max_steps` while a cheaper bandwidth was still
+    /// reachable; raising `max_steps` may extend the frontier.
+    StepLimited,
+    /// The specification was already satisfied by the pre-condition;
+    /// nothing was synthesized.
+    Trivial,
+}
+
+impl TerminationReason {
+    /// Human-readable explanation for CLI output.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            TerminationReason::BandwidthOptimal => {
+                "bandwidth-optimal: the frontier reached the bandwidth lower bound"
+            }
+            TerminationReason::ChunkLimited => {
+                "chunk-limited: no step count can improve the frontier under --max-chunks"
+            }
+            TerminationReason::StepLimited => {
+                "step-limited: stopped at --max-steps before reaching the bandwidth bound"
+            }
+            TerminationReason::Trivial => "trivial: the specification is already satisfied",
+        }
+    }
+}
+
 /// One synthesized point on the Pareto frontier (one row of Tables 4–5).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FrontierEntry {
     /// Per-node chunk count `C` as reported in the tables (for combining
     /// collectives this is the count of the non-combining dual that was
@@ -111,7 +170,7 @@ impl FrontierEntry {
 }
 
 /// The result of a Pareto synthesis run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisReport {
     pub collective: Collective,
     pub topology_name: String,
@@ -122,8 +181,12 @@ pub struct SynthesisReport {
     pub bandwidth_lower_bound: Rational,
     /// Pareto frontier entries in increasing step order.
     pub entries: Vec<FrontierEntry>,
-    /// `true` if the search stopped because it reached `max_steps` rather
-    /// than the bandwidth lower bound.
+    /// Why the search stopped.
+    pub termination: TerminationReason,
+    /// `true` if the search stopped because it exhausted `max_steps` while
+    /// improvement was still possible. Historically this flag was also set
+    /// when the chunk cap (not the step cap) was binding; that case is now
+    /// reported as [`TerminationReason::ChunkLimited`] instead.
     pub hit_step_cap: bool,
     /// `true` if some query exhausted its budget (results may be incomplete).
     pub budget_exhausted: bool,
@@ -143,6 +206,30 @@ impl SynthesisReport {
             .iter()
             .find(|e| matches!(e.optimality, Optimality::Bandwidth | Optimality::Both))
     }
+
+    /// `true` if two reports describe the same frontier: identical bounds,
+    /// termination and `(C, S, R)` entries with identical algorithms —
+    /// everything except wall-clock synthesis times, which naturally differ
+    /// between runs. This is the equivalence the parallel scheduler must
+    /// preserve with respect to the sequential search.
+    pub fn same_frontier(&self, other: &SynthesisReport) -> bool {
+        self.collective == other.collective
+            && self.topology_name == other.topology_name
+            && self.latency_lower_bound == other.latency_lower_bound
+            && self.bandwidth_lower_bound == other.bandwidth_lower_bound
+            && self.termination == other.termination
+            && self.hit_step_cap == other.hit_step_cap
+            && self.budget_exhausted == other.budget_exhausted
+            && self.entries.len() == other.entries.len()
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| {
+                a.chunks == b.chunks
+                    && a.steps == b.steps
+                    && a.rounds == b.rounds
+                    && a.optimality == b.optimality
+                    && a.encoding == b.encoding
+                    && a.algorithm == b.algorithm
+            })
+    }
 }
 
 /// Errors that prevent synthesis from starting.
@@ -157,7 +244,9 @@ pub enum SynthesisError {
 impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SynthesisError::Disconnected => write!(f, "topology is not connected for this collective"),
+            SynthesisError::Disconnected => {
+                write!(f, "topology is not connected for this collective")
+            }
             SynthesisError::TooFewNodes => write!(f, "collective requires at least two nodes"),
         }
     }
@@ -175,104 +264,104 @@ fn chunk_step(collective: Collective, num_nodes: usize) -> usize {
     }
 }
 
-/// Run Algorithm 1 for any collective (non-combining directly; Reduce and
-/// ReduceScatter via their inversion duals on the reversed topology;
-/// Allreduce as inverse-Allgather followed by Allgather).
-pub fn pareto_synthesize(
-    topology: &Topology,
-    collective: Collective,
-    config: &SynthesisConfig,
-) -> Result<SynthesisReport, SynthesisError> {
-    if topology.num_nodes() < 2 {
-        return Err(SynthesisError::TooFewNodes);
+// ---------------------------------------------------------------------
+// Candidate enumeration
+// ---------------------------------------------------------------------
+
+/// One `(S, R, C)` SynColl instance the Pareto search may have to solve: a
+/// self-contained job description a scheduler can ship to a worker thread.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateJob {
+    /// Position in the sequential decision order (index into
+    /// [`CandidatePlan::jobs`]).
+    pub index: usize,
+    /// Steps `S`.
+    pub steps: usize,
+    /// Rounds `R`.
+    pub rounds: u64,
+    /// Per-node chunk count `C`.
+    pub chunks: usize,
+}
+
+impl CandidateJob {
+    /// The bandwidth cost `R / C` of this candidate.
+    pub fn ratio(&self) -> Rational {
+        Rational::new(self.rounds, self.chunks as u64)
     }
-    match collective.class() {
-        CollectiveClass::NonCombining => {
-            pareto_synthesize_noncombining(topology, collective, config)
+
+    /// Materialize the SynColl instance for this candidate.
+    pub fn instance(&self, collective: Collective, num_nodes: usize) -> SynCollInstance {
+        SynCollInstance {
+            spec: collective.spec(num_nodes, self.chunks),
+            per_node_chunks: self.chunks,
+            num_steps: self.steps,
+            num_rounds: self.rounds,
         }
-        CollectiveClass::Combining => match collective.inversion_dual() {
-            Some(dual) => {
-                // Synthesize the dual on the reversed topology, then invert
-                // every entry so it runs forward on `topology`.
-                let mut report =
-                    pareto_synthesize_noncombining(&topology.reversed(), dual, config)?;
-                for entry in &mut report.entries {
-                    entry.algorithm = invert(&entry.algorithm, collective);
-                    entry.algorithm.topology_name = topology.name().to_string();
-                }
-                report.collective = collective;
-                report.topology_name = topology.name().to_string();
-                Ok(report)
-            }
-            None => {
-                // Allreduce = ReduceScatter ∘ Allgather.
-                debug_assert_eq!(collective, Collective::Allreduce);
-                let base =
-                    pareto_synthesize_noncombining(topology, Collective::Allgather, config)?;
-                let p = topology.num_nodes();
-                let entries = base
-                    .entries
-                    .into_iter()
-                    .map(|e| {
-                        let algorithm = compose_allreduce(&e.algorithm);
-                        FrontierEntry {
-                            chunks: e.chunks * p,
-                            steps: e.steps * 2,
-                            rounds: e.rounds * 2,
-                            optimality: e.optimality,
-                            synthesis_time: e.synthesis_time,
-                            encoding: e.encoding,
-                            algorithm,
-                        }
-                    })
-                    .collect();
-                Ok(SynthesisReport {
-                    collective,
-                    topology_name: topology.name().to_string(),
-                    latency_lower_bound: base.latency_lower_bound * 2,
-                    bandwidth_lower_bound: Rational::new(
-                        2 * base.bandwidth_lower_bound.numerator(),
-                        base.bandwidth_lower_bound.denominator() * p as u64,
-                    ),
-                    entries,
-                    hit_step_cap: base.hit_step_cap,
-                    budget_exhausted: base.budget_exhausted,
-                })
-            }
-        },
     }
 }
 
-fn pareto_synthesize_noncombining(
+/// The full, ordered candidate list of one non-combining Pareto search,
+/// plus the structural bounds the decision procedure needs.
+#[derive(Clone, Debug)]
+pub struct CandidatePlan {
+    /// The (non-combining) collective being synthesized.
+    pub collective: Collective,
+    pub topology_name: String,
+    /// Latency lower bound `a_l`.
+    pub latency_lower_bound: usize,
+    /// Bandwidth lower bound `b_l`.
+    pub bandwidth_lower_bound: Rational,
+    /// The `max_steps` cap the plan was enumerated under.
+    pub max_steps: usize,
+    /// The `max_chunks` cap the plan was enumerated under.
+    pub max_chunks: usize,
+    /// Granularity of feasible chunk counts (`P` for Alltoall, 1 otherwise).
+    pub chunk_step: usize,
+    /// `true` if the spec is already satisfied (no jobs).
+    pub trivial: bool,
+    /// Candidates in exactly the order the sequential loop considers them:
+    /// by step count, then cheapest bandwidth first.
+    pub jobs: Vec<CandidateJob>,
+}
+
+/// Enumerate every candidate `(S, R, C)` instance the sequential Algorithm 1
+/// loop could consider for a non-combining collective, in its decision
+/// order. Combining collectives must be reduced with [`base_problem`] first.
+pub fn enumerate_candidates(
     topology: &Topology,
     collective: Collective,
     config: &SynthesisConfig,
-) -> Result<SynthesisReport, SynthesisError> {
+) -> Result<CandidatePlan, SynthesisError> {
+    assert_eq!(
+        collective.class(),
+        CollectiveClass::NonCombining,
+        "enumerate_candidates requires a non-combining collective; use base_problem first"
+    );
     let p = topology.num_nodes();
+    if p < 2 {
+        return Err(SynthesisError::TooFewNodes);
+    }
     let step_c = chunk_step(collective, p);
     let ref_spec = collective.spec(p, step_c);
     let al = latency_lower_bound(topology, &ref_spec).ok_or(SynthesisError::Disconnected)?;
-    let bl = bandwidth_lower_bound(topology, &ref_spec, step_c)
-        .ok_or(SynthesisError::Disconnected)?;
+    let bl =
+        bandwidth_lower_bound(topology, &ref_spec, step_c).ok_or(SynthesisError::Disconnected)?;
 
-    let mut report = SynthesisReport {
+    let mut plan = CandidatePlan {
         collective,
         topology_name: topology.name().to_string(),
         latency_lower_bound: al,
         bandwidth_lower_bound: bl,
-        entries: Vec::new(),
-        hit_step_cap: false,
-        budget_exhausted: false,
+        max_steps: config.max_steps,
+        max_chunks: config.max_chunks,
+        chunk_step: step_c,
+        trivial: ref_spec.is_trivial(),
+        jobs: Vec::new(),
     };
-
-    // Degenerate case: nothing to transfer (e.g. single-chunk collectives
-    // whose post-condition is already satisfied). Not expected for the
-    // collectives of Table 2 on ≥ 2 nodes, but handled for robustness.
-    if ref_spec.is_trivial() {
-        return Ok(report);
+    if plan.trivial {
+        return Ok(plan);
     }
 
-    let mut best_bw: Option<Rational> = None;
     let start_steps = al.max(1);
     for s in start_steps..=config.max_steps {
         // Candidate (R, C) pairs obeying the k-synchronous bound and the
@@ -292,57 +381,358 @@ fn pareto_synthesize_noncombining(
                 .cmp(&Rational::new(b.0, b.1 as u64))
                 .then(a.1.cmp(&b.1))
         });
-
         for (r, c) in candidates {
-            let ratio = Rational::new(r, c as u64);
-            if let Some(best) = best_bw {
-                if ratio >= best {
-                    // Would be dominated by an already-reported entry.
-                    continue;
+            plan.jobs.push(CandidateJob {
+                index: plan.jobs.len(),
+                steps: s,
+                rounds: r,
+                chunks: c,
+            });
+        }
+    }
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------
+// The deterministic merge state machine
+// ---------------------------------------------------------------------
+
+/// What the decision procedure wants next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeAction {
+    /// The outcome of candidate `jobs[index]` decides the next frontier
+    /// step; supply it with [`ParetoMerge::supply`].
+    Need(usize),
+    /// The search is finished; call [`ParetoMerge::into_report`].
+    Done,
+}
+
+/// Replays the sequential Algorithm 1 decision order over candidate
+/// outcomes, wherever those outcomes come from (an inline solver call or a
+/// pool of worker threads). Feeding it the deterministic solver's outcomes
+/// yields the identical frontier as the sequential loop, by construction.
+#[derive(Debug)]
+pub struct ParetoMerge {
+    plan: CandidatePlan,
+    cursor: usize,
+    best_bw: Option<Rational>,
+    /// Step count whose remaining candidates must be skipped (a cheaper
+    /// schedule was already found at this step).
+    settled_step: Option<usize>,
+    entries: Vec<FrontierEntry>,
+    budget_exhausted: bool,
+    termination: Option<TerminationReason>,
+    /// Candidates the procedure decided never to solve since the last
+    /// [`ParetoMerge::drain_skipped`] call (for cancellation).
+    skipped: Vec<usize>,
+}
+
+impl ParetoMerge {
+    pub fn new(plan: CandidatePlan) -> Self {
+        let termination = plan.trivial.then_some(TerminationReason::Trivial);
+        ParetoMerge {
+            plan,
+            cursor: 0,
+            best_bw: None,
+            settled_step: None,
+            entries: Vec::new(),
+            budget_exhausted: false,
+            termination,
+            skipped: Vec::new(),
+        }
+    }
+
+    /// The plan being merged.
+    pub fn plan(&self) -> &CandidatePlan {
+        &self.plan
+    }
+
+    /// Would the sequential loop skip this job given the current state?
+    fn skippable(&self, job: &CandidateJob) -> bool {
+        if self.settled_step == Some(job.steps) {
+            return true;
+        }
+        match self.best_bw {
+            // A candidate at least as expensive as an already-reported entry
+            // would be dominated.
+            Some(best) => job.ratio() >= best,
+            None => false,
+        }
+    }
+
+    /// Advance to the next candidate whose outcome is needed, recording
+    /// everything passed over as skipped.
+    ///
+    /// (Deliberately named like, but not implementing, `Iterator::next`:
+    /// the caller must answer each `Need` with `supply` before advancing.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> MergeAction {
+        if self.termination.is_some() {
+            return MergeAction::Done;
+        }
+        while self.cursor < self.plan.jobs.len() {
+            let job = &self.plan.jobs[self.cursor];
+            if self.skippable(job) {
+                self.skipped.push(job.index);
+                self.cursor += 1;
+                continue;
+            }
+            return MergeAction::Need(self.cursor);
+        }
+        self.termination = Some(self.exhausted_reason());
+        MergeAction::Done
+    }
+
+    /// Termination cause when every candidate in the plan is settled
+    /// without reaching the bandwidth bound.
+    fn exhausted_reason(&self) -> TerminationReason {
+        // The largest chunk count actually usable under the cap: feasible
+        // counts are multiples of chunk_step (P for Alltoall).
+        let usable_chunks = (self.plan.max_chunks / self.plan.chunk_step) * self.plan.chunk_step;
+        if usable_chunks == 0 {
+            // No feasible chunk count exists at *any* step count (e.g.
+            // Alltoall with max_chunks below the node count): only raising
+            // the chunk cap can help.
+            return TerminationReason::ChunkLimited;
+        }
+        if let Some(best) = self.best_bw {
+            // Rounds can never be fewer than steps, so the cheapest ratio any
+            // step count S offers is S / usable_chunks — increasing in S. If
+            // the first out-of-plan step count cannot beat the frontier, no
+            // deeper search ever will: the chunk cap is binding.
+            let next_step = self.plan.max_steps as u64 + 1;
+            let cheapest_beyond = Rational::new(next_step, usable_chunks as u64);
+            if cheapest_beyond >= best {
+                return TerminationReason::ChunkLimited;
+            }
+        }
+        TerminationReason::StepLimited
+    }
+
+    /// Supply the solver outcome of the candidate last returned by
+    /// [`ParetoMerge::next`].
+    pub fn supply(&mut self, index: usize, run: SynthesisRun) {
+        assert_eq!(
+            index, self.cursor,
+            "supply must answer the job most recently returned by next()"
+        );
+        assert!(self.termination.is_none(), "merge already finished");
+        let job = self.plan.jobs[self.cursor].clone();
+        self.cursor += 1;
+        let total_time = run.total_time();
+        match run.outcome {
+            SynthesisOutcome::Satisfiable(algorithm) => {
+                let ratio = job.ratio();
+                let optimality = Optimality::classify(
+                    job.steps,
+                    ratio,
+                    self.plan.latency_lower_bound,
+                    self.plan.bandwidth_lower_bound,
+                );
+                self.entries.push(FrontierEntry {
+                    chunks: job.chunks,
+                    steps: job.steps,
+                    rounds: job.rounds,
+                    optimality,
+                    synthesis_time: total_time,
+                    encoding: run.encoding,
+                    algorithm,
+                });
+                self.best_bw = Some(ratio);
+                if ratio == self.plan.bandwidth_lower_bound {
+                    // Everything still outstanding is now moot.
+                    for job in &self.plan.jobs[self.cursor..] {
+                        self.skipped.push(job.index);
+                    }
+                    self.cursor = self.plan.jobs.len();
+                    self.termination = Some(TerminationReason::BandwidthOptimal);
+                } else {
+                    // Move on to the next step count.
+                    self.settled_step = Some(job.steps);
                 }
             }
-            let instance = SynCollInstance {
-                spec: collective.spec(p, c),
-                per_node_chunks: c,
-                num_steps: s,
-                num_rounds: r,
-            };
-            let run = synthesize(
-                topology,
-                &instance,
-                &config.encoding,
-                config.solver.clone(),
-                config.per_instance_limits,
-            );
-            let total_time = run.total_time();
-            match run.outcome {
-                SynthesisOutcome::Satisfiable(algorithm) => {
-                    let optimality = Optimality::classify(s, ratio, al, bl);
-                    report.entries.push(FrontierEntry {
-                        chunks: c,
-                        steps: s,
-                        rounds: r,
-                        optimality,
-                        synthesis_time: total_time,
-                        encoding: run.encoding,
-                        algorithm,
-                    });
-                    best_bw = Some(ratio);
-                    if ratio == bl {
-                        return Ok(report);
-                    }
-                    break; // move on to the next step count
-                }
-                SynthesisOutcome::Unsatisfiable => continue,
-                SynthesisOutcome::Unknown => {
-                    report.budget_exhausted = true;
-                    continue;
-                }
+            SynthesisOutcome::Unsatisfiable => {}
+            SynthesisOutcome::Unknown => {
+                self.budget_exhausted = true;
             }
         }
     }
-    report.hit_step_cap = true;
-    Ok(report)
+
+    /// Candidate indices the procedure has decided never to solve since the
+    /// last call (a parallel driver cancels their in-flight solves).
+    pub fn drain_skipped(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.skipped)
+    }
+
+    /// `true` once [`ParetoMerge::next`] has returned [`MergeAction::Done`].
+    pub fn is_done(&self) -> bool {
+        self.termination.is_some()
+    }
+
+    /// Finish the merge and assemble the report.
+    pub fn into_report(self) -> SynthesisReport {
+        let termination = match self.termination {
+            Some(reason) => reason,
+            // Finalized early (e.g. a driver abandoning the search): classify
+            // from the current state.
+            None => {
+                if self.cursor >= self.plan.jobs.len() {
+                    self.exhausted_reason()
+                } else {
+                    TerminationReason::StepLimited
+                }
+            }
+        };
+        SynthesisReport {
+            collective: self.plan.collective,
+            topology_name: self.plan.topology_name,
+            latency_lower_bound: self.plan.latency_lower_bound,
+            bandwidth_lower_bound: self.plan.bandwidth_lower_bound,
+            entries: self.entries,
+            termination,
+            hit_step_cap: termination == TerminationReason::StepLimited,
+            budget_exhausted: self.budget_exhausted,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combining-collective bracketing (§3.5)
+// ---------------------------------------------------------------------
+
+/// The non-combining search actually performed for a collective: Reduce and
+/// ReduceScatter go through their inversion duals on the reversed topology,
+/// Allreduce through Allgather (later composed), everything else directly.
+#[derive(Clone, Debug)]
+pub struct BaseProblem {
+    /// Topology to synthesize on (reversed for inversion duals).
+    pub topology: Topology,
+    /// Non-combining collective to synthesize.
+    pub collective: Collective,
+}
+
+/// Reduce a synthesis request to its underlying non-combining search.
+pub fn base_problem(topology: &Topology, collective: Collective) -> BaseProblem {
+    match collective.class() {
+        CollectiveClass::NonCombining => BaseProblem {
+            topology: topology.clone(),
+            collective,
+        },
+        CollectiveClass::Combining => match collective.inversion_dual() {
+            Some(dual) => BaseProblem {
+                topology: topology.reversed(),
+                collective: dual,
+            },
+            None => {
+                debug_assert_eq!(collective, Collective::Allreduce);
+                BaseProblem {
+                    topology: topology.clone(),
+                    collective: Collective::Allgather,
+                }
+            }
+        },
+    }
+}
+
+/// Transform the report of the [`base_problem`] search back into a report
+/// for the requested collective (inverting or composing every entry).
+pub fn finalize_report(
+    topology: &Topology,
+    collective: Collective,
+    mut base: SynthesisReport,
+) -> SynthesisReport {
+    match collective.class() {
+        CollectiveClass::NonCombining => base,
+        CollectiveClass::Combining => match collective.inversion_dual() {
+            Some(_) => {
+                // The dual ran on the reversed topology; invert every entry
+                // so it runs forward on `topology`.
+                for entry in &mut base.entries {
+                    entry.algorithm = invert(&entry.algorithm, collective);
+                    entry.algorithm.topology_name = topology.name().to_string();
+                }
+                base.collective = collective;
+                base.topology_name = topology.name().to_string();
+                base
+            }
+            None => {
+                // Allreduce = ReduceScatter ∘ Allgather.
+                debug_assert_eq!(collective, Collective::Allreduce);
+                let p = topology.num_nodes();
+                let entries = base
+                    .entries
+                    .into_iter()
+                    .map(|e| {
+                        let algorithm = compose_allreduce(&e.algorithm);
+                        FrontierEntry {
+                            chunks: e.chunks * p,
+                            steps: e.steps * 2,
+                            rounds: e.rounds * 2,
+                            optimality: e.optimality,
+                            synthesis_time: e.synthesis_time,
+                            encoding: e.encoding,
+                            algorithm,
+                        }
+                    })
+                    .collect();
+                SynthesisReport {
+                    collective,
+                    topology_name: topology.name().to_string(),
+                    latency_lower_bound: base.latency_lower_bound * 2,
+                    bandwidth_lower_bound: Rational::new(
+                        2 * base.bandwidth_lower_bound.numerator(),
+                        base.bandwidth_lower_bound.denominator() * p as u64,
+                    ),
+                    entries,
+                    termination: base.termination,
+                    hit_step_cap: base.hit_step_cap,
+                    budget_exhausted: base.budget_exhausted,
+                }
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sequential driver
+// ---------------------------------------------------------------------
+
+/// Run Algorithm 1 for any collective (non-combining directly; Reduce and
+/// ReduceScatter via their inversion duals on the reversed topology;
+/// Allreduce as inverse-Allgather followed by Allgather).
+pub fn pareto_synthesize(
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+) -> Result<SynthesisReport, SynthesisError> {
+    if topology.num_nodes() < 2 {
+        return Err(SynthesisError::TooFewNodes);
+    }
+    let base = base_problem(topology, collective);
+    let report = pareto_synthesize_noncombining(&base.topology, base.collective, config)?;
+    Ok(finalize_report(topology, collective, report))
+}
+
+fn pareto_synthesize_noncombining(
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+) -> Result<SynthesisReport, SynthesisError> {
+    let plan = enumerate_candidates(topology, collective, config)?;
+    let num_nodes = topology.num_nodes();
+    let mut merge = ParetoMerge::new(plan);
+    while let MergeAction::Need(index) = merge.next() {
+        let instance = merge.plan().jobs[index].instance(collective, num_nodes);
+        let run = synthesize(
+            topology,
+            &instance,
+            &config.encoding,
+            config.solver.clone(),
+            config.per_instance_limits.clone(),
+        );
+        merge.supply(index, run);
+    }
+    Ok(merge.into_report())
 }
 
 #[cfg(test)]
@@ -372,6 +762,7 @@ mod tests {
         assert!(report.latency_optimal().is_some());
         assert!(report.bandwidth_optimal().is_some());
         assert!(!report.hit_step_cap);
+        assert_eq!(report.termination, TerminationReason::BandwidthOptimal);
         // Entries are strictly improving in bandwidth as steps grow.
         for pair in report.entries.windows(2) {
             assert!(pair[0].steps < pair[1].steps);
@@ -387,9 +778,8 @@ mod tests {
     #[test]
     fn ring4_broadcast_frontier() {
         let topo = builders::ring(4, 1);
-        let report =
-            pareto_synthesize(&topo, Collective::Broadcast { root: 0 }, &quick_config())
-                .expect("report");
+        let report = pareto_synthesize(&topo, Collective::Broadcast { root: 0 }, &quick_config())
+            .expect("report");
         assert_eq!(report.latency_lower_bound, 2);
         assert_eq!(report.bandwidth_lower_bound, Rational::new(1, 2));
         // The frontier starts at the latency bound; the exact 1/2 bandwidth
@@ -409,9 +799,8 @@ mod tests {
         // at S = 1 only when every leaf can send directly; the frontier
         // should contain a Both entry at (C=1, S=?, R=?) with ratio 1.
         let topo = builders::star(5, 1);
-        let report =
-            pareto_synthesize(&topo, Collective::Gather { root: 0 }, &quick_config())
-                .expect("report");
+        let report = pareto_synthesize(&topo, Collective::Gather { root: 0 }, &quick_config())
+            .expect("report");
         assert_eq!(report.latency_lower_bound, 1);
         assert_eq!(report.bandwidth_lower_bound, Rational::from_integer(1));
         let first = &report.entries[0];
@@ -474,7 +863,8 @@ mod tests {
 
     #[test]
     fn step_cap_is_reported() {
-        // Cap the search below the bandwidth-optimal step count.
+        // Cap the search below the bandwidth-optimal step count, leaving
+        // improvement possible: step-limited.
         let topo = builders::ring(4, 1);
         let config = SynthesisConfig {
             max_steps: 2,
@@ -483,7 +873,31 @@ mod tests {
         };
         let report = pareto_synthesize(&topo, Collective::Allgather, &config).expect("report");
         assert!(report.hit_step_cap);
+        assert_eq!(report.termination, TerminationReason::StepLimited);
         assert!(report.bandwidth_optimal().is_none());
+    }
+
+    #[test]
+    fn chunk_cap_is_distinguished_from_step_cap() {
+        // Broadcast on a 4-ring has b_l = 1/2, unreachable with C ≤ 2: once
+        // the plan is exhausted, step 9 would need ratio ≥ 9/2 — worse than
+        // anything already found. That is a chunk-cap limitation and must
+        // not be misreported as "raise --max-steps".
+        let topo = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 8,
+            max_chunks: 2,
+            ..Default::default()
+        };
+        let report =
+            pareto_synthesize(&topo, Collective::Broadcast { root: 0 }, &config).expect("report");
+        assert!(!report.entries.is_empty());
+        assert!(report.bandwidth_optimal().is_none());
+        assert_eq!(report.termination, TerminationReason::ChunkLimited);
+        assert!(
+            !report.hit_step_cap,
+            "chunk-limited is not a step-cap condition"
+        );
     }
 
     #[test]
@@ -514,5 +928,149 @@ mod tests {
         assert_eq!(Optimality::Bandwidth.label(), "Bandwidth");
         assert_eq!(Optimality::Both.label(), "Both");
         assert_eq!(Optimality::Intermediate.label(), "");
+    }
+
+    #[test]
+    fn plan_enumerates_in_sequential_decision_order() {
+        let topo = builders::ring(4, 1);
+        let plan =
+            enumerate_candidates(&topo, Collective::Allgather, &quick_config()).expect("plan");
+        assert!(!plan.trivial);
+        assert_eq!(plan.latency_lower_bound, 2);
+        // Indices are dense and ordered.
+        for (i, job) in plan.jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+            assert!(job.ratio() >= plan.bandwidth_lower_bound);
+            assert!(job.steps >= plan.latency_lower_bound);
+            assert!(job.steps <= plan.max_steps);
+            assert!(job.chunks <= plan.max_chunks);
+        }
+        // Within a step count, candidates are cheapest-bandwidth first.
+        for pair in plan.jobs.windows(2) {
+            if pair[0].steps == pair[1].steps {
+                assert!(pair[0].ratio() <= pair[1].ratio());
+            } else {
+                assert!(pair[0].steps < pair[1].steps);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_skips_dominated_candidates_and_reports_them() {
+        let topo = builders::ring(4, 1);
+        let plan =
+            enumerate_candidates(&topo, Collective::Allgather, &quick_config()).expect("plan");
+        let total = plan.jobs.len();
+        let mut merge = ParetoMerge::new(plan);
+        let config = quick_config();
+        let mut solved = Vec::new();
+        let mut skipped = Vec::new();
+        while let MergeAction::Need(index) = merge.next() {
+            skipped.extend(merge.drain_skipped());
+            let instance = merge.plan().jobs[index].instance(Collective::Allgather, 4);
+            let run = synthesize(
+                &topo,
+                &instance,
+                &config.encoding,
+                config.solver.clone(),
+                Limits::none(),
+            );
+            solved.push(index);
+            merge.supply(index, run);
+        }
+        skipped.extend(merge.drain_skipped());
+        // Every candidate was either solved or explicitly skipped.
+        let mut all: Vec<usize> = solved.iter().chain(skipped.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+        // And the assembled report matches the one-shot driver.
+        let report = merge.into_report();
+        let reference =
+            pareto_synthesize(&topo, Collective::Allgather, &quick_config()).expect("reference");
+        assert!(report.same_frontier(&reference));
+    }
+
+    #[test]
+    fn chunk_cap_accounts_for_alltoall_chunk_granularity() {
+        // Alltoall on 4 nodes only admits chunk counts that are multiples
+        // of 4, so with max_chunks = 6 the largest usable count is 4, not
+        // 6. A frontier whose best ratio is 1 is chunk-limited at
+        // max_steps = 4 (the next step's cheapest feasible ratio is
+        // 5/4 ≥ 1); judging by max_chunks = 6 would wrongly say 5/6 < 1,
+        // i.e. step-limited.
+        let plan = CandidatePlan {
+            collective: Collective::Alltoall,
+            topology_name: "synthetic".to_string(),
+            latency_lower_bound: 2,
+            bandwidth_lower_bound: Rational::new(1, 2),
+            max_steps: 4,
+            max_chunks: 6,
+            chunk_step: 4,
+            trivial: false,
+            jobs: vec![CandidateJob {
+                index: 0,
+                steps: 4,
+                rounds: 4,
+                chunks: 4,
+            }],
+        };
+        let mut merge = ParetoMerge::new(plan);
+        let MergeAction::Need(0) = merge.next() else {
+            panic!("expected the single candidate to be needed");
+        };
+        let algorithm = Algorithm {
+            collective: Collective::Alltoall,
+            topology_name: "synthetic".to_string(),
+            num_nodes: 4,
+            per_node_chunks: 4,
+            num_chunks: 16,
+            rounds_per_step: vec![1; 4],
+            sends: Vec::new(),
+        };
+        merge.supply(
+            0,
+            SynthesisRun {
+                outcome: SynthesisOutcome::Satisfiable(algorithm),
+                encode_time: Duration::ZERO,
+                solve_time: Duration::ZERO,
+                encoding: EncodingStats::default(),
+            },
+        );
+        assert_eq!(merge.next(), MergeAction::Done);
+        let report = merge.into_report();
+        assert_eq!(report.termination, TerminationReason::ChunkLimited);
+        assert!(!report.hit_step_cap);
+    }
+
+    #[test]
+    fn chunk_cap_below_granularity_is_chunk_limited() {
+        // Alltoall on 4 nodes needs C in multiples of 4; max_chunks = 2
+        // admits no candidate at any step count, which is a chunk-cap
+        // limitation (raising max_steps can never help).
+        let topo = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: 2,
+            ..Default::default()
+        };
+        let report = pareto_synthesize(&topo, Collective::Alltoall, &config).expect("report");
+        assert!(report.entries.is_empty());
+        assert_eq!(report.termination, TerminationReason::ChunkLimited);
+        assert!(!report.hit_step_cap);
+    }
+
+    #[test]
+    fn termination_reason_descriptions_are_distinct() {
+        let reasons = [
+            TerminationReason::BandwidthOptimal,
+            TerminationReason::ChunkLimited,
+            TerminationReason::StepLimited,
+            TerminationReason::Trivial,
+        ];
+        for (i, a) in reasons.iter().enumerate() {
+            for b in &reasons[i + 1..] {
+                assert_ne!(a.describe(), b.describe());
+            }
+        }
     }
 }

@@ -4,11 +4,11 @@
 
 use proptest::prelude::*;
 use sccl_collectives::Collective;
+use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use sccl_core::combining::{
     allreduce_required, compose_allreduce, invert, reducescatter_required, validate_combining,
 };
 use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
-use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use sccl_solver::{Limits, SolverConfig};
 use sccl_topology::{builders, Rational, Topology};
 

@@ -151,10 +151,7 @@ impl Program {
 
     /// Total number of sends in the whole program.
     pub fn total_sends(&self) -> usize {
-        self.ranks
-            .iter()
-            .map(|r| r.ops_of_kind(OpKind::Send))
-            .sum()
+        self.ranks.iter().map(|r| r.ops_of_kind(OpKind::Send)).sum()
     }
 
     /// Consistency check: every send has exactly one matching receive on

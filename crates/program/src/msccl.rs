@@ -70,7 +70,11 @@ pub fn to_msccl_xml(program: &Program) -> String {
                 entry.steps.push(TbStep {
                     step,
                     op: kind,
-                    src_buffer: if kind == "s" { OUTPUT_BUFFER } else { INPUT_BUFFER },
+                    src_buffer: if kind == "s" {
+                        OUTPUT_BUFFER
+                    } else {
+                        INPUT_BUFFER
+                    },
                     src_offset: op.chunk,
                     dst_buffer: OUTPUT_BUFFER,
                     dst_offset: op.chunk,

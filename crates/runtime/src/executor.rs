@@ -185,7 +185,11 @@ fn execute_fused(
         .map(|r| {
             (0..g)
                 .map(|c| {
-                    AtomicUsize::new(if initial_valid[r].contains(&c) { 0 } else { INVALID })
+                    AtomicUsize::new(if initial_valid[r].contains(&c) {
+                        0
+                    } else {
+                        INVALID
+                    })
                 })
                 .collect()
         })

@@ -52,7 +52,12 @@ impl CollectiveLibrary {
     }
 
     /// Register a single implementation.
-    pub fn register(&mut self, label: impl Into<String>, algorithm: Algorithm, lowering: LoweringOptions) {
+    pub fn register(
+        &mut self,
+        label: impl Into<String>,
+        algorithm: Algorithm,
+        lowering: LoweringOptions,
+    ) {
         self.entries.push(LibraryEntry {
             label: label.into(),
             algorithm,
@@ -78,19 +83,35 @@ impl CollectiveLibrary {
     /// The predicted-fastest implementation of `collective` for an input of
     /// `input_bytes` bytes, or `None` if none is registered.
     pub fn select(&self, collective: Collective, input_bytes: u64) -> Option<&LibraryEntry> {
-        self.implementations(collective)
-            .into_iter()
-            .min_by(|a, b| {
-                let ta = simulate_time(&a.algorithm, &self.topology, input_bytes, &self.cost_model, &a.lowering);
-                let tb = simulate_time(&b.algorithm, &self.topology, input_bytes, &self.cost_model, &b.lowering);
-                ta.partial_cmp(&tb).expect("finite times")
-            })
+        self.implementations(collective).into_iter().min_by(|a, b| {
+            let ta = simulate_time(
+                &a.algorithm,
+                &self.topology,
+                input_bytes,
+                &self.cost_model,
+                &a.lowering,
+            );
+            let tb = simulate_time(
+                &b.algorithm,
+                &self.topology,
+                input_bytes,
+                &self.cost_model,
+                &b.lowering,
+            );
+            ta.partial_cmp(&tb).expect("finite times")
+        })
     }
 
     /// Predicted execution time of the selected implementation.
     pub fn predicted_time(&self, collective: Collective, input_bytes: u64) -> Option<f64> {
         self.select(collective, input_bytes).map(|e| {
-            simulate_time(&e.algorithm, &self.topology, input_bytes, &self.cost_model, &e.lowering)
+            simulate_time(
+                &e.algorithm,
+                &self.topology,
+                input_bytes,
+                &self.cost_model,
+                &e.lowering,
+            )
         })
     }
 
@@ -169,7 +190,9 @@ mod tests {
         let lib = ring_library();
         let sizes: Vec<u64> = vec![256, 4_096, 1 << 20, 1 << 28];
         for &bytes in &sizes {
-            let best = lib.predicted_time(Collective::Allgather, bytes).expect("entry");
+            let best = lib
+                .predicted_time(Collective::Allgather, bytes)
+                .expect("entry");
             for entry in lib.implementations(Collective::Allgather) {
                 let t = simulate_time(
                     &entry.algorithm,

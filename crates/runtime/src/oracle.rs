@@ -103,7 +103,9 @@ pub fn reducescatter_expected_chunk(
 ) -> Vec<f32> {
     let mut sum = vec![0.0f32; chunk_elems];
     for buf in inputs {
-        for (s, v) in sum.iter_mut().zip(buf[chunk * chunk_elems..(chunk + 1) * chunk_elems].iter())
+        for (s, v) in sum
+            .iter_mut()
+            .zip(buf[chunk * chunk_elems..(chunk + 1) * chunk_elems].iter())
         {
             *s += v;
         }
@@ -168,10 +170,7 @@ pub fn assert_close(actual: &[Vec<f32>], expected: &[Vec<f32>], tol: f32) {
     for (rank, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
         assert_eq!(a.len(), e.len(), "buffer length mismatch on rank {rank}");
         for (i, (x, y)) in a.iter().zip(e.iter()).enumerate() {
-            assert!(
-                (x - y).abs() <= tol,
-                "rank {rank} element {i}: {x} vs {y}"
-            );
+            assert!((x - y).abs() <= tol, "rank {rank} element {i}: {x} vs {y}");
         }
     }
 }
@@ -186,7 +185,7 @@ mod tests {
         assert_eq!(inputs.len(), 4);
         assert_eq!(inputs[0].len(), 32);
         // Rank 1 owns chunks 1 and 5 only.
-        assert!(inputs[1][1 * 4] > f32::MIN);
+        assert!(inputs[1][4] > f32::MIN);
         assert!(inputs[1][5 * 4] > f32::MIN);
         assert_eq!(inputs[1][0], f32::MIN);
         let expected = allgather_expected(&inputs, 4, 8, 4);

@@ -142,7 +142,10 @@ mod tests {
         let t_small = |a: &Algorithm| simulate_time(a, &topo, 1_024, &model, &lowering);
         let t_large = |a: &Algorithm| simulate_time(a, &topo, 256 * 1024 * 1024, &model, &lowering);
         assert!(t_small(lat) < t_small(bw), "latency-optimal wins at 1 KB");
-        assert!(t_large(bw) < t_large(lat), "bandwidth-optimal wins at 256 MB");
+        assert!(
+            t_large(bw) < t_large(lat),
+            "bandwidth-optimal wins at 256 MB"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
         let model = CostModel::nvlink();
         let lowering = LoweringOptions::default();
         let s = speedup((lat, &lowering), (bw, &lowering), &topo, 1_024, &model);
-        assert!(s > 1.0, "latency-optimal should beat bandwidth-optimal at 1 KB");
+        assert!(
+            s > 1.0,
+            "latency-optimal should beat bandwidth-optimal at 1 KB"
+        );
         let inv = speedup((bw, &lowering), (lat, &lowering), &topo, 1_024, &model);
         assert!((s * inv - 1.0).abs() < 1e-9);
     }

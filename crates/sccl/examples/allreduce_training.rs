@@ -55,7 +55,10 @@ fn main() {
     let cost_model = CostModel::nvlink();
     let lowering = LoweringOptions::default();
     println!("\nper-size winner (simulated):");
-    println!("{:>14} {:>14} {:>12} {:>10}", "buffer", "best SCCL", "NCCL (us)", "speedup");
+    println!(
+        "{:>14} {:>14} {:>12} {:>10}",
+        "buffer", "best SCCL", "NCCL (us)", "speedup"
+    );
     for bytes in [8_192u64, 262_144, 8 << 20, 256 << 20, 2 << 30] {
         let (best_label, best_time) = report
             .entries

@@ -39,7 +39,11 @@ fn probe(topology: &Topology, chunks: usize, steps: usize, rounds: u64) -> Optio
 
 fn main() {
     let dgx1 = builders::dgx1();
-    println!("DGX-1 NVLink topology: {} GPUs, {} directed links", dgx1.num_nodes(), dgx1.num_links());
+    println!(
+        "DGX-1 NVLink topology: {} GPUs, {} directed links",
+        dgx1.num_nodes(),
+        dgx1.num_links()
+    );
     println!(
         "diameter = {:?}, per-GPU ingress bandwidth = {} chunks/round",
         dgx1.diameter(),
@@ -65,7 +69,10 @@ fn main() {
     println!("\nLatency-optimal schedule:\n{latency_optimal}");
 
     // How well does each schedule use the NVLink fabric?
-    for (name, alg) in [("(2,2,3)", &latency_optimal), ("(6,3,7)", &bandwidth_optimal)] {
+    for (name, alg) in [
+        ("(2,2,3)", &latency_optimal),
+        ("(6,3,7)", &bandwidth_optimal),
+    ] {
         let util = sccl_core::LinkUtilization::analyse(alg, &dgx1);
         println!("link utilization of {name}:\n{}", util.render());
     }
@@ -75,7 +82,10 @@ fn main() {
     let cost_model = CostModel::nvlink();
     let lowering = LoweringOptions::default();
     println!("predicted time vs NCCL (6,7,7) ring allgather:");
-    println!("{:>12}  {:>12} {:>12} {:>12}", "bytes", "(2,2,3)", "(6,3,7)", "NCCL");
+    println!(
+        "{:>12}  {:>12} {:>12} {:>12}",
+        "bytes", "(2,2,3)", "(6,3,7)", "NCCL"
+    );
     for bytes in [1_024u64, 65_536, 1 << 20, 1 << 24, 1 << 28] {
         let t_lat = simulate_time(&latency_optimal, &dgx1, bytes, &cost_model, &lowering);
         let t_bw = simulate_time(&bandwidth_optimal, &dgx1, bytes, &cost_model, &lowering);

@@ -44,9 +44,7 @@ fn main() {
     let al = latency_lower_bound(&machine, &spec).expect("connected");
     let bl = bandwidth_lower_bound(&machine, &spec, 1).expect("connected");
     println!("structural lower bounds: latency {al} steps, bandwidth {bl} rounds/chunk");
-    println!(
-        "(for comparison, the DGX-1 achieves latency 2 and bandwidth 7/6)"
-    );
+    println!("(for comparison, the DGX-1 achieves latency 2 and bandwidth 7/6)");
 
     // Probe the k-synchronous design space: which (S, R, C) combinations
     // does this machine admit?

@@ -58,7 +58,8 @@ fn main() {
         chunk_elems: 32,
         mode: ExecutionMode::Fused,
     };
-    let inputs = oracle::allgather_inputs(4, latency_optimal.num_chunks, exec_config.chunk_elems, 42);
+    let inputs =
+        oracle::allgather_inputs(4, latency_optimal.num_chunks, exec_config.chunk_elems, 42);
     let valid = oracle::scattered_valid(4, latency_optimal.num_chunks);
     let result = sccl_runtime::execute(&program, &inputs, &valid, exec_config);
     let expected = oracle::allgather_expected(

@@ -1,0 +1,475 @@
+//! The `sccl` command-line tool: synthesize collective algorithms for a
+//! topology, print Pareto frontiers, probe individual `(C, S, R)` points,
+//! compute structural lower bounds, emit generated code, and drive batch
+//! synthesis through the parallel scheduler and the persistent algorithm
+//! cache.
+//!
+//! ```bash
+//! cargo run --release --bin sccl -- bounds --topology dgx1 --collective allgather
+//! cargo run --release --bin sccl -- probe --topology dgx1 --collective allgather --chunks 2 --steps 2 --rounds 3
+//! cargo run --release --bin sccl -- pareto --topology ring:4 --collective allreduce --max-steps 6 --json
+//! cargo run --release --bin sccl -- codegen --topology ring:4 --collective allgather --chunks 1 --steps 3 --rounds 3
+//! cargo run --release --bin sccl -- batch --manifest jobs.txt --threads 8 --cache .sccl-cache
+//! cargo run --release --bin sccl -- warmup --manifest jobs.txt --cache .sccl-cache
+//! ```
+
+use sccl::prelude::*;
+use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
+use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
+use sccl_core::pareto::TerminationReason;
+use sccl_sched::{
+    parse_manifest, run_batch, AlgorithmCache, BatchMode, BatchOptions, BatchReport, ParallelConfig,
+};
+use sccl_solver::{Limits, SolverConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sccl <command> [--key value ...]\n\
+         \n\
+         commands:\n\
+           bounds   --topology T --collective C          structural lower bounds\n\
+           probe    --topology T --collective C --chunks N --steps S --rounds R [--timeout SECS]\n\
+           pareto   --topology T --collective C [--k K] [--max-steps N] [--max-chunks N]\n\
+                    [--parallel] [--threads N] [--json]\n\
+           codegen  --topology T --collective C --chunks N --steps S --rounds R [--dma]\n\
+           batch    --manifest FILE [--threads N] [--sequential] [--cache DIR]\n\
+                    [--k K] [--max-steps N] [--max-chunks N]\n\
+           warmup   --manifest FILE [--cache DIR] [--threads N] [--k K]\n\
+                    [--max-steps N] [--max-chunks N]\n\
+         \n\
+         per-instance solver budget (pareto/batch/warmup): --timeout SECS\n\
+         (wall-clock, 0 = unlimited) and/or --max-conflicts N (deterministic;\n\
+         keeps --parallel frontiers bit-identical to sequential ones)\n\
+         \n\
+         topologies: dgx1 | dgx1-single | amd | ring:N | uniring:N | chain:N |\n\
+                     star:N | fc:N | hypercube:D | mesh:RxC | nvswitch:N\n\
+         collectives: allgather | broadcast | gather | scatter | alltoall |\n\
+                      reduce | reducescatter | allreduce (root defaults to 0)\n\
+         \n\
+         batch manifests hold one `<topology> <collective> [root=N]` job per\n\
+         line; `#` starts a comment. With --cache, solved frontiers persist\n\
+         and later runs (or `warmup`) reuse them without solving."
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            // Both `--key value` and `--key=value` are accepted.
+            if let Some((key, value)) = key.split_once('=') {
+                flags.insert(key.to_string(), value.to_string());
+                i += 1;
+            } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Numeric flag value, or `default` when absent. A present-but-unparseable
+/// value is an error, not a silent fallback: running with a different
+/// configuration than the user asked for is worse than stopping.
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    match flags.get(key) {
+        None => default,
+        Some(value) => value.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value `{value}` for --{key} (expected a number)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The topology + collective pair most commands require.
+fn require_problem(flags: &HashMap<String, String>) -> Option<(Topology, Collective)> {
+    let topology = match flags.get("topology").map(|t| builders::parse_spec(t)) {
+        Some(Some(t)) => t,
+        _ => {
+            eprintln!("error: missing or unknown --topology");
+            return None;
+        }
+    };
+    let root = get_usize(flags, "root", 0);
+    if root >= topology.num_nodes() {
+        eprintln!(
+            "error: --root {root} out of range for {} ({} nodes)",
+            topology.name(),
+            topology.num_nodes()
+        );
+        return None;
+    }
+    let collective = match flags
+        .get("collective")
+        .map(|c| Collective::parse_spec(c, root))
+    {
+        Some(Some(c)) => c,
+        _ => {
+            eprintln!("error: missing or unknown --collective");
+            return None;
+        }
+    };
+    Some((topology, collective))
+}
+
+/// Synthesis search configuration from the common flags.
+///
+/// The per-instance budget is `--timeout SECS` wall-clock (0 = unlimited)
+/// and/or `--max-conflicts N`. Conflict budgets are machine-independent and
+/// keep parallel runs bit-identical to sequential ones; wall-clock budgets
+/// near the limit can differ run-to-run (see `sccl_sched::parallel`).
+fn synthesis_config(flags: &HashMap<String, String>, default_timeout: usize) -> SynthesisConfig {
+    let timeout = get_usize(flags, "timeout", default_timeout);
+    let mut limits = if timeout == 0 {
+        Limits::none()
+    } else {
+        Limits::time(Duration::from_secs(timeout as u64))
+    };
+    let max_conflicts = get_usize(flags, "max-conflicts", 0);
+    if max_conflicts > 0 {
+        limits.max_conflicts = Some(max_conflicts as u64);
+    }
+    SynthesisConfig {
+        k: get_usize(flags, "k", 0) as u64,
+        max_steps: get_usize(flags, "max-steps", 8),
+        max_chunks: get_usize(flags, "max-chunks", 8),
+        per_instance_limits: limits,
+        ..Default::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+
+    match command.as_str() {
+        "bounds" => {
+            let Some((topology, collective)) = require_problem(&flags) else {
+                return usage();
+            };
+            cmd_bounds(&topology, collective)
+        }
+        "probe" | "codegen" => {
+            let Some((topology, collective)) = require_problem(&flags) else {
+                return usage();
+            };
+            cmd_probe(&topology, collective, &flags, command == "codegen")
+        }
+        "pareto" => {
+            let Some((topology, collective)) = require_problem(&flags) else {
+                return usage();
+            };
+            cmd_pareto(&topology, collective, &flags)
+        }
+        "batch" => cmd_batch(&flags, false),
+        "warmup" => cmd_batch(&flags, true),
+        _ => usage(),
+    }
+}
+
+fn cmd_bounds(topology: &Topology, collective: Collective) -> ExitCode {
+    let reference_chunks = match collective {
+        Collective::Alltoall => topology.num_nodes(),
+        _ => 1,
+    };
+    // Combining collectives are bounded through their non-combining base
+    // problem (the inversion dual runs on the *reversed* topology, §3.5).
+    let base = sccl_core::pareto::base_problem(topology, collective);
+    let spec = base
+        .collective
+        .spec(base.topology.num_nodes(), reference_chunks);
+    match (
+        latency_lower_bound(&base.topology, &spec),
+        bandwidth_lower_bound(&base.topology, &spec, reference_chunks),
+    ) {
+        (Some(al), Some(bl)) => {
+            println!(
+                "topology: {} ({} nodes)",
+                topology.name(),
+                topology.num_nodes()
+            );
+            println!("collective: {collective}");
+            if collective == Collective::Allreduce {
+                println!(
+                    "latency lower bound: {} steps (2x the Allgather bound)",
+                    2 * al
+                );
+            } else {
+                println!("latency lower bound: {al} steps");
+            }
+            println!("bandwidth lower bound (dual): {bl} rounds/chunk");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("error: topology is not connected for this collective");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_probe(
+    topology: &Topology,
+    collective: Collective,
+    flags: &HashMap<String, String>,
+    codegen: bool,
+) -> ExitCode {
+    let chunks = get_usize(flags, "chunks", 1);
+    let steps = get_usize(flags, "steps", 1);
+    let rounds = get_usize(flags, "rounds", steps) as u64;
+    let timeout = get_usize(flags, "timeout", 300) as u64;
+    // Combining collectives probe their non-combining base problem: the
+    // inversion dual on the *reversed* topology (so the inverted schedule
+    // runs forward on the requested one, §3.5), or Allgather for Allreduce.
+    let base = sccl_core::pareto::base_problem(topology, collective);
+    if collective.class() == sccl_collectives::CollectiveClass::Combining {
+        eprintln!(
+            "note: {collective} is combining; probing {} and deriving",
+            base.collective
+        );
+    }
+    let instance = SynCollInstance {
+        spec: base.collective.spec(base.topology.num_nodes(), chunks),
+        per_node_chunks: chunks,
+        num_steps: steps,
+        num_rounds: rounds,
+    };
+    let run = synthesize(
+        &base.topology,
+        &instance,
+        &EncodingOptions::default(),
+        SolverConfig::default(),
+        Limits::time(Duration::from_secs(timeout)),
+    );
+    println!(
+        "encoded {} vars, {} clauses, {} PB constraints in {:.2?}",
+        run.encoding.num_vars,
+        run.encoding.num_clauses,
+        run.encoding.num_pb_constraints,
+        run.encode_time
+    );
+    match run.outcome {
+        SynthesisOutcome::Satisfiable(mut algorithm) => {
+            println!("SAT in {:.2?}", run.solve_time);
+            if collective.class() == sccl_collectives::CollectiveClass::Combining {
+                algorithm = match collective {
+                    Collective::Allreduce => sccl_core::combining::compose_allreduce(&algorithm),
+                    other => sccl_core::combining::invert(&algorithm, other),
+                };
+                // The dual ran on the reversed topology; the derived
+                // schedule runs forward on the requested one.
+                algorithm.topology_name = topology.name().to_string();
+            }
+            println!("{algorithm}");
+            if codegen {
+                let lowering = if flags.contains_key("dma") {
+                    LoweringOptions::dma_per_step()
+                } else {
+                    LoweringOptions::default()
+                };
+                let program = lower(&algorithm, lowering);
+                println!("{}", generate_cuda(&program));
+            }
+            ExitCode::SUCCESS
+        }
+        SynthesisOutcome::Unsatisfiable => {
+            println!(
+                "UNSAT in {:.2?}: no such k-synchronous algorithm exists",
+                run.solve_time
+            );
+            ExitCode::SUCCESS
+        }
+        SynthesisOutcome::Unknown => {
+            println!("unknown: solver budget of {timeout}s exhausted");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_pareto(
+    topology: &Topology,
+    collective: Collective,
+    flags: &HashMap<String, String>,
+) -> ExitCode {
+    let config = synthesis_config(flags, 120);
+    let result = if flags.contains_key("parallel") {
+        let parallel = ParallelConfig::with_threads(get_usize(flags, "threads", 0));
+        sccl_sched::pareto_synthesize_parallel(topology, collective, &config, &parallel)
+    } else {
+        pareto_synthesize(topology, collective, &config)
+    };
+    match result {
+        Ok(report) => {
+            if flags.contains_key("json") {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => {
+                        eprintln!("error: failed to serialize report: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "Pareto frontier of {} on {} (a_l = {}, b_l = {}):",
+                report.collective,
+                report.topology_name,
+                report.latency_lower_bound,
+                report.bandwidth_lower_bound
+            );
+            for entry in &report.entries {
+                println!(
+                    "  C={:<3} S={:<3} R={:<3} {:<10} {:.2?}",
+                    entry.chunks,
+                    entry.steps,
+                    entry.rounds,
+                    entry.optimality.label(),
+                    entry.synthesis_time
+                );
+            }
+            match report.termination {
+                TerminationReason::BandwidthOptimal => {}
+                reason => println!("  ({})", reason.describe()),
+            }
+            if report.budget_exhausted {
+                println!("  (some probes hit the per-instance timeout)");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_batch(flags: &HashMap<String, String>, warmup: bool) -> ExitCode {
+    let Some(manifest_path) = flags.get("manifest") else {
+        eprintln!("error: --manifest FILE is required");
+        return usage();
+    };
+    let text = match std::fs::read_to_string(manifest_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read manifest {manifest_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = match parse_manifest(&text) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if jobs.is_empty() {
+        eprintln!("error: manifest contains no jobs");
+        return ExitCode::FAILURE;
+    }
+
+    let mode = if flags.contains_key("sequential") {
+        BatchMode::Sequential
+    } else {
+        BatchMode::Parallel
+    };
+    let options = BatchOptions {
+        mode,
+        parallel: ParallelConfig::with_threads(get_usize(flags, "threads", 0)),
+    };
+    let config = synthesis_config(flags, 120);
+
+    // `warmup` is batch whose whole point is the cache: default the
+    // directory rather than requiring the flag.
+    let cache_dir = flags
+        .get("cache")
+        .cloned()
+        .or_else(|| warmup.then(|| ".sccl-cache".to_string()));
+    let cache = match cache_dir {
+        Some(dir) => match AlgorithmCache::open(&dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("error: cannot open cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let report = run_batch(&jobs, &config, &options, cache.as_ref());
+    print_batch_report(&report, mode, cache.as_ref(), warmup);
+    if report.failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_batch_report(
+    report: &BatchReport,
+    mode: BatchMode,
+    cache: Option<&AlgorithmCache>,
+    warmup: bool,
+) {
+    for result in &report.results {
+        let source = if result.from_cache { "cache" } else { "solved" };
+        match &result.outcome {
+            Ok(synthesis) => println!(
+                "  {:<12} {:<22} {:>2} entries  {:<7} {:>10.2?}  {}",
+                result.job.topology_spec,
+                synthesis.collective.to_string(),
+                synthesis.entries.len(),
+                source,
+                result.elapsed,
+                match synthesis.termination {
+                    TerminationReason::BandwidthOptimal => "complete",
+                    other => other.describe(),
+                },
+            ),
+            Err(e) => println!(
+                "  {:<12} {:<22} FAILED: {e}",
+                result.job.topology_spec,
+                result.job.collective.to_string(),
+            ),
+        }
+    }
+    let mode_label = match mode {
+        BatchMode::Sequential => "sequential",
+        BatchMode::Parallel => "parallel",
+    };
+    println!(
+        "{}: {} jobs in {:.2?} ({:.2} jobs/s, {} mode): {} solved, {} from cache, {} failed, {} frontier entries",
+        if warmup { "warmup" } else { "batch" },
+        report.results.len(),
+        report.wall_time,
+        report.throughput(),
+        mode_label,
+        report.solved(),
+        report.cache_hits(),
+        report.failures(),
+        report.total_entries(),
+    );
+    if let Some(cache) = cache {
+        let stats = cache.stats();
+        println!(
+            "cache: {} entries at {} ({} hits, {} misses, {} stores this run)",
+            cache.len(),
+            cache.root().display(),
+            stats.hits,
+            stats.misses,
+            stats.stores,
+        );
+    }
+}

@@ -12,7 +12,12 @@ use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
 use sccl_solver::{Limits, SolverConfig};
 
-fn probe_allgather(topology: &Topology, chunks: usize, steps: usize, rounds: u64) -> SynthesisOutcome {
+fn probe_allgather(
+    topology: &Topology,
+    chunks: usize,
+    steps: usize,
+    rounds: u64,
+) -> SynthesisOutcome {
     let instance = SynCollInstance {
         spec: Collective::Allgather.spec(topology.num_nodes(), chunks),
         per_node_chunks: chunks,

@@ -41,7 +41,12 @@ fn ring_allgather_end_to_end() {
             let result = execute(&program, &inputs, &valid, config);
             let expected =
                 oracle::allgather_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
-            assert_eq!(result.buffers, expected, "mode {mode:?}, entry {}", alg.label());
+            assert_eq!(
+                result.buffers,
+                expected,
+                "mode {mode:?}, entry {}",
+                alg.label()
+            );
         }
     }
 }
@@ -78,7 +83,10 @@ fn ring_allreduce_end_to_end() {
         let program = lower(alg, LoweringOptions::default());
         program.check_matching().expect("matched");
         // Combining schedules have RecvReduce ops.
-        assert!(program.ranks.iter().any(|r| r.ops_of_kind(OpKind::RecvReduce) > 0));
+        assert!(program
+            .ranks
+            .iter()
+            .any(|r| r.ops_of_kind(OpKind::RecvReduce) > 0));
 
         let config = ExecutionConfig {
             chunk_elems: 8,
@@ -87,8 +95,7 @@ fn ring_allreduce_end_to_end() {
         let inputs = oracle::allreduce_inputs(4, alg.num_chunks, config.chunk_elems, 13);
         let valid = oracle::all_valid(4, alg.num_chunks);
         let result = execute(&program, &inputs, &valid, config);
-        let expected =
-            oracle::allreduce_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
+        let expected = oracle::allreduce_expected(&inputs, 4, alg.num_chunks, config.chunk_elems);
         oracle::assert_close(&result.buffers, &expected, 1e-3);
     }
 }
@@ -99,13 +106,19 @@ fn star_scatter_and_gather_end_to_end() {
     // Scatter: the root's buffer ends up distributed.
     let scatter = synthesize_frontier(&topo, Collective::Scatter { root: 0 });
     let alg = &scatter.entries[0].algorithm;
-    alg.validate(&topo, &Collective::Scatter { root: 0 }.spec(4, scatter.entries[0].chunks))
-        .expect("valid scatter");
+    alg.validate(
+        &topo,
+        &Collective::Scatter { root: 0 }.spec(4, scatter.entries[0].chunks),
+    )
+    .expect("valid scatter");
     // Gather: all buffers end up at the root.
     let gather = synthesize_frontier(&topo, Collective::Gather { root: 0 });
     let alg = &gather.entries[0].algorithm;
-    alg.validate(&topo, &Collective::Gather { root: 0 }.spec(4, gather.entries[0].chunks))
-        .expect("valid gather");
+    alg.validate(
+        &topo,
+        &Collective::Gather { root: 0 }.spec(4, gather.entries[0].chunks),
+    )
+    .expect("valid gather");
 }
 
 #[test]
@@ -134,7 +147,10 @@ fn simulator_predicts_crossovers_on_the_frontier() {
     let topo = builders::ring(4, 1);
     let report = synthesize_frontier(&topo, Collective::Allgather);
     let lat = &report.latency_optimal().expect("latency entry").algorithm;
-    let bw = &report.bandwidth_optimal().expect("bandwidth entry").algorithm;
+    let bw = &report
+        .bandwidth_optimal()
+        .expect("bandwidth entry")
+        .algorithm;
     let model = CostModel::nvlink();
     let lowering = LoweringOptions::default();
     let small = 1_024;

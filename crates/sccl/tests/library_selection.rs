@@ -10,7 +10,12 @@ use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance};
 use sccl_runtime::{simulate_time, CollectiveLibrary};
 use sccl_solver::{Limits, SolverConfig};
 
-fn synthesize_allgather(topology: &Topology, chunks: usize, steps: usize, rounds: u64) -> Algorithm {
+fn synthesize_allgather(
+    topology: &Topology,
+    chunks: usize,
+    steps: usize,
+    rounds: u64,
+) -> Algorithm {
     let instance = SynCollInstance {
         spec: Collective::Allgather.spec(topology.num_nodes(), chunks),
         per_node_chunks: chunks,
@@ -39,7 +44,11 @@ fn dgx1_allgather_library() -> (CollectiveLibrary, Algorithm) {
     let mut lib = CollectiveLibrary::new(dgx1, CostModel::nvlink());
     lib.register("(1,2,2)", lat122, LoweringOptions::default());
     lib.register("(2,2,3)", lat223, LoweringOptions::default());
-    lib.register("NCCL rings (6,7,7)", nccl.clone(), LoweringOptions::default());
+    lib.register(
+        "NCCL rings (6,7,7)",
+        nccl.clone(),
+        LoweringOptions::default(),
+    );
     (lib, nccl)
 }
 
@@ -102,8 +111,6 @@ fn allreduce_library_mixes_synthesized_and_baseline() {
 
     let small = lib.select(Collective::Allreduce, 8_192).expect("entry");
     assert_eq!(small.label, "(8,4,4)");
-    let large = lib
-        .select(Collective::Allreduce, 1 << 30)
-        .expect("entry");
+    let large = lib.select(Collective::Allreduce, 1 << 30).expect("entry");
     assert_eq!(large.label, "NCCL (48,14,14)");
 }

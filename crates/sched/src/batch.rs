@@ -1,0 +1,334 @@
+//! The batch front-end: parse a manifest of `topology × collective` jobs,
+//! drive the parallel scheduler (with the persistent cache in front of it),
+//! and summarize throughput.
+//!
+//! Manifest format — one job per line:
+//!
+//! ```text
+//! # topology   collective   [root=N]
+//! dgx1         allgather
+//! dgx1         broadcast    root=3
+//! ring:8       allreduce
+//! ```
+//!
+//! Topology specs are those of `sccl_topology::builders::parse_spec`;
+//! collective names those of `Collective::parse_spec`. Blank lines and
+//! `#` comments are ignored.
+
+use crate::cache::{AlgorithmCache, CacheKey};
+use crate::parallel::{pareto_synthesize_parallel, ParallelConfig};
+use sccl_collectives::Collective;
+use sccl_core::pareto::{pareto_synthesize, SynthesisConfig, SynthesisError, SynthesisReport};
+use sccl_topology::{builders, Topology};
+use std::time::{Duration, Instant};
+
+/// One synthesis job of a batch.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// The textual topology spec the job was parsed from (display).
+    pub topology_spec: String,
+    pub topology: Topology,
+    pub collective: Collective,
+}
+
+/// A manifest line that could not be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Parse a batch manifest (see the module docs for the format).
+pub fn parse_manifest(text: &str) -> Result<Vec<BatchJob>, ManifestError> {
+    let mut jobs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let topo_spec = parts.next().expect("nonempty line has a first token");
+        let Some(coll_spec) = parts.next() else {
+            return Err(ManifestError {
+                line,
+                message: format!("expected `<topology> <collective>`, found only `{topo_spec}`"),
+            });
+        };
+        let mut root = 0usize;
+        for extra in parts {
+            match extra.split_once('=') {
+                Some(("root", value)) => {
+                    root = value.parse().map_err(|_| ManifestError {
+                        line,
+                        message: format!("invalid root `{value}`"),
+                    })?;
+                }
+                _ => {
+                    return Err(ManifestError {
+                        line,
+                        message: format!("unknown option `{extra}` (supported: root=N)"),
+                    })
+                }
+            }
+        }
+        let Some(topology) = builders::parse_spec(topo_spec) else {
+            return Err(ManifestError {
+                line,
+                message: format!("unknown topology `{topo_spec}`"),
+            });
+        };
+        let Some(collective) = Collective::parse_spec(coll_spec, root) else {
+            return Err(ManifestError {
+                line,
+                message: format!("unknown collective `{coll_spec}`"),
+            });
+        };
+        if root >= topology.num_nodes() {
+            return Err(ManifestError {
+                line,
+                message: format!(
+                    "root {root} out of range for `{topo_spec}` ({} nodes)",
+                    topology.num_nodes()
+                ),
+            });
+        }
+        jobs.push(BatchJob {
+            topology_spec: topo_spec.to_string(),
+            topology,
+            collective,
+        });
+    }
+    Ok(jobs)
+}
+
+/// How a batch executes its jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// The plain sequential Algorithm 1 loop (baseline / comparison).
+    Sequential,
+    /// The work-queue parallel scheduler.
+    Parallel,
+}
+
+/// Batch execution options.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    pub mode: BatchMode,
+    pub parallel: ParallelConfig,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            mode: BatchMode::Parallel,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+/// Outcome of one job.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    pub job: BatchJob,
+    pub outcome: Result<SynthesisReport, SynthesisError>,
+    /// `true` if the report came out of the cache without solving.
+    pub from_cache: bool,
+    /// Wall-clock time this job took (lookup + synthesis + store).
+    pub elapsed: Duration,
+}
+
+/// Outcome of a whole batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    pub results: Vec<BatchResult>,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+}
+
+impl BatchReport {
+    pub fn cache_hits(&self) -> usize {
+        self.results.iter().filter(|r| r.from_cache).count()
+    }
+
+    pub fn solved(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| !r.from_cache && r.outcome.is_ok())
+            .count()
+    }
+
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Total frontier entries produced across successful jobs.
+    pub fn total_entries(&self) -> usize {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|report| report.entries.len())
+            .sum()
+    }
+
+    /// Jobs per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.results.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Run a batch of synthesis jobs, consulting (and populating) the cache
+/// when one is provided.
+pub fn run_batch(
+    jobs: &[BatchJob],
+    config: &SynthesisConfig,
+    options: &BatchOptions,
+    cache: Option<&AlgorithmCache>,
+) -> BatchReport {
+    let start = Instant::now();
+    let mut results = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let job_start = Instant::now();
+        let key = cache.map(|_| CacheKey::new(&job.topology, job.collective, config));
+        let cached = match (cache, &key) {
+            (Some(cache), Some(key)) => cache.lookup(key),
+            _ => None,
+        };
+        let (outcome, from_cache) = match cached {
+            Some(report) => (Ok(report), true),
+            None => {
+                let outcome = match options.mode {
+                    BatchMode::Sequential => {
+                        pareto_synthesize(&job.topology, job.collective, config)
+                    }
+                    BatchMode::Parallel => pareto_synthesize_parallel(
+                        &job.topology,
+                        job.collective,
+                        config,
+                        &options.parallel,
+                    ),
+                };
+                if let (Some(cache), Some(key), Ok(report)) = (cache, &key, &outcome) {
+                    // Budget-truncated frontiers are timing-dependent (a
+                    // contended run may drop entries a quiet one would
+                    // find); persisting one would serve the degraded result
+                    // forever. Cache only reproducible reports. A failed
+                    // store leaves the batch result intact; the next run
+                    // simply re-synthesizes.
+                    if !report.budget_exhausted {
+                        let _ = cache.store(key, report);
+                    }
+                }
+                (outcome, false)
+            }
+        };
+        results.push(BatchResult {
+            job: job.clone(),
+            outcome,
+            from_cache,
+            elapsed: job_start.elapsed(),
+        });
+    }
+    BatchReport {
+        results,
+        wall_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parses_jobs_comments_and_roots() {
+        let text = "\
+# a comment line
+dgx1 allgather
+ring:4  broadcast root=2   # trailing comment
+
+chain:3 allreduce
+";
+        let jobs = parse_manifest(text).expect("parses");
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].topology.num_nodes(), 8);
+        assert_eq!(jobs[0].collective, Collective::Allgather);
+        assert_eq!(jobs[1].collective, Collective::Broadcast { root: 2 });
+        assert_eq!(jobs[2].topology_spec, "chain:3");
+    }
+
+    #[test]
+    fn manifest_rejects_bad_lines_with_position() {
+        let err = parse_manifest("dgx1 allgather\nwat\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_manifest("torus:9 allgather\n").unwrap_err();
+        assert!(err.message.contains("torus:9"));
+        let err = parse_manifest("dgx1 allsum\n").unwrap_err();
+        assert!(err.message.contains("allsum"));
+        let err = parse_manifest("dgx1 broadcast root=x\n").unwrap_err();
+        assert!(err.message.contains("root"));
+        let err = parse_manifest("dgx1 broadcast depth=2\n").unwrap_err();
+        assert!(err.message.contains("depth=2"));
+        // Out-of-range roots are caught at parse time, not as a panic deep
+        // inside synthesis.
+        let err = parse_manifest("ring:4 broadcast root=9\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn budget_truncated_frontiers_are_not_cached() {
+        use crate::cache::AlgorithmCache;
+        use sccl_solver::Limits;
+        use std::time::Duration;
+
+        let dir = std::env::temp_dir().join(format!("sccl-batch-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = AlgorithmCache::open(&dir).expect("open");
+        let jobs = parse_manifest("ring:4 allgather\n").expect("jobs");
+        // A zero wall-clock budget makes every solve return Unknown, so the
+        // report is budget-truncated — a timing-dependent result that must
+        // not be persisted.
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: 4,
+            per_instance_limits: Limits::time(Duration::ZERO),
+            ..Default::default()
+        };
+        let report = run_batch(&jobs, &config, &BatchOptions::default(), Some(&cache));
+        let truncated = report.results[0].outcome.as_ref().expect("report");
+        assert!(truncated.budget_exhausted);
+        assert_eq!(cache.stats().stores, 0, "truncated report was cached");
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_runs_jobs_and_counts_outcomes() {
+        let jobs = parse_manifest("ring:4 allgather\nring:4 reducescatter\n").expect("jobs");
+        let config = SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        };
+        let report = run_batch(&jobs, &config, &BatchOptions::default(), None);
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.cache_hits(), 0);
+        assert_eq!(report.solved(), 2);
+        assert!(report.total_entries() >= 2);
+    }
+}

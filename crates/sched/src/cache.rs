@@ -1,0 +1,278 @@
+//! The persistent algorithm cache: a content-addressed, on-disk store of
+//! [`SynthesisReport`]s keyed by a canonical hash of the full synthesis
+//! input `(topology, collective, SynthesisConfig)`.
+//!
+//! Synthesis is expensive (seconds to minutes per frontier) while its
+//! inputs are tiny and perfectly reproducible, so the cache never has to
+//! invalidate: identical inputs produce identical frontiers, and any change
+//! to the topology, the collective, the search caps or the solver
+//! configuration changes the key hash. Entries are JSON blobs
+//! (`<sha256>.json`) holding the key alongside the report, so a lookup can
+//! verify it did not collide and a human can inspect the store with
+//! standard tools. An in-memory index (and report memo) makes repeat
+//! lookups run in microseconds without touching the filesystem.
+
+use crate::sha256;
+use sccl_collectives::Collective;
+use sccl_core::pareto::{SynthesisConfig, SynthesisReport};
+use sccl_topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The canonical identity of one synthesis problem. Every field that can
+/// change the resulting frontier is included; the cooperative stop flag
+/// (which only affects *whether* a run completes, not its result) is not.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheKey {
+    pub topology: Topology,
+    pub collective: Collective,
+    pub k: u64,
+    pub max_steps: usize,
+    pub max_chunks: usize,
+    /// Per-instance conflict budget, if any.
+    pub max_conflicts: Option<u64>,
+    /// Per-instance wall-clock budget in nanoseconds, if any. (Timeouts make
+    /// outcomes machine-dependent; they still belong in the key so a
+    /// budget-limited frontier is never mistaken for an unlimited one.)
+    pub max_time_nanos: Option<u64>,
+    pub distance_pruning: bool,
+    // Solver search parameters (all of them: the synthesized algorithms may
+    // legitimately differ between solver configurations).
+    pub var_decay: f64,
+    pub clause_decay: f64,
+    pub restart_base: u64,
+    pub learnt_limit_start: usize,
+    pub learnt_limit_growth: f64,
+    pub phase_saving: bool,
+    pub default_polarity: bool,
+    pub clause_learning: bool,
+    pub vsids: bool,
+}
+
+impl CacheKey {
+    /// Build the canonical key for a synthesis request.
+    pub fn new(topology: &Topology, collective: Collective, config: &SynthesisConfig) -> Self {
+        CacheKey {
+            topology: topology.clone(),
+            collective,
+            k: config.k,
+            max_steps: config.max_steps,
+            max_chunks: config.max_chunks,
+            max_conflicts: config.per_instance_limits.max_conflicts,
+            max_time_nanos: config
+                .per_instance_limits
+                .max_time
+                .map(|d| d.as_nanos().min(u64::MAX as u128) as u64),
+            distance_pruning: config.encoding.distance_pruning,
+            var_decay: config.solver.var_decay,
+            clause_decay: config.solver.clause_decay,
+            restart_base: config.solver.restart_base,
+            learnt_limit_start: config.solver.learnt_limit_start,
+            learnt_limit_growth: config.solver.learnt_limit_growth,
+            phase_saving: config.solver.phase_saving,
+            default_polarity: config.solver.default_polarity,
+            clause_learning: config.solver.clause_learning,
+            vsids: config.solver.vsids,
+        }
+    }
+
+    /// Canonical JSON form of the key (field order is fixed by the struct,
+    /// map contents by the topology's BTree ordering).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("cache key serializes")
+    }
+
+    /// The content address: SHA-256 of the canonical JSON.
+    pub fn content_hash(&self) -> String {
+        sha256::hex_digest(self.canonical_json().as_bytes())
+    }
+}
+
+/// One on-disk blob: the key (for collision verification and debugging)
+/// plus the cached report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CacheEntry {
+    key: CacheKey,
+    report: SynthesisReport,
+}
+
+/// Hit/miss counters of one cache handle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub stores: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    /// hash → entry file path, for every entry present on disk.
+    index: HashMap<String, PathBuf>,
+    /// hash → parsed report, for entries touched by this handle.
+    memo: HashMap<String, SynthesisReport>,
+    stats: CacheStats,
+}
+
+/// A persistent, content-addressed store of synthesis reports.
+pub struct AlgorithmCache {
+    root: PathBuf,
+    state: Mutex<CacheState>,
+}
+
+impl AlgorithmCache {
+    /// Open (creating if necessary) a cache directory and build the
+    /// in-memory index from the entries already on disk.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let mut index = HashMap::new();
+        for entry in std::fs::read_dir(&root)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if stem.len() == 64 && stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        index.insert(stem.to_string(), path);
+                    }
+                }
+            }
+        }
+        Ok(AlgorithmCache {
+            root,
+            state: Mutex::new(CacheState {
+                index,
+                ..CacheState::default()
+            }),
+        })
+    }
+
+    /// The directory backing this cache.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").index.len()
+    }
+
+    /// `true` if the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters of this handle.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock").stats
+    }
+
+    /// Look up the report for a synthesis problem. Returns `None` (and
+    /// counts a miss) if absent; hits are memoized in memory so repeated
+    /// lookups skip the filesystem entirely.
+    pub fn lookup(&self, key: &CacheKey) -> Option<SynthesisReport> {
+        let hash = key.content_hash();
+        let mut state = self.state.lock().expect("cache lock");
+        if let Some(report) = state.memo.get(&hash).cloned() {
+            state.stats.hits += 1;
+            return Some(report);
+        }
+        let Some(path) = state.index.get(&hash).cloned() else {
+            state.stats.misses += 1;
+            return None;
+        };
+        match Self::read_entry(&path, key) {
+            Some(report) => {
+                state.stats.hits += 1;
+                state.memo.insert(hash, report.clone());
+                Some(report)
+            }
+            None => {
+                // Unreadable, corrupt or (astronomically unlikely) colliding
+                // entry: treat as a miss; a subsequent store overwrites it.
+                state.stats.misses += 1;
+                state.index.remove(&hash);
+                None
+            }
+        }
+    }
+
+    fn read_entry(path: &Path, key: &CacheKey) -> Option<SynthesisReport> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        (entry.key == *key).then_some(entry.report)
+    }
+
+    /// Persist a report. The write is atomic (temp file + rename) so a
+    /// concurrent reader never observes a torn entry.
+    pub fn store(&self, key: &CacheKey, report: &SynthesisReport) -> io::Result<()> {
+        let hash = key.content_hash();
+        let entry = CacheEntry {
+            key: key.clone(),
+            report: report.clone(),
+        };
+        let json = serde_json::to_string_pretty(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let path = self.root.join(format!("{hash}.json"));
+        // Unique per write (pid + counter) so two threads storing the same
+        // key cannot clobber each other's temp file mid-rename.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self
+            .root
+            .join(format!(".{hash}.tmp-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        let mut state = self.state.lock().expect("cache lock");
+        state.index.insert(hash.clone(), path);
+        state.memo.insert(hash, report.clone());
+        state.stats.stores += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_topology::builders;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sccl-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_hash_is_stable_and_input_sensitive() {
+        let ring = builders::ring(4, 1);
+        let config = SynthesisConfig::default();
+        let a = CacheKey::new(&ring, Collective::Allgather, &config);
+        let b = CacheKey::new(&ring, Collective::Allgather, &config);
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Any semantic change to the problem changes the address.
+        let other_collective = CacheKey::new(&ring, Collective::Alltoall, &config);
+        assert_ne!(a.content_hash(), other_collective.content_hash());
+        let other_topology = CacheKey::new(&builders::ring(5, 1), Collective::Allgather, &config);
+        assert_ne!(a.content_hash(), other_topology.content_hash());
+        let mut capped = config.clone();
+        capped.max_chunks = 2;
+        let other_config = CacheKey::new(&ring, Collective::Allgather, &capped);
+        assert_ne!(a.content_hash(), other_config.content_hash());
+    }
+
+    #[test]
+    fn missing_entry_is_a_miss() {
+        let cache = AlgorithmCache::open(tmp_dir("miss")).expect("open");
+        let key = CacheKey::new(
+            &builders::ring(4, 1),
+            Collective::Allgather,
+            &SynthesisConfig::default(),
+        );
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+}

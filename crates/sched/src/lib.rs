@@ -1,0 +1,54 @@
+//! # sccl-sched
+//!
+//! Parallel synthesis orchestration for the SCCL reproduction: the serving
+//! path that turns one-at-a-time Algorithm 1 runs into a scheduled,
+//! cached, batched workload.
+//!
+//! Three layers:
+//!
+//! * [`parallel`] — a work-queue Pareto search: candidate `(S, R, C)`
+//!   instances fan out over a `std::thread` worker pool with cooperative
+//!   cancellation plumbed into the CDCL solver, while the deterministic
+//!   merge state machine from `sccl_core::pareto` guarantees the identical
+//!   frontier as the sequential loop.
+//! * [`cache`] — a persistent, content-addressed algorithm cache: SHA-256
+//!   of the canonical `(topology, collective, SynthesisConfig)` JSON keys
+//!   on-disk `SynthesisReport` blobs with an in-memory index, so nothing is
+//!   ever synthesized twice.
+//! * [`batch`] + [`library`] — the batch front-end (manifests of
+//!   `topology × collective` jobs with throughput accounting) and hydration
+//!   of the runtime's size-switching `CollectiveLibrary` from the cache.
+//!
+//! ## Example
+//!
+//! ```
+//! use sccl_sched::{pareto_synthesize_parallel, ParallelConfig};
+//! use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+//! use sccl_collectives::Collective;
+//! use sccl_topology::builders;
+//!
+//! let ring = builders::ring(4, 1);
+//! let config = SynthesisConfig { max_steps: 6, max_chunks: 4, ..Default::default() };
+//! let parallel = pareto_synthesize_parallel(
+//!     &ring,
+//!     Collective::Allgather,
+//!     &config,
+//!     &ParallelConfig::default(),
+//! ).expect("synthesis succeeds");
+//! let sequential = pareto_synthesize(&ring, Collective::Allgather, &config).unwrap();
+//! assert!(parallel.same_frontier(&sequential));
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod library;
+pub mod parallel;
+mod sha256;
+
+pub use batch::{
+    parse_manifest, run_batch, BatchJob, BatchMode, BatchOptions, BatchReport, BatchResult,
+    ManifestError,
+};
+pub use cache::{AlgorithmCache, CacheKey, CacheStats};
+pub use library::{hydrate_library, warm_library};
+pub use parallel::{pareto_synthesize_parallel, ParallelConfig};

@@ -1,0 +1,121 @@
+//! Hydrating the runtime's size-switching [`CollectiveLibrary`] from the
+//! persistent cache: a serving process starts with the frontiers already on
+//! disk instead of re-running synthesis, and `warm_library` fills any holes
+//! through the parallel scheduler (persisting them for the next process).
+
+use crate::cache::{AlgorithmCache, CacheKey};
+use crate::parallel::{pareto_synthesize_parallel, ParallelConfig};
+use sccl_collectives::Collective;
+use sccl_core::pareto::{SynthesisConfig, SynthesisError};
+use sccl_core::CostModel;
+use sccl_program::LoweringOptions;
+use sccl_runtime::CollectiveLibrary;
+use sccl_topology::Topology;
+
+/// Build a library purely from cached frontiers. Returns the library plus
+/// the collectives that had no cache entry (the caller decides whether to
+/// synthesize them — see [`warm_library`]).
+pub fn hydrate_library(
+    cache: &AlgorithmCache,
+    topology: &Topology,
+    cost_model: CostModel,
+    collectives: &[Collective],
+    config: &SynthesisConfig,
+    lowering: LoweringOptions,
+) -> (CollectiveLibrary, Vec<Collective>) {
+    let mut library = CollectiveLibrary::new(topology.clone(), cost_model);
+    let mut misses = Vec::new();
+    for &collective in collectives {
+        let key = CacheKey::new(topology, collective, config);
+        match cache.lookup(&key) {
+            Some(report) => library.register_frontier(&report, lowering),
+            None => misses.push(collective),
+        }
+    }
+    (library, misses)
+}
+
+/// Build a library from the cache, synthesizing (in parallel) and
+/// persisting whatever is missing. The returned `usize` is the number of
+/// collectives that had to be synthesized.
+pub fn warm_library(
+    cache: &AlgorithmCache,
+    topology: &Topology,
+    cost_model: CostModel,
+    collectives: &[Collective],
+    config: &SynthesisConfig,
+    lowering: LoweringOptions,
+    parallel: &ParallelConfig,
+) -> Result<(CollectiveLibrary, usize), SynthesisError> {
+    let (mut library, misses) =
+        hydrate_library(cache, topology, cost_model, collectives, config, lowering);
+    let synthesized = misses.len();
+    for collective in misses {
+        let report = pareto_synthesize_parallel(topology, collective, config, parallel)?;
+        // Budget-truncated frontiers are timing-dependent; don't let one
+        // shadow a complete result in the persistent store.
+        if !report.budget_exhausted {
+            let key = CacheKey::new(topology, collective, config);
+            let _ = cache.store(&key, &report);
+        }
+        library.register_frontier(&report, lowering);
+    }
+    Ok((library, synthesized))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_topology::builders;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sccl-sched-lib-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_then_hydrate_without_solving() {
+        let dir = tmp_dir("warm");
+        let topo = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        };
+        let wanted = [Collective::Allgather, Collective::ReduceScatter];
+
+        {
+            let cache = AlgorithmCache::open(&dir).expect("open");
+            let (library, synthesized) = warm_library(
+                &cache,
+                &topo,
+                CostModel::nvlink(),
+                &wanted,
+                &config,
+                LoweringOptions::default(),
+                &ParallelConfig::with_threads(2),
+            )
+            .expect("warm");
+            assert_eq!(synthesized, 2);
+            assert!(!library.is_empty());
+        }
+
+        // A fresh handle (cold process) hydrates fully from disk.
+        let cache = AlgorithmCache::open(&dir).expect("reopen");
+        let (library, misses) = hydrate_library(
+            &cache,
+            &topo,
+            CostModel::nvlink(),
+            &wanted,
+            &config,
+            LoweringOptions::default(),
+        );
+        assert!(misses.is_empty(), "expected full cache, missing {misses:?}");
+        assert!(library.select(Collective::Allgather, 1024).is_some());
+        assert!(library.select(Collective::ReduceScatter, 1024).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -38,7 +38,9 @@ impl Cnf {
                 continue;
             }
             for tok in line.split_whitespace() {
-                let v: i64 = tok.parse().map_err(|e| format!("bad literal {tok:?}: {e}"))?;
+                let v: i64 = tok
+                    .parse()
+                    .map_err(|e| format!("bad literal {tok:?}: {e}"))?;
                 if v == 0 {
                     clauses.push(std::mem::take(&mut current));
                 } else {

@@ -13,8 +13,6 @@ pub fn luby(i: u64) -> u64 {
         size = 2 * size + 1;
     }
     let mut i = i;
-    let mut seq = seq;
-    let mut size = size;
     while size - 1 != i {
         size = (size - 1) >> 1;
         seq -= 1;

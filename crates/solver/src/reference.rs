@@ -45,7 +45,11 @@ impl ReferenceFormula {
             }
         }
         for (terms, bound) in &self.pb_les {
-            let sum: u64 = terms.iter().filter(|&&(_, l)| value(l)).map(|&(c, _)| c).sum();
+            let sum: u64 = terms
+                .iter()
+                .filter(|&&(_, l)| value(l))
+                .map(|&(c, _)| c)
+                .sum();
             if sum > *bound {
                 return false;
             }

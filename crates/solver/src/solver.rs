@@ -11,6 +11,8 @@
 //! database reduction, and pseudo-Boolean constraints propagated by slack
 //! counting with eagerly materialized explanations.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::clause::{CRef, ClauseDb};
@@ -52,12 +54,17 @@ impl SolveResult {
 }
 
 /// Resource limits for a single `solve_limited` call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Limits {
     /// Maximum number of conflicts before giving up.
     pub max_conflicts: Option<u64>,
     /// Maximum wall-clock duration before giving up.
     pub max_time: Option<Duration>,
+    /// Cooperative cancellation: when another thread sets this flag, the
+    /// search aborts with [`SolveResult::Unknown`] at the next budget check
+    /// of the CDCL restart loop. Used by the parallel Pareto scheduler to
+    /// stop in-flight solves whose instances have become dominated.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Limits {
@@ -70,16 +77,29 @@ impl Limits {
     pub fn conflicts(n: u64) -> Self {
         Limits {
             max_conflicts: Some(n),
-            max_time: None,
+            ..Limits::default()
         }
     }
 
     /// Limit by wall-clock time only.
     pub fn time(d: Duration) -> Self {
         Limits {
-            max_conflicts: None,
             max_time: Some(d),
+            ..Limits::default()
         }
+    }
+
+    /// Attach a cooperative stop flag (builder style).
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// `true` once the attached stop flag (if any) has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 }
 
@@ -368,14 +388,8 @@ impl Solver {
             let c = self.clauses.get(cref);
             (c.lits[0], c.lits[1])
         };
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
     /// Add the pseudo-Boolean constraint `Σ coefᵢ·litᵢ ≤ bound`.
@@ -392,11 +406,8 @@ impl Solver {
         // Merge duplicate literals and cancel complementary pairs.
         let mut merged: Vec<(u64, Lit)> = Vec::with_capacity(terms.len());
         {
-            let mut sorted: Vec<(u64, Lit)> = terms
-                .iter()
-                .copied()
-                .filter(|&(c, _)| c > 0)
-                .collect();
+            let mut sorted: Vec<(u64, Lit)> =
+                terms.iter().copied().filter(|&(c, _)| c > 0).collect();
             sorted.sort_unstable_by_key(|&(_, l)| l.code());
             for (c, l) in sorted {
                 if let Some(last) = merged.last_mut() {
@@ -783,10 +794,7 @@ impl Solver {
         };
 
         // Literal block distance.
-        let mut levels: Vec<u32> = learnt
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         let lbd = levels.len() as u32;
@@ -922,8 +930,7 @@ impl Solver {
             self.learnt_count -= 1;
             self.stats.removed_clauses += 1;
         }
-        self.learnt_limit =
-            (self.learnt_limit as f64 * self.config.learnt_limit_growth) as usize;
+        self.learnt_limit = (self.learnt_limit as f64 * self.config.learnt_limit_growth) as usize;
     }
 
     // ------------------------------------------------------------------
@@ -990,6 +997,10 @@ impl Solver {
                 }
                 None => {
                     // Budget checks (only between conflicts to keep them cheap).
+                    if limits.stop_requested() {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
                     if let Some(max_c) = limits.max_conflicts {
                         if self.stats.conflicts - start_conflicts >= max_c {
                             self.cancel_until(0);
@@ -1028,6 +1039,7 @@ impl Solver {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // pigeonhole column loops read best with indices
 mod tests {
     use super::*;
 
@@ -1236,7 +1248,10 @@ mod tests {
         s.add_clause(&[b]);
         let m = s.solve().model().expect("sat");
         assert!(m.lit_value(b));
-        assert!(m.lit_value(a), "¬a must be false since b consumed the slack");
+        assert!(
+            m.lit_value(a),
+            "¬a must be false since b consumed the slack"
+        );
     }
 
     #[test]
@@ -1270,6 +1285,64 @@ mod tests {
         }
         let result = s.solve_limited(Limits::conflicts(5));
         assert_eq!(result, SolveResult::Unknown);
+    }
+
+    /// A hard pigeonhole instance (UNSAT, large search tree) used by the
+    /// cancellation tests.
+    fn hard_pigeonhole(n: usize) -> Solver {
+        let h = n - 1;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..h).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for hole in 0..h {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[!p[i][hole], !p[j][hole]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_aborts_immediately() {
+        let mut s = hard_pigeonhole(10);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let start = std::time::Instant::now();
+        let result = s.solve_limited(Limits::none().with_stop(stop));
+        assert_eq!(result, SolveResult::Unknown);
+        // The search must abort at the first budget check, long before the
+        // instance could be decided.
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stop_flag_interrupts_long_running_solve() {
+        // A 12-pigeon instance takes far longer than the interrupt delay;
+        // the solve must return Unknown shortly after the flag is raised.
+        let mut solver = hard_pigeonhole(12);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        let interrupter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let start = std::time::Instant::now();
+        let result = solver.solve_limited(Limits::none().with_stop(stop));
+        interrupter.join().expect("interrupter thread");
+        assert_eq!(result, SolveResult::Unknown);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "stop flag was not honoured in time"
+        );
+        // The solver remains usable after an interrupted solve: the same
+        // instance still decides UNSAT when run to completion.
+        assert!(solver.is_ok());
+        assert!(hard_pigeonhole(6).solve().is_unsat());
     }
 
     #[test]

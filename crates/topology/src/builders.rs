@@ -179,7 +179,7 @@ pub fn nvswitch(n: usize, bandwidth: u64) -> Topology {
 /// machinery runs unchanged on the 16-GPU two-box graph, it just gets a
 /// much smaller bisection bandwidth.
 pub fn dual_dgx1(cross_links: usize, cross_bandwidth: u64) -> Topology {
-    assert!(cross_links >= 1 && cross_links <= 8);
+    assert!((1..=8).contains(&cross_links));
     let single = dgx1();
     let mut t = Topology::new("dual-dgx1", 16);
     for box_id in 0..2usize {
@@ -210,6 +210,40 @@ pub fn dgx1_single_links() -> Topology {
         }
     }
     t
+}
+
+/// Parse a textual topology specification, as accepted by the `sccl` CLI
+/// and by batch manifests:
+///
+/// * named machines — `dgx1`, `dgx1-single`, `amd` (aka `amd-z52`, `z52`)
+/// * parameterized families — `ring:N`, `uniring:N`, `chain:N`, `star:N`,
+///   `fc:N`, `hypercube:D`, `mesh:RxC`, `nvswitch:N`
+///
+/// Returns `None` for anything unrecognised.
+pub fn parse_spec(spec: &str) -> Option<Topology> {
+    if let Some((kind, arg)) = spec.split_once(':') {
+        let parse_n = || arg.parse::<usize>().ok();
+        return match kind {
+            "ring" => Some(ring(parse_n()?, 1)),
+            "uniring" => Some(ring_unidirectional(parse_n()?, 1)),
+            "chain" => Some(chain(parse_n()?, 1)),
+            "star" => Some(star(parse_n()?, 1)),
+            "fc" => Some(fully_connected(parse_n()?, 1)),
+            "hypercube" => Some(hypercube(arg.parse().ok()?, 1)),
+            "nvswitch" => Some(nvswitch(parse_n()?, 1)),
+            "mesh" => {
+                let (r, c) = arg.split_once('x')?;
+                Some(mesh2d(r.parse().ok()?, c.parse().ok()?, 1))
+            }
+            _ => None,
+        };
+    }
+    match spec {
+        "dgx1" => Some(dgx1()),
+        "dgx1-single" => Some(dgx1_single_links()),
+        "amd" | "amd-z52" | "z52" => Some(amd_z52()),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +388,30 @@ mod tests {
     #[should_panic]
     fn dual_dgx1_requires_at_least_one_cross_link() {
         dual_dgx1(0, 1);
+    }
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn named_and_parameterized_specs() {
+        assert_eq!(parse_spec("dgx1").unwrap().num_nodes(), 8);
+        assert_eq!(parse_spec("amd").unwrap().name(), "amd-z52");
+        assert_eq!(parse_spec("ring:6").unwrap().num_nodes(), 6);
+        assert_eq!(parse_spec("hypercube:3").unwrap().num_nodes(), 8);
+        assert_eq!(parse_spec("mesh:2x3").unwrap().num_nodes(), 6);
+        assert_eq!(parse_spec("nvswitch:4").unwrap().num_nodes(), 4);
+        let uni = parse_spec("uniring:4").unwrap();
+        assert!(uni.has_link(0, 1) && !uni.has_link(1, 0));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(parse_spec("").is_none());
+        assert!(parse_spec("torus:4").is_none());
+        assert!(parse_spec("ring:x").is_none());
+        assert!(parse_spec("mesh:4").is_none());
     }
 }

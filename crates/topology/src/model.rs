@@ -259,11 +259,7 @@ impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "topology {} ({} nodes)", self.name, self.num_nodes)?;
         for c in &self.constraints {
-            let edges: Vec<String> = c
-                .edges
-                .iter()
-                .map(|(s, d)| format!("{s}->{d}"))
-                .collect();
+            let edges: Vec<String> = c.edges.iter().map(|(s, d)| format!("{s}->{d}")).collect();
             writeln!(f, "  ({{{}}}, {})", edges.join(", "), c.chunks_per_round)?;
         }
         Ok(())

@@ -6,8 +6,12 @@ use sccl_topology::{builders, Rational, Topology};
 /// Strategy: a random connected topology built from a ring backbone plus
 /// random extra links, with bandwidths in 1..=3.
 fn random_connected_topology() -> impl Strategy<Value = Topology> {
-    (3usize..8, prop::collection::vec((0usize..8, 0usize..8, 1u64..4), 0..12), 1u64..3).prop_map(
-        |(n, extras, ring_bw)| {
+    (
+        3usize..8,
+        prop::collection::vec((0usize..8, 0usize..8, 1u64..4), 0..12),
+        1u64..3,
+    )
+        .prop_map(|(n, extras, ring_bw)| {
             let mut t = builders::ring(n, ring_bw);
             for (a, b, bw) in extras {
                 let a = a % n;
@@ -17,8 +21,7 @@ fn random_connected_topology() -> impl Strategy<Value = Topology> {
                 }
             }
             t
-        },
-    )
+        })
 }
 
 proptest! {

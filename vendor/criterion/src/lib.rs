@@ -1,0 +1,209 @@
+//! A minimal, vendored stand-in for the `criterion` crate: the
+//! `criterion_group!` / `criterion_main!` macros, benchmark groups, and a
+//! `Bencher` that reports mean wall-clock time per iteration. No warmup
+//! phases, outlier analysis or HTML reports — just honest timings printed
+//! to stdout, which is all the workspace's benches need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(...)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected (`BenchmarkId`,
+/// `&str`, `String`), mirroring criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per iteration of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly; record the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm caches once, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean: None,
+        };
+        f(&mut bencher);
+        match bencher.last_mean {
+            Some(mean) => {
+                let rate = self.throughput.and_then(|t| match t {
+                    Throughput::Bytes(bytes) => {
+                        let secs = mean.as_secs_f64();
+                        (secs > 0.0).then(|| {
+                            format!(" ({:.1} MiB/s)", bytes as f64 / secs / (1 << 20) as f64)
+                        })
+                    }
+                    Throughput::Elements(n) => {
+                        let secs = mean.as_secs_f64();
+                        (secs > 0.0).then(|| format!(" ({:.0} elem/s)", n as f64 / secs))
+                    }
+                });
+                println!(
+                    "bench {}/{}: {:?}/iter over {} iters{}",
+                    self.name,
+                    id,
+                    mean,
+                    self.samples,
+                    rate.unwrap_or_default()
+                );
+            }
+            None => println!(
+                "bench {}/{}: body never called Bencher::iter",
+                self.name, id
+            ),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id().id;
+        self.run_one(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id().id;
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.run_one(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,500 @@
+//! A minimal, vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! exactly the serde API surface the workspace uses: the `Serialize` /
+//! `Deserialize` traits, `Serializer` / `Deserializer` with associated
+//! `Ok`/`Error` types, derive macros for structs and enums (including
+//! `#[serde(with = "module")]` fields), and impls for the std types that
+//! appear in serialized data (integers, floats, strings, tuples, `Vec`,
+//! `Option`, `BTreeSet`, `BTreeMap`, `Duration`).
+//!
+//! Unlike real serde's visitor-based zero-copy design, this implementation
+//! funnels everything through an owned, JSON-shaped [`Content`] tree. That
+//! is entirely sufficient for the workspace's use (JSON round-trips of
+//! synthesis artifacts) while keeping the vendored code small and auditable.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::convert::Infallible;
+use std::marker::PhantomData;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+///
+/// JSON-shaped: maps have string keys; integers keep their signedness so
+/// `u64::MAX` round-trips exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/// A value that can be converted into the [`Content`] data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink that consumes one [`Content`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The canonical serializer: produces the [`Content`] tree itself and
+/// cannot fail.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Infallible;
+    fn serialize_content(self, content: Content) -> Result<Content, Infallible> {
+        Ok(content)
+    }
+}
+
+/// Serialize any value into its [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentSerializer) {
+        Ok(content) => content,
+        Err(never) => match never {},
+    }
+}
+
+/// Run a `#[serde(with = "module")]`-style serialize function against the
+/// content serializer (used by the derive macro).
+pub fn with_to_content<F>(f: F) -> Content
+where
+    F: FnOnce(ContentSerializer) -> Result<Content, Infallible>,
+{
+    match f(ContentSerializer) {
+        Ok(content) => content,
+        Err(never) => match never {},
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+pub mod de {
+    /// Errors a deserializer can produce. Mirrors `serde::de::Error`'s
+    /// `custom` constructor, which is all the generated code needs.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A source that yields one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializer over an in-memory [`Content`] tree, generic over the error
+/// type so nested fields propagate the outer deserializer's error.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Reconstruct a value from a [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+// ---------------------------------------------------------------------
+// Helpers used by generated code
+// ---------------------------------------------------------------------
+
+/// Expect a map (struct body) and hand back its fields.
+pub fn content_map<E: de::Error>(content: Content) -> Result<Vec<(String, Content)>, E> {
+    match content {
+        Content::Map(fields) => Ok(fields),
+        other => Err(E::custom(format!("expected a map, found {other:?}"))),
+    }
+}
+
+/// Remove and return a named field, erroring if it is absent.
+pub fn take_field<E: de::Error>(
+    fields: &mut Vec<(String, Content)>,
+    name: &str,
+) -> Result<Content, E> {
+    match fields.iter().position(|(k, _)| k == name) {
+        Some(i) => Ok(fields.remove(i).1),
+        None => Err(E::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Remove and deserialize a named field.
+pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+    fields: &mut Vec<(String, Content)>,
+    name: &str,
+) -> Result<T, E> {
+    from_content(take_field::<E>(fields, name)?)
+}
+
+fn content_u64<E: de::Error>(content: &Content) -> Result<u64, E> {
+    match *content {
+        Content::U64(v) => Ok(v),
+        Content::I64(v) if v >= 0 => Ok(v as u64),
+        Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+        ref other => Err(E::custom(format!(
+            "expected unsigned integer, found {other:?}"
+        ))),
+    }
+}
+
+fn content_i64<E: de::Error>(content: &Content) -> Result<i64, E> {
+    match *content {
+        Content::I64(v) => Ok(v),
+        Content::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+        Content::F64(v) if v.fract() == 0.0 => Ok(v as i64),
+        ref other => Err(E::custom(format!("expected integer, found {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::I64(*self as i64))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self as f64))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_content(to_content(v)),
+            None => serializer.serialize_content(Content::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), to_content(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), to_content(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Seq(vec![$(to_content(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::U64(self.subsec_nanos() as u64),
+            ),
+        ]))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let v = content_u64::<D::Error>(&content)?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let v = content_i64::<D::Error>(&content)?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "expected number, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(fields) => fields
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v)?)))
+                .collect(),
+            other => Err(de::Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _: PhantomData<$name> = PhantomData;
+                            from_content(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected sequence of length {}, found {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = content_map::<D::Error>(deserializer.deserialize_content()?)?;
+        let secs: u64 = field(&mut fields, "secs")?;
+        let nanos: u32 = field(&mut fields, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}

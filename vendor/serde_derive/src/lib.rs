@@ -1,0 +1,463 @@
+//! Vendored minimal `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the shapes this workspace actually uses —
+//! named-field structs, unit structs, and enums with unit, named-field and
+//! tuple variants — plus the `#[serde(with = "module")]` field attribute.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Generics are intentionally unsupported;
+//! the derive panics with a clear message if it meets a shape it does not
+//! understand, so failures are loud at compile time rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Extract `with = "module"` from the token trees of a `#[serde(...)]`
+/// attribute body.
+fn parse_serde_attr(tokens: Vec<TokenTree>) -> Option<String> {
+    let mut iter = tokens.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            if ident.to_string() == "with" {
+                // expect `=` then a string literal
+                match (iter.next(), iter.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        return Some(raw.trim_matches('"').to_string());
+                    }
+                    _ => panic!("serde_derive: malformed #[serde(with = \"...\")] attribute"),
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Consume leading attributes; return the `with` module if a
+/// `#[serde(with = "...")]` was among them.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while pos + 1 < tokens.len() {
+        match (&tokens[pos], &tokens[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(first)) = inner.first() {
+                    if first.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            if let Some(w) = parse_serde_attr(args.stream().into_iter().collect()) {
+                                with = Some(w);
+                            }
+                        }
+                    }
+                }
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (pos, with)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Skip type tokens until a top-level comma (tracking `<`/`>` nesting).
+fn skip_type(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle_depth: i32 = 0;
+    while pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[pos] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return pos,
+                _ => {}
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// Parse the fields of a named-field body `{ ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, with) = skip_attributes(&tokens, pos);
+        pos = skip_visibility(&tokens, next);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        pos = skip_type(&tokens, pos);
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Count the fields of a tuple body `( ... )`.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_type(&tokens, pos);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+                if pos == tokens.len() {
+                    break; // trailing comma
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, pos);
+        pos = next;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    loop {
+        let (next, _) = skip_attributes(&tokens, pos);
+        pos = skip_visibility(&tokens, next);
+        match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => {
+                let kw = ident.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                pos += 1; // e.g. `unsafe` or other modifiers — skip
+            }
+            other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+        }
+    }
+    let is_struct = matches!(&tokens[pos], TokenTree::Ident(i) if i.to_string() == "struct");
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+    let shape = if is_struct {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde_derive: tuple structs are not supported by the vendored derive (struct {name})"
+            ),
+            other => panic!("serde_derive: unexpected struct body for {name}: {other:?}"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: unexpected enum body for {name}: {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => {
+            "::serde::Serializer::serialize_content(serializer, ::serde::Content::Null)".to_string()
+        }
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    None => code.push_str(&format!(
+                        "__fields.push((\"{fname}\".to_string(), ::serde::to_content(&self.{fname})));\n"
+                    )),
+                    Some(module) => code.push_str(&format!(
+                        "__fields.push((\"{fname}\".to_string(), ::serde::with_to_content(|__s| {module}::serialize(&self.{fname}, __s))));\n"
+                    )),
+                }
+            }
+            code.push_str(
+                "::serde::Serializer::serialize_content(serializer, ::serde::Content::Map(__fields))",
+            );
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_content(serializer, ::serde::Content::Str(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            let fname = &f.name;
+                            inner.push_str(&format!(
+                                "__fields.push((\"{fname}\".to_string(), ::serde::to_content({fname})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {inner} ::serde::Serializer::serialize_content(serializer, ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(__fields))])) }},\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_content(serializer, ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::to_content(__f0))])),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Serializer::serialize_content(serializer, ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))])),\n",
+                            bindings.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    None => inits.push_str(&format!(
+                        "{fname}: ::serde::field::<_, D::Error>(&mut __fields, \"{fname}\")?,\n"
+                    )),
+                    Some(module) => inits.push_str(&format!(
+                        "{fname}: {module}::deserialize(::serde::ContentDeserializer::<D::Error>::new(::serde::take_field::<D::Error>(&mut __fields, \"{fname}\")?))?,\n"
+                    )),
+                }
+            }
+            format!(
+                "let __content = ::serde::Deserializer::deserialize_content(deserializer)?;\n\
+                 let mut __fields = ::serde::content_map::<D::Error>(__content)?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            inits.push_str(&format!(
+                                "{fname}: ::serde::field::<_, D::Error>(&mut __fields, \"{fname}\")?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let mut __fields = ::serde::content_map::<D::Error>(__value)?;\n\
+                                 ::core::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::from_content::<_, D::Error>(__value)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::from_content::<_, D::Error>(__it.next().expect(\"length checked\"))?".to_string()
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __value {{\n\
+                                 ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                                     let mut __it = __items.into_iter();\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }},\n\
+                                 __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(format!(\"expected a sequence of length {n} for variant {vname} of {name}, found {{:?}}\", __other))),\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __content = ::serde::Deserializer::deserialize_content(deserializer)?;\n\
+                 match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                         let (__vname, __value) = __m.remove(0);\n\
+                         let _ = &__value;\n\
+                         match __vname.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(format!(\"unexpected content for enum {name}: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
