@@ -1,6 +1,7 @@
-//! Benchmarks for the synthesis scheduler: the work-queue parallel Pareto
+//! Benchmarks for the synthesis engine: the work-queue parallel Pareto
 //! search against the sequential Algorithm 1 loop on a multi-collective
-//! DGX-1 manifest, and the persistent cache's warm-path latency.
+//! DGX-1 manifest, and the persistent cache's warm-path latency — all
+//! driven through `Engine`'s one request path.
 //!
 //! On a multi-core host the parallel driver's wall clock approaches the
 //! longest dependent chain of solver calls instead of their sum; on a
@@ -9,9 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
-use sccl_sched::{
-    parse_manifest, run_batch, AlgorithmCache, BatchMode, BatchOptions, ParallelConfig,
-};
+use sccl_sched::{parse_manifest, Engine, Provenance, SolveMode, SynthesisRequest};
 use std::time::Instant;
 
 const MANIFEST: &str = "\
@@ -32,47 +31,39 @@ fn bench_config() -> SynthesisConfig {
     }
 }
 
+fn engine_for(mode: SolveMode) -> Engine {
+    Engine::builder()
+        .mode(mode)
+        .build()
+        .expect("a cacheless engine builds infallibly")
+}
+
 fn bench_batch_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched/dgx1-manifest");
     group.sample_size(10);
     let jobs = parse_manifest(MANIFEST).expect("manifest");
     let config = bench_config();
     for (label, mode) in [
-        ("sequential", BatchMode::Sequential),
-        ("parallel", BatchMode::Parallel),
+        ("sequential", SolveMode::Sequential),
+        ("parallel", SolveMode::Parallel),
     ] {
-        let options = BatchOptions {
-            mode,
-            parallel: ParallelConfig::default(),
-        };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &options,
-            |b, options| {
-                b.iter(|| {
-                    let report = run_batch(&jobs, &config, options, None);
-                    assert_eq!(report.failures(), 0);
-                })
-            },
-        );
+        let engine = engine_for(mode);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, engine| {
+            b.iter(|| {
+                let report = engine.run_batch(&jobs, Some(&config));
+                assert_eq!(report.failures(), 0);
+            })
+        });
     }
     group.finish();
 
     // Direct speedup measurement (one timed run per mode), with the
     // acceptance assertion applied only where hardware parallelism exists.
-    let sequential_options = BatchOptions {
-        mode: BatchMode::Sequential,
-        parallel: ParallelConfig::default(),
-    };
-    let parallel_options = BatchOptions {
-        mode: BatchMode::Parallel,
-        parallel: ParallelConfig::default(),
-    };
     let start = Instant::now();
-    run_batch(&jobs, &config, &sequential_options, None);
+    engine_for(SolveMode::Sequential).run_batch(&jobs, Some(&config));
     let sequential = start.elapsed();
     let start = Instant::now();
-    run_batch(&jobs, &config, &parallel_options, None);
+    engine_for(SolveMode::Parallel).run_batch(&jobs, Some(&config));
     let parallel = start.elapsed();
     let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
     let cores = std::thread::available_parallelism()
@@ -112,15 +103,23 @@ fn bench_cache_paths(c: &mut Criterion) {
 
     let dir = std::env::temp_dir().join(format!("sccl-bench-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let cache = AlgorithmCache::open(&dir).expect("open");
-    let key = sccl_sched::CacheKey::new(&ring, sccl_collectives::Collective::Allgather, &config);
-    let report = pareto_synthesize(&ring, sccl_collectives::Collective::Allgather, &config)
-        .expect("synthesis");
-    cache.store(&key, &report).expect("store");
+    let engine = Engine::builder()
+        .cache_dir(&dir)
+        .build()
+        .expect("cached engine");
+    let request =
+        SynthesisRequest::new(&ring, sccl_collectives::Collective::Allgather).with_config(config);
+    let primed = engine.synthesize(request.clone()).expect("prime the cache");
+    assert_eq!(primed.provenance, Provenance::Solved(SolveMode::Parallel));
     group.bench_with_input(
         BenchmarkId::from_parameter("warm-lookup"),
-        &key,
-        |b, key| b.iter(|| cache.lookup(key).expect("hit")),
+        &request,
+        |b, request| {
+            b.iter(|| {
+                let response = engine.synthesize(request.clone()).expect("hit");
+                assert!(response.from_cache());
+            })
+        },
     );
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);

@@ -153,6 +153,32 @@ impl Collective {
         }
     }
 
+    /// The lower-case spec keyword [`Collective::parse_spec`] accepts for
+    /// this collective (the inverse of parsing, used to render manifests).
+    pub fn spec_name(&self) -> &'static str {
+        match self {
+            Collective::Allgather => "allgather",
+            Collective::Broadcast { .. } => "broadcast",
+            Collective::Gather { .. } => "gather",
+            Collective::Scatter { .. } => "scatter",
+            Collective::Alltoall => "alltoall",
+            Collective::Reduce { .. } => "reduce",
+            Collective::ReduceScatter => "reducescatter",
+            Collective::Allreduce => "allreduce",
+        }
+    }
+
+    /// The root parameter of a rooted collective, `None` otherwise.
+    pub fn root(&self) -> Option<usize> {
+        match self {
+            Collective::Broadcast { root }
+            | Collective::Gather { root }
+            | Collective::Scatter { root }
+            | Collective::Reduce { root } => Some(*root),
+            _ => None,
+        }
+    }
+
     /// Parse a textual collective name (case-insensitive), as accepted by
     /// the `sccl` CLI and by batch manifests. Rooted collectives take their
     /// root from `root`.

@@ -21,6 +21,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Version of the SMT encoding. Bump this whenever the encoding changes in
+/// a way that can alter synthesized algorithms (new constraints, different
+/// variable ordering, changed decoding), so that persistent caches keyed on
+/// it — see `sccl_sched::CacheKey` — invalidate entries produced by older
+/// encoders instead of serving stale frontiers.
+pub const ENCODER_VERSION: u32 = 1;
+
 /// One synthesis query: find a `(S, R)` k-synchronous schedule implementing
 /// `spec` on `topology` (the SynColl instance of §3.2 with its parameters).
 #[derive(Clone, Debug)]

@@ -1,6 +1,7 @@
-//! Quickstart: synthesize the Pareto frontier of Allgather algorithms for a
-//! small ring, print the schedules, lower the latency-optimal one and run
-//! it on threads with real data.
+//! Quickstart: build an [`Engine`], synthesize the Pareto frontier of
+//! Allgather algorithms for a small ring through one request, chain the
+//! response into lowering and code generation, and run the program on
+//! threads with real data.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -15,14 +16,25 @@ fn main() {
     let topology = builders::ring(4, 1);
     println!("{topology}");
 
-    // 2. Synthesize the Pareto frontier for Allgather.
-    let config = SynthesisConfig::default();
-    let report = pareto_synthesize(&topology, Collective::Allgather, &config)
+    // 2. One long-lived engine serves every request. Add .cache_dir("...")
+    //    to persist frontiers across processes.
+    let engine = Engine::builder().build().expect("engine");
+    let response = engine
+        .synthesize(
+            SynthesisRequest::new(&topology, Collective::Allgather)
+                .with_config(SynthesisConfig::default()),
+        )
         .expect("synthesis should succeed on a connected ring");
+    let report = &response.report;
 
     println!(
-        "lower bounds: latency {} steps, bandwidth {} rounds/chunk",
-        report.latency_lower_bound, report.bandwidth_lower_bound
+        "lower bounds: latency {} steps, bandwidth {} rounds/chunk ({})",
+        report.latency_lower_bound,
+        report.bandwidth_lower_bound,
+        match response.provenance {
+            Provenance::CacheHit => "from cache".to_string(),
+            Provenance::Solved(_) => format!("solved in {:.2?}", response.timings.solve),
+        }
     );
     for entry in &report.entries {
         println!(
@@ -36,38 +48,37 @@ fn main() {
         println!("{}", entry.algorithm);
     }
 
-    // 3. Lower the latency-optimal algorithm to an SPMD program and print
-    //    the generated CUDA-flavoured code.
-    let latency_optimal = &report
-        .latency_optimal()
-        .expect("frontier contains a latency-optimal point")
-        .algorithm;
-    let program = lower(latency_optimal, LoweringOptions::default());
-    program.check_matching().expect("consistent program");
-    println!("{program}");
+    // 3. The fluent follow-on stage: lower the first (fewest-steps) entry —
+    //    here the latency-optimal point, since the uncapped ring frontier
+    //    reaches the latency bound — print generated code, predict times.
+    let lowered = response
+        .lower(LoweringOptions::default())
+        .expect("nonempty frontier");
+    println!("{}", lowered.program);
     println!("--- generated code (excerpt) ---");
-    let code = generate_cuda(&program);
+    let code = lowered.cuda();
     for line in code.lines().take(25) {
         println!("{line}");
     }
     println!("... ({} lines total)", code.lines().count());
+    println!(
+        "predicted: {:.2} µs at 1 KiB, {:.2} µs at 256 MiB",
+        lowered.simulate(1 << 10),
+        lowered.simulate(1 << 28)
+    );
 
     // 4. Execute it on one thread per rank and check the result against a
     //    sequential oracle.
+    let algorithm = &lowered.algorithm;
     let exec_config = ExecutionConfig {
         chunk_elems: 32,
         mode: ExecutionMode::Fused,
     };
-    let inputs =
-        oracle::allgather_inputs(4, latency_optimal.num_chunks, exec_config.chunk_elems, 42);
-    let valid = oracle::scattered_valid(4, latency_optimal.num_chunks);
-    let result = sccl_runtime::execute(&program, &inputs, &valid, exec_config);
-    let expected = oracle::allgather_expected(
-        &inputs,
-        4,
-        latency_optimal.num_chunks,
-        exec_config.chunk_elems,
-    );
+    let inputs = oracle::allgather_inputs(4, algorithm.num_chunks, exec_config.chunk_elems, 42);
+    let valid = oracle::scattered_valid(4, algorithm.num_chunks);
+    let result = sccl_runtime::execute(&lowered.program, &inputs, &valid, exec_config);
+    let expected =
+        oracle::allgather_expected(&inputs, 4, algorithm.num_chunks, exec_config.chunk_elems);
     assert_eq!(result.buffers, expected);
     println!(
         "executed on {} threads in {:?} ({:?} mode): results match the oracle",

@@ -1,126 +1,335 @@
-//! The `sccl` command-line tool: synthesize collective algorithms for a
-//! topology, print Pareto frontiers, probe individual `(C, S, R)` points,
-//! compute structural lower bounds, emit generated code, and drive batch
-//! synthesis through the parallel scheduler and the persistent algorithm
-//! cache.
+//! The `sccl` command-line tool, built on [`sccl::Engine`]: synthesize
+//! collective algorithms for a topology, print Pareto frontiers, probe
+//! individual `(C, S, R)` points, compute structural lower bounds, emit
+//! generated code, and drive batch synthesis through the engine's parallel
+//! scheduler and persistent algorithm cache.
 //!
 //! ```bash
 //! cargo run --release --bin sccl -- bounds --topology dgx1 --collective allgather
 //! cargo run --release --bin sccl -- probe --topology dgx1 --collective allgather --chunks 2 --steps 2 --rounds 3
 //! cargo run --release --bin sccl -- pareto --topology ring:4 --collective allreduce --max-steps 6 --json
+//! cargo run --release --bin sccl -- pareto --topology ring:4 --collective allgather --cache .sccl-cache
 //! cargo run --release --bin sccl -- codegen --topology ring:4 --collective allgather --chunks 1 --steps 3 --rounds 3
 //! cargo run --release --bin sccl -- batch --manifest jobs.txt --threads 8 --cache .sccl-cache
-//! cargo run --release --bin sccl -- warmup --manifest jobs.txt --cache .sccl-cache
+//! cargo run --release --bin sccl -- warmup --manifest jobs.txt
 //! ```
+//!
+//! Each subcommand's flags are described by a declarative spec table
+//! ([`COMMANDS`]); parsing, validation, unknown-flag rejection and the
+//! usage text are all derived from it.
 
 use sccl::prelude::*;
 use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
 use sccl_core::pareto::TerminationReason;
-use sccl_sched::{
-    parse_manifest, run_batch, AlgorithmCache, BatchMode, BatchOptions, BatchReport, ParallelConfig,
-};
+use sccl_sched::{parse_manifest, BatchReport};
 use sccl_solver::{Limits, SolverConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
+// ---------------------------------------------------------------------
+// The declarative flag-spec table
+// ---------------------------------------------------------------------
+
+/// One flag a subcommand accepts.
+struct FlagSpec {
+    /// Flag name without the leading `--`.
+    name: &'static str,
+    /// Value placeholder for the usage text; `None` marks a boolean switch.
+    value: Option<&'static str>,
+    /// One-line description for the usage text.
+    help: &'static str,
+}
+
+const fn val(name: &'static str, value: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: Some(value),
+        help,
+    }
+}
+
+const fn switch(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: None,
+        help,
+    }
+}
+
+/// The topology/collective selection every synthesis command needs.
+const PROBLEM_FLAGS: &[FlagSpec] = &[
+    val(
+        "topology",
+        "T",
+        "topology spec (dgx1, ring:N, mesh:RxC, ...)",
+    ),
+    val(
+        "collective",
+        "C",
+        "collective name (allgather, allreduce, ...)",
+    ),
+    val("root", "N", "root node for rooted collectives (default 0)"),
+];
+
+/// The `(C, S, R)` point of a single SynColl query.
+const POINT_FLAGS: &[FlagSpec] = &[
+    val("chunks", "N", "per-node chunk count C (default 1)"),
+    val("steps", "S", "step count S (default 1)"),
+    val("rounds", "R", "round count R (default S)"),
+    val(
+        "timeout",
+        "SECS",
+        "solver budget, 0 = unlimited (default 300)",
+    ),
+];
+
+/// The Pareto search caps and per-instance budgets.
+const SEARCH_FLAGS: &[FlagSpec] = &[
+    val("k", "K", "k-synchronous bound (default 0)"),
+    val("max-steps", "N", "step cap of the search (default 8)"),
+    val("max-chunks", "N", "chunk cap of the search (default 8)"),
+    val(
+        "timeout",
+        "SECS",
+        "per-instance wall-clock budget, 0 = unlimited (default 120)",
+    ),
+    val(
+        "max-conflicts",
+        "N",
+        "per-instance conflict budget (deterministic, machine-independent)",
+    ),
+];
+
+/// Engine construction: worker pool and persistent cache.
+const ENGINE_FLAGS: &[FlagSpec] = &[
+    val(
+        "threads",
+        "N",
+        "worker threads, 0 = one per core (default 0)",
+    ),
+    val("cache", "DIR", "persistent algorithm cache directory"),
+    switch("sequential", "solve with the sequential loop"),
+];
+
+/// One subcommand: its flag groups and usage line.
+struct CommandSpec {
+    name: &'static str,
+    summary: &'static str,
+    flags: &'static [&'static [FlagSpec]],
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "bounds",
+        summary: "structural lower bounds (latency steps, bandwidth rounds/chunk)",
+        flags: &[PROBLEM_FLAGS],
+    },
+    CommandSpec {
+        name: "probe",
+        summary: "solve one (C, S, R) SynColl instance and print the schedule",
+        flags: &[PROBLEM_FLAGS, POINT_FLAGS],
+    },
+    CommandSpec {
+        name: "codegen",
+        summary: "probe one instance and emit CUDA-flavoured code",
+        flags: &[
+            PROBLEM_FLAGS,
+            POINT_FLAGS,
+            &[switch(
+                "dma",
+                "lower with cudaMemcpy per step instead of a fused kernel",
+            )],
+        ],
+    },
+    CommandSpec {
+        name: "pareto",
+        summary: "synthesize the Pareto frontier through the engine",
+        flags: &[
+            PROBLEM_FLAGS,
+            SEARCH_FLAGS,
+            ENGINE_FLAGS,
+            &[
+                switch("parallel", "solve with the work-queue parallel scheduler"),
+                switch("json", "print the report as JSON"),
+            ],
+        ],
+    },
+    CommandSpec {
+        name: "batch",
+        summary: "run a manifest of jobs through the engine",
+        flags: &[
+            &[val(
+                "manifest",
+                "FILE",
+                "manifest of `topology collective [root=N]` jobs",
+            )],
+            SEARCH_FLAGS,
+            ENGINE_FLAGS,
+        ],
+    },
+    CommandSpec {
+        name: "warmup",
+        summary: "prime the cache from a manifest (cache defaults to .sccl-cache)",
+        flags: &[
+            &[val(
+                "manifest",
+                "FILE",
+                "manifest of `topology collective [root=N]` jobs",
+            )],
+            SEARCH_FLAGS,
+            ENGINE_FLAGS,
+        ],
+    },
+];
+
 fn usage() -> ExitCode {
+    eprintln!("usage: sccl <command> [--key value ...]\n\ncommands:");
+    for command in COMMANDS {
+        eprintln!("  {:<8} {}", command.name, command.summary);
+        for group in command.flags {
+            for flag in *group {
+                match flag.value {
+                    Some(value) => {
+                        eprintln!(
+                            "      --{:<22} {}",
+                            format!("{} {value}", flag.name),
+                            flag.help
+                        )
+                    }
+                    None => eprintln!("      --{:<22} {}", flag.name, flag.help),
+                }
+            }
+        }
+    }
     eprintln!(
-        "usage: sccl <command> [--key value ...]\n\
-         \n\
-         commands:\n\
-           bounds   --topology T --collective C          structural lower bounds\n\
-           probe    --topology T --collective C --chunks N --steps S --rounds R [--timeout SECS]\n\
-           pareto   --topology T --collective C [--k K] [--max-steps N] [--max-chunks N]\n\
-                    [--parallel] [--threads N] [--json]\n\
-           codegen  --topology T --collective C --chunks N --steps S --rounds R [--dma]\n\
-           batch    --manifest FILE [--threads N] [--sequential] [--cache DIR]\n\
-                    [--k K] [--max-steps N] [--max-chunks N]\n\
-           warmup   --manifest FILE [--cache DIR] [--threads N] [--k K]\n\
-                    [--max-steps N] [--max-chunks N]\n\
-         \n\
-         per-instance solver budget (pareto/batch/warmup): --timeout SECS\n\
-         (wall-clock, 0 = unlimited) and/or --max-conflicts N (deterministic;\n\
-         keeps --parallel frontiers bit-identical to sequential ones)\n\
-         \n\
-         topologies: dgx1 | dgx1-single | amd | ring:N | uniring:N | chain:N |\n\
-                     star:N | fc:N | hypercube:D | mesh:RxC | nvswitch:N\n\
+        "\ntopologies: dgx1 | dgx1-single | amd | ring:N | uniring:N | chain:N |\n\
+         \x20           star:N | fc:N | hypercube:D | mesh:RxC | nvswitch:N\n\
          collectives: allgather | broadcast | gather | scatter | alltoall |\n\
-                      reduce | reducescatter | allreduce (root defaults to 0)\n\
+         \x20            reduce | reducescatter | allreduce (root defaults to 0)\n\
          \n\
          batch manifests hold one `<topology> <collective> [root=N]` job per\n\
-         line; `#` starts a comment. With --cache, solved frontiers persist\n\
-         and later runs (or `warmup`) reuse them without solving."
+         line (`#` comments), or a JSON array of {{\"topology\", \"collective\",\n\
+         \x20\"root\"}} objects. With --cache, solved frontiers persist and later\n\
+         runs (or `warmup`) reuse them without solving."
     );
     ExitCode::FAILURE
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+// ---------------------------------------------------------------------
+// Spec-driven flag parsing
+// ---------------------------------------------------------------------
+
+fn find_flag(command: &CommandSpec, name: &str) -> Option<&'static FlagSpec> {
+    command
+        .flags
+        .iter()
+        .flat_map(|group| group.iter())
+        .find(|flag| flag.name == name)
+}
+
+/// Parse `args` against the command's spec: `--key value` and `--key=value`
+/// for value flags, bare `--key` for switches; anything not in the spec is
+/// an error rather than silently ignored.
+fn parse_flags(command: &CommandSpec, args: &[String]) -> Result<HashMap<String, String>, Error> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            // Both `--key value` and `--key=value` are accepted.
-            if let Some((key, value)) = key.split_once('=') {
-                flags.insert(key.to_string(), value.to_string());
-                i += 1;
-            } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                flags.insert(key.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                flags.insert(key.to_string(), "true".to_string());
-                i += 1;
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(Error::Flag {
+                flag: args[i].clone(),
+                message: format!("expected a --flag, found positional argument `{}`", args[i]),
+            });
+        };
+        let (key, inline_value) = match key.split_once('=') {
+            Some((key, value)) => (key, Some(value.to_string())),
+            None => (key, None),
+        };
+        let Some(spec) = find_flag(command, key) else {
+            return Err(Error::Flag {
+                flag: key.to_string(),
+                message: format!("unknown flag for `{}`", command.name),
+            });
+        };
+        let value = match (spec.value, inline_value) {
+            (None, None) => "true".to_string(),
+            (None, Some(value)) => {
+                return Err(Error::Flag {
+                    flag: key.to_string(),
+                    message: format!("switch takes no value, found `{value}`"),
+                })
             }
-        } else {
-            i += 1;
-        }
+            (Some(_), Some(value)) => value,
+            (Some(placeholder), None) => {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    i += 1;
+                    args[i].clone()
+                } else {
+                    return Err(Error::Flag {
+                        flag: key.to_string(),
+                        message: format!("expected a value ({placeholder})"),
+                    });
+                }
+            }
+        };
+        flags.insert(key.to_string(), value);
+        i += 1;
     }
-    flags
+    Ok(flags)
 }
 
 /// Numeric flag value, or `default` when absent. A present-but-unparseable
 /// value is an error, not a silent fallback: running with a different
 /// configuration than the user asked for is worse than stopping.
-fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, Error> {
     match flags.get(key) {
-        None => default,
-        Some(value) => value.parse().unwrap_or_else(|_| {
-            eprintln!("error: invalid value `{value}` for --{key} (expected a number)");
-            std::process::exit(2);
+        None => Ok(default),
+        Some(value) => value.parse().map_err(|_| Error::Flag {
+            flag: key.to_string(),
+            message: format!("invalid value `{value}` (expected a number)"),
         }),
     }
 }
 
 /// The topology + collective pair most commands require.
-fn require_problem(flags: &HashMap<String, String>) -> Option<(Topology, Collective)> {
-    let topology = match flags.get("topology").map(|t| builders::parse_spec(t)) {
-        Some(Some(t)) => t,
-        _ => {
-            eprintln!("error: missing or unknown --topology");
-            return None;
+fn require_problem(flags: &HashMap<String, String>) -> Result<(Topology, Collective), Error> {
+    let topology = match flags.get("topology") {
+        Some(spec) => builders::parse_spec(spec).ok_or_else(|| Error::Flag {
+            flag: "topology".to_string(),
+            message: format!("unknown topology `{spec}`"),
+        })?,
+        None => {
+            return Err(Error::Flag {
+                flag: "topology".to_string(),
+                message: "required".to_string(),
+            })
         }
     };
-    let root = get_usize(flags, "root", 0);
+    let root = get_usize(flags, "root", 0)?;
     if root >= topology.num_nodes() {
-        eprintln!(
-            "error: --root {root} out of range for {} ({} nodes)",
-            topology.name(),
-            topology.num_nodes()
-        );
-        return None;
+        return Err(Error::Flag {
+            flag: "root".to_string(),
+            message: format!(
+                "{root} out of range for {} ({} nodes)",
+                topology.name(),
+                topology.num_nodes()
+            ),
+        });
     }
-    let collective = match flags
-        .get("collective")
-        .map(|c| Collective::parse_spec(c, root))
-    {
-        Some(Some(c)) => c,
-        _ => {
-            eprintln!("error: missing or unknown --collective");
-            return None;
+    let collective = match flags.get("collective") {
+        Some(spec) => Collective::parse_spec(spec, root).ok_or_else(|| Error::Flag {
+            flag: "collective".to_string(),
+            message: format!("unknown collective `{spec}`"),
+        })?,
+        None => {
+            return Err(Error::Flag {
+                flag: "collective".to_string(),
+                message: "required".to_string(),
+            })
         }
     };
-    Some((topology, collective))
+    Ok((topology, collective))
 }
 
 /// Synthesis search configuration from the common flags.
@@ -129,59 +338,105 @@ fn require_problem(flags: &HashMap<String, String>) -> Option<(Topology, Collect
 /// and/or `--max-conflicts N`. Conflict budgets are machine-independent and
 /// keep parallel runs bit-identical to sequential ones; wall-clock budgets
 /// near the limit can differ run-to-run (see `sccl_sched::parallel`).
-fn synthesis_config(flags: &HashMap<String, String>, default_timeout: usize) -> SynthesisConfig {
-    let timeout = get_usize(flags, "timeout", default_timeout);
+fn synthesis_config(
+    flags: &HashMap<String, String>,
+    default_timeout: usize,
+) -> Result<SynthesisConfig, Error> {
+    let timeout = get_usize(flags, "timeout", default_timeout)?;
     let mut limits = if timeout == 0 {
         Limits::none()
     } else {
         Limits::time(Duration::from_secs(timeout as u64))
     };
-    let max_conflicts = get_usize(flags, "max-conflicts", 0);
+    let max_conflicts = get_usize(flags, "max-conflicts", 0)?;
     if max_conflicts > 0 {
         limits.max_conflicts = Some(max_conflicts as u64);
     }
-    SynthesisConfig {
-        k: get_usize(flags, "k", 0) as u64,
-        max_steps: get_usize(flags, "max-steps", 8),
-        max_chunks: get_usize(flags, "max-chunks", 8),
+    Ok(SynthesisConfig {
+        k: get_usize(flags, "k", 0)? as u64,
+        max_steps: get_usize(flags, "max-steps", 8)?,
+        max_chunks: get_usize(flags, "max-chunks", 8)?,
         per_instance_limits: limits,
         ..Default::default()
-    }
+    })
 }
+
+/// Build the engine a command's flags describe: worker pool, solve mode,
+/// optional persistent cache.
+fn build_engine(
+    flags: &HashMap<String, String>,
+    default_mode: SolveMode,
+    default_cache: Option<&str>,
+) -> Result<Engine, Error> {
+    let mode = match (
+        flags.contains_key("sequential"),
+        flags.contains_key("parallel"),
+    ) {
+        (true, true) => {
+            return Err(Error::Flag {
+                flag: "parallel".to_string(),
+                message: "conflicts with --sequential".to_string(),
+            })
+        }
+        (true, false) => SolveMode::Sequential,
+        (false, true) => SolveMode::Parallel,
+        (false, false) => default_mode,
+    };
+    let mut builder = Engine::builder()
+        .threads(get_usize(flags, "threads", 0)?)
+        .mode(mode);
+    if let Some(dir) = flags.get("cache").map(String::as_str).or(default_cache) {
+        builder = builder.cache_dir(dir);
+    }
+    builder.build()
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first().cloned() else {
+    let Some(command_name) = args.first() else {
         return usage();
     };
-    let flags = parse_flags(&args[1..]);
+    let Some(command) = COMMANDS.iter().find(|c| c.name == *command_name) else {
+        return usage();
+    };
+    match run_command(command, &args[1..]) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            match e {
+                Error::Flag { .. } => usage(),
+                _ => ExitCode::FAILURE,
+            }
+        }
+    }
+}
 
-    match command.as_str() {
+fn run_command(command: &CommandSpec, args: &[String]) -> Result<ExitCode, Error> {
+    let flags = parse_flags(command, args)?;
+    match command.name {
         "bounds" => {
-            let Some((topology, collective)) = require_problem(&flags) else {
-                return usage();
-            };
+            let (topology, collective) = require_problem(&flags)?;
             cmd_bounds(&topology, collective)
         }
         "probe" | "codegen" => {
-            let Some((topology, collective)) = require_problem(&flags) else {
-                return usage();
-            };
-            cmd_probe(&topology, collective, &flags, command == "codegen")
+            let (topology, collective) = require_problem(&flags)?;
+            cmd_probe(&topology, collective, &flags, command.name == "codegen")
         }
         "pareto" => {
-            let Some((topology, collective)) = require_problem(&flags) else {
-                return usage();
-            };
+            let (topology, collective) = require_problem(&flags)?;
             cmd_pareto(&topology, collective, &flags)
         }
         "batch" => cmd_batch(&flags, false),
         "warmup" => cmd_batch(&flags, true),
-        _ => usage(),
+        _ => unreachable!("dispatch covers every entry of COMMANDS"),
     }
 }
 
-fn cmd_bounds(topology: &Topology, collective: Collective) -> ExitCode {
+fn cmd_bounds(topology: &Topology, collective: Collective) -> Result<ExitCode, Error> {
     let reference_chunks = match collective {
         Collective::Alltoall => topology.num_nodes(),
         _ => 1,
@@ -212,12 +467,11 @@ fn cmd_bounds(topology: &Topology, collective: Collective) -> ExitCode {
                 println!("latency lower bound: {al} steps");
             }
             println!("bandwidth lower bound (dual): {bl} rounds/chunk");
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
-        _ => {
-            eprintln!("error: topology is not connected for this collective");
-            ExitCode::FAILURE
-        }
+        _ => Err(Error::Synthesis(
+            sccl_core::pareto::SynthesisError::Disconnected,
+        )),
     }
 }
 
@@ -226,11 +480,16 @@ fn cmd_probe(
     collective: Collective,
     flags: &HashMap<String, String>,
     codegen: bool,
-) -> ExitCode {
-    let chunks = get_usize(flags, "chunks", 1);
-    let steps = get_usize(flags, "steps", 1);
-    let rounds = get_usize(flags, "rounds", steps) as u64;
-    let timeout = get_usize(flags, "timeout", 300) as u64;
+) -> Result<ExitCode, Error> {
+    let chunks = get_usize(flags, "chunks", 1)?;
+    let steps = get_usize(flags, "steps", 1)?;
+    let rounds = get_usize(flags, "rounds", steps)? as u64;
+    let timeout = get_usize(flags, "timeout", 300)? as u64;
+    let limits = if timeout == 0 {
+        Limits::none()
+    } else {
+        Limits::time(Duration::from_secs(timeout))
+    };
     // Combining collectives probe their non-combining base problem: the
     // inversion dual on the *reversed* topology (so the inverted schedule
     // runs forward on the requested one, §3.5), or Allgather for Allreduce.
@@ -252,7 +511,7 @@ fn cmd_probe(
         &instance,
         &EncodingOptions::default(),
         SolverConfig::default(),
-        Limits::time(Duration::from_secs(timeout)),
+        limits,
     );
     println!(
         "encoded {} vars, {} clauses, {} PB constraints in {:.2?}",
@@ -283,18 +542,18 @@ fn cmd_probe(
                 let program = lower(&algorithm, lowering);
                 println!("{}", generate_cuda(&program));
             }
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         SynthesisOutcome::Unsatisfiable => {
             println!(
                 "UNSAT in {:.2?}: no such k-synchronous algorithm exists",
                 run.solve_time
             );
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         SynthesisOutcome::Unknown => {
             println!("unknown: solver budget of {timeout}s exhausted");
-            ExitCode::FAILURE
+            Ok(ExitCode::FAILURE)
         }
     }
 }
@@ -303,126 +562,103 @@ fn cmd_pareto(
     topology: &Topology,
     collective: Collective,
     flags: &HashMap<String, String>,
-) -> ExitCode {
-    let config = synthesis_config(flags, 120);
-    let result = if flags.contains_key("parallel") {
-        let parallel = ParallelConfig::with_threads(get_usize(flags, "threads", 0));
-        sccl_sched::pareto_synthesize_parallel(topology, collective, &config, &parallel)
-    } else {
-        pareto_synthesize(topology, collective, &config)
-    };
-    match result {
-        Ok(report) => {
-            if flags.contains_key("json") {
-                match serde_json::to_string_pretty(&report) {
-                    Ok(json) => println!("{json}"),
-                    Err(e) => {
-                        eprintln!("error: failed to serialize report: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-                return ExitCode::SUCCESS;
-            }
-            println!(
-                "Pareto frontier of {} on {} (a_l = {}, b_l = {}):",
-                report.collective,
-                report.topology_name,
-                report.latency_lower_bound,
-                report.bandwidth_lower_bound
-            );
-            for entry in &report.entries {
-                println!(
-                    "  C={:<3} S={:<3} R={:<3} {:<10} {:.2?}",
-                    entry.chunks,
-                    entry.steps,
-                    entry.rounds,
-                    entry.optimality.label(),
-                    entry.synthesis_time
-                );
-            }
-            match report.termination {
-                TerminationReason::BandwidthOptimal => {}
-                reason => println!("  ({})", reason.describe()),
-            }
-            if report.budget_exhausted {
-                println!("  (some probes hit the per-instance timeout)");
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+) -> Result<ExitCode, Error> {
+    let config = synthesis_config(flags, 120)?;
+    // Single-shot requests default to the sequential loop (historic CLI
+    // behavior); --parallel opts into the work-queue scheduler.
+    let engine = build_engine(flags, SolveMode::Sequential, None)?;
+    let response =
+        engine.synthesize(SynthesisRequest::new(topology, collective).with_config(config))?;
+    if flags.contains_key("json") {
+        // An in-memory report always serializes (the cache round-trips the
+        // same type); a failure here is a bug, not a user error.
+        let json =
+            serde_json::to_string_pretty(&response.report).expect("synthesis reports serialize");
+        println!("{json}");
+        return Ok(ExitCode::SUCCESS);
     }
+    let report = &response.report;
+    println!(
+        "Pareto frontier of {} on {} (a_l = {}, b_l = {}):",
+        report.collective,
+        report.topology_name,
+        report.latency_lower_bound,
+        report.bandwidth_lower_bound
+    );
+    for entry in &report.entries {
+        println!(
+            "  C={:<3} S={:<3} R={:<3} {:<10} {:.2?}",
+            entry.chunks,
+            entry.steps,
+            entry.rounds,
+            entry.optimality.label(),
+            entry.synthesis_time
+        );
+    }
+    match report.termination {
+        TerminationReason::BandwidthOptimal => {}
+        reason => println!("  ({})", reason.describe()),
+    }
+    if report.budget_exhausted {
+        println!("  (some probes hit the per-instance timeout)");
+    }
+    match response.provenance {
+        Provenance::CacheHit => println!(
+            "served from cache in {:.2?} (lookup {:.2?})",
+            response.timings.total, response.timings.lookup
+        ),
+        Provenance::Solved(mode) => println!(
+            "solved in {:.2?} ({} mode)",
+            response.timings.total,
+            mode_label(mode)
+        ),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_batch(flags: &HashMap<String, String>, warmup: bool) -> ExitCode {
+fn cmd_batch(flags: &HashMap<String, String>, warmup: bool) -> Result<ExitCode, Error> {
     let Some(manifest_path) = flags.get("manifest") else {
-        eprintln!("error: --manifest FILE is required");
-        return usage();
+        return Err(Error::Flag {
+            flag: "manifest".to_string(),
+            message: "required".to_string(),
+        });
     };
-    let text = match std::fs::read_to_string(manifest_path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: cannot read manifest {manifest_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let jobs = match parse_manifest(&text) {
-        Ok(jobs) => jobs,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let text = std::fs::read_to_string(manifest_path).map_err(|e| {
+        Error::Manifest(sccl_sched::ManifestError {
+            line: 0,
+            message: format!("cannot read {manifest_path}: {e}"),
+        })
+    })?;
+    let jobs = parse_manifest(&text)?;
     if jobs.is_empty() {
-        eprintln!("error: manifest contains no jobs");
-        return ExitCode::FAILURE;
+        return Err(Error::Manifest(sccl_sched::ManifestError {
+            line: 0,
+            message: "manifest contains no jobs".to_string(),
+        }));
     }
 
-    let mode = if flags.contains_key("sequential") {
-        BatchMode::Sequential
-    } else {
-        BatchMode::Parallel
-    };
-    let options = BatchOptions {
-        mode,
-        parallel: ParallelConfig::with_threads(get_usize(flags, "threads", 0)),
-    };
-    let config = synthesis_config(flags, 120);
-
+    let config = synthesis_config(flags, 120)?;
     // `warmup` is batch whose whole point is the cache: default the
     // directory rather than requiring the flag.
-    let cache_dir = flags
-        .get("cache")
-        .cloned()
-        .or_else(|| warmup.then(|| ".sccl-cache".to_string()));
-    let cache = match cache_dir {
-        Some(dir) => match AlgorithmCache::open(&dir) {
-            Ok(cache) => Some(cache),
-            Err(e) => {
-                eprintln!("error: cannot open cache {dir}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => None,
-    };
-
-    let report = run_batch(&jobs, &config, &options, cache.as_ref());
-    print_batch_report(&report, mode, cache.as_ref(), warmup);
+    let default_cache = warmup.then_some(".sccl-cache");
+    let engine = build_engine(flags, SolveMode::Parallel, default_cache)?;
+    let report = engine.run_batch(&jobs, Some(&config));
+    print_batch_report(&report, &engine, warmup);
     if report.failures() > 0 {
-        ExitCode::FAILURE
+        Ok(ExitCode::FAILURE)
     } else {
-        ExitCode::SUCCESS
+        Ok(ExitCode::SUCCESS)
     }
 }
 
-fn print_batch_report(
-    report: &BatchReport,
-    mode: BatchMode,
-    cache: Option<&AlgorithmCache>,
-    warmup: bool,
-) {
+fn mode_label(mode: SolveMode) -> &'static str {
+    match mode {
+        SolveMode::Sequential => "sequential",
+        SolveMode::Parallel => "parallel",
+    }
+}
+
+fn print_batch_report(report: &BatchReport, engine: &Engine, warmup: bool) {
     for result in &report.results {
         let source = if result.from_cache { "cache" } else { "solved" };
         match &result.outcome {
@@ -445,23 +681,19 @@ fn print_batch_report(
             ),
         }
     }
-    let mode_label = match mode {
-        BatchMode::Sequential => "sequential",
-        BatchMode::Parallel => "parallel",
-    };
     println!(
         "{}: {} jobs in {:.2?} ({:.2} jobs/s, {} mode): {} solved, {} from cache, {} failed, {} frontier entries",
         if warmup { "warmup" } else { "batch" },
         report.results.len(),
         report.wall_time,
         report.throughput(),
-        mode_label,
+        mode_label(engine.mode()),
         report.solved(),
         report.cache_hits(),
         report.failures(),
         report.total_entries(),
     );
-    if let Some(cache) = cache {
+    if let Some(cache) = engine.cache() {
         let stats = cache.stats();
         println!(
             "cache: {} entries at {} ({} hits, {} misses, {} stores this run)",

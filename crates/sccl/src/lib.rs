@@ -6,6 +6,12 @@
 //! hardware topology, plus the lowering, execution and benchmarking
 //! infrastructure around it.
 //!
+//! The front door is [`Engine`]: a long-lived handle that owns the worker
+//! pool, the persistent algorithm cache and the cost model, and serves
+//! typed [`SynthesisRequest`] → [`SynthesisResponse`] calls. Single-shot,
+//! parallel, batch and warm-cache execution share one request path; the
+//! response chains into lowering, code generation and simulation.
+//!
 //! This facade crate re-exports the workspace's public API:
 //!
 //! * [`solver`] — CDCL SAT + pseudo-Boolean solver (the Z3 substitute).
@@ -15,20 +21,30 @@
 //! * [`program`] — rank-program IR, lowering and CUDA-flavoured codegen.
 //! * [`runtime`] — threaded executor and (α, β) simulator.
 //! * [`baselines`] — NCCL/RCCL-style ring algorithms.
+//! * [`sched`] — the [`Engine`], parallel work-queue search, persistent
+//!   cache, batch manifests.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use sccl::prelude::*;
 //!
+//! // A long-lived engine: add .cache_dir("...") to persist frontiers
+//! // across processes, .threads(n) to bound the worker pool.
+//! let engine = Engine::builder().threads(2).build().expect("engine");
+//!
 //! // Synthesize the Pareto frontier of Allgather algorithms for a 4-node
-//! // ring, lower the latency-optimal one, and execute it on threads.
+//! // ring, lower the latency-optimal one, and emit CUDA-flavoured code.
 //! let ring = sccl::topology::builders::ring(4, 1);
-//! let report = pareto_synthesize(&ring, Collective::Allgather, &SynthesisConfig::default())
+//! let config = SynthesisConfig { max_steps: 6, max_chunks: 4, ..Default::default() };
+//! let response = engine
+//!     .synthesize(SynthesisRequest::new(&ring, Collective::Allgather).with_config(config))
 //!     .expect("synthesis succeeds");
-//! let algorithm = &report.entries[0].algorithm;
-//! let program = lower(algorithm, LoweringOptions::default());
-//! program.check_matching().expect("consistent program");
+//! assert!(!response.from_cache());
+//!
+//! let lowered = response.lower(LoweringOptions::default()).expect("nonempty frontier");
+//! assert!(lowered.cuda().contains("__global__"));
+//! assert!(lowered.simulate(1 << 20) > 0.0);
 //! ```
 
 pub use sccl_baselines as baselines;
@@ -36,8 +52,14 @@ pub use sccl_collectives as collectives;
 pub use sccl_core as core;
 pub use sccl_program as program;
 pub use sccl_runtime as runtime;
+pub use sccl_sched as sched;
 pub use sccl_solver as solver;
 pub use sccl_topology as topology;
+
+pub use sccl_sched::{
+    Engine, EngineBuilder, Error, LibraryRequest, LibraryResponse, LoweredAlgorithm, Provenance,
+    ResponseTimings, SolveMode, SynthesisRequest, SynthesisResponse,
+};
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -46,5 +68,8 @@ pub mod prelude {
     pub use sccl_core::{Algorithm, AlgorithmCost, CostModel, SendOp};
     pub use sccl_program::{generate_cuda, lower, LoweringOptions};
     pub use sccl_runtime::{execute, simulate_time, ExecutionConfig, ExecutionMode};
+    pub use sccl_sched::{
+        Engine, Error, LibraryRequest, Provenance, SolveMode, SynthesisRequest, SynthesisResponse,
+    };
     pub use sccl_topology::{builders, Rational, Topology};
 }

@@ -1,8 +1,9 @@
-//! The batch front-end: parse a manifest of `topology × collective` jobs,
-//! drive the parallel scheduler (with the persistent cache in front of it),
-//! and summarize throughput.
+//! The batch front-end: parse a manifest of `topology × collective` jobs
+//! (text or JSON), render manifests back out, and summarize throughput.
+//! Batch execution itself runs through [`crate::Engine::run_batch`]; the
+//! free [`run_batch`] function survives as a deprecated wrapper.
 //!
-//! Manifest format — one job per line:
+//! Text manifest format — one job per line:
 //!
 //! ```text
 //! # topology   collective   [root=N]
@@ -11,16 +12,43 @@
 //! ring:8       allreduce
 //! ```
 //!
+//! JSON manifest format — a top-level array (auto-detected by the leading
+//! `[`):
+//!
+//! ```text
+//! [
+//!   {"topology": "dgx1", "collective": "broadcast", "root": 3},
+//!   {"topology": "ring:8", "collective": "allreduce"}
+//! ]
+//! ```
+//!
 //! Topology specs are those of `sccl_topology::builders::parse_spec`;
-//! collective names those of `Collective::parse_spec`. Blank lines and
-//! `#` comments are ignored.
+//! collective names those of `Collective::parse_spec`. In the text format,
+//! blank lines and `#` comments are ignored.
 
-use crate::cache::{AlgorithmCache, CacheKey};
-use crate::parallel::{pareto_synthesize_parallel, ParallelConfig};
+use crate::cache::AlgorithmCache;
+use crate::parallel::ParallelConfig;
 use sccl_collectives::Collective;
-use sccl_core::pareto::{pareto_synthesize, SynthesisConfig, SynthesisError, SynthesisReport};
+use sccl_core::pareto::{SynthesisConfig, SynthesisError, SynthesisReport};
 use sccl_topology::{builders, Topology};
-use std::time::{Duration, Instant};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::time::Duration;
+
+/// How a cache miss is solved: the plain sequential Algorithm 1 loop or the
+/// work-queue parallel scheduler. The frontier is identical either way; the
+/// mode is pure execution policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolveMode {
+    /// The plain sequential Algorithm 1 loop (baseline / comparison).
+    Sequential,
+    /// The work-queue parallel scheduler.
+    #[default]
+    Parallel,
+}
+
+/// Pre-engine name of [`SolveMode`], kept for source compatibility.
+#[deprecated(since = "0.1.0", note = "use SolveMode")]
+pub type BatchMode = SolveMode;
 
 /// One synthesis job of a batch.
 #[derive(Clone, Debug)]
@@ -31,24 +59,152 @@ pub struct BatchJob {
     pub collective: Collective,
 }
 
-/// A manifest line that could not be parsed.
+/// A manifest (or manifest entry) that could not be parsed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ManifestError {
-    /// 1-based line number.
+    /// 1-based line number, for text manifests. `0` for JSON manifests
+    /// (whose entries don't map to file lines; the offending entry is named
+    /// in `message` instead) and for whole-file errors.
     pub line: usize,
     pub message: String,
 }
 
 impl std::fmt::Display for ManifestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "manifest line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "manifest: {}", self.message)
+        } else {
+            write!(f, "manifest line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for ManifestError {}
 
-/// Parse a batch manifest (see the module docs for the format).
+/// Validate one parsed `(topology spec, collective spec, root)` triple into
+/// a [`BatchJob`] — shared by the text and JSON manifest paths.
+fn build_job(
+    topo_spec: &str,
+    coll_spec: &str,
+    root: usize,
+    line: usize,
+) -> Result<BatchJob, ManifestError> {
+    let Some(topology) = builders::parse_spec(topo_spec) else {
+        return Err(ManifestError {
+            line,
+            message: format!("unknown topology `{topo_spec}`"),
+        });
+    };
+    let Some(collective) = Collective::parse_spec(coll_spec, root) else {
+        return Err(ManifestError {
+            line,
+            message: format!("unknown collective `{coll_spec}`"),
+        });
+    };
+    if root >= topology.num_nodes() {
+        return Err(ManifestError {
+            line,
+            message: format!(
+                "root {root} out of range for `{topo_spec}` ({} nodes)",
+                topology.num_nodes()
+            ),
+        });
+    }
+    Ok(BatchJob {
+        topology_spec: topo_spec.to_string(),
+        topology,
+        collective,
+    })
+}
+
+/// One entry of a JSON manifest. `Deserialize` is written by hand so the
+/// `root` field may be omitted (the vendored derive requires every field).
+struct JsonJob {
+    topology: String,
+    collective: String,
+    root: Option<usize>,
+}
+
+impl Serialize for JsonJob {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut fields = vec![
+            ("topology".to_string(), serde::to_content(&self.topology)),
+            (
+                "collective".to_string(),
+                serde::to_content(&self.collective),
+            ),
+        ];
+        if let Some(root) = self.root {
+            fields.push(("root".to_string(), serde::to_content(&root)));
+        }
+        serializer.serialize_content(serde::Content::Map(fields))
+    }
+}
+
+impl<'de> Deserialize<'de> for JsonJob {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        let mut fields = serde::content_map::<D::Error>(content)?;
+        let topology: String = serde::field(&mut fields, "topology")?;
+        let collective: String = serde::field(&mut fields, "collective")?;
+        let root = match fields.iter().position(|(k, _)| k == "root") {
+            Some(i) => serde::from_content::<Option<usize>, D::Error>(fields.remove(i).1)?,
+            None => None,
+        };
+        // Reject leftovers so a misspelled key (e.g. "Root") fails loudly
+        // instead of silently running the job with defaults, matching the
+        // text format's unknown-option handling.
+        if let Some((key, _)) = fields.first() {
+            return Err(<D::Error as serde::de::Error>::custom(format!(
+                "unknown field `{key}` (supported: topology, collective, root)"
+            )));
+        }
+        Ok(JsonJob {
+            topology,
+            collective,
+            root,
+        })
+    }
+}
+
+/// Parse a batch manifest. A leading `[` selects the JSON format, anything
+/// else the line-oriented text format (see the module docs for both).
 pub fn parse_manifest(text: &str) -> Result<Vec<BatchJob>, ManifestError> {
+    if text.trim_start().starts_with('[') {
+        parse_json_manifest(text)
+    } else {
+        parse_text_manifest(text)
+    }
+}
+
+fn parse_json_manifest(text: &str) -> Result<Vec<BatchJob>, ManifestError> {
+    let entries: Vec<JsonJob> = serde_json::from_str(text).map_err(|e| ManifestError {
+        line: 0,
+        message: format!("invalid JSON manifest: {e}"),
+    })?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            build_job(
+                &entry.topology,
+                &entry.collective,
+                entry.root.unwrap_or(0),
+                0,
+            )
+            .map_err(
+                // JSON entries don't map to file lines; name the entry in
+                // the message instead of claiming a line number.
+                |e| ManifestError {
+                    line: 0,
+                    message: format!("entry {}: {}", i + 1, e.message),
+                },
+            )
+        })
+        .collect()
+}
+
+fn parse_text_manifest(text: &str) -> Result<Vec<BatchJob>, ManifestError> {
     let mut jobs = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
@@ -81,59 +237,50 @@ pub fn parse_manifest(text: &str) -> Result<Vec<BatchJob>, ManifestError> {
                 }
             }
         }
-        let Some(topology) = builders::parse_spec(topo_spec) else {
-            return Err(ManifestError {
-                line,
-                message: format!("unknown topology `{topo_spec}`"),
-            });
-        };
-        let Some(collective) = Collective::parse_spec(coll_spec, root) else {
-            return Err(ManifestError {
-                line,
-                message: format!("unknown collective `{coll_spec}`"),
-            });
-        };
-        if root >= topology.num_nodes() {
-            return Err(ManifestError {
-                line,
-                message: format!(
-                    "root {root} out of range for `{topo_spec}` ({} nodes)",
-                    topology.num_nodes()
-                ),
-            });
-        }
-        jobs.push(BatchJob {
-            topology_spec: topo_spec.to_string(),
-            topology,
-            collective,
-        });
+        jobs.push(build_job(topo_spec, coll_spec, root, line)?);
     }
     Ok(jobs)
 }
 
-/// How a batch executes its jobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BatchMode {
-    /// The plain sequential Algorithm 1 loop (baseline / comparison).
-    Sequential,
-    /// The work-queue parallel scheduler.
-    Parallel,
-}
-
-/// Batch execution options.
-#[derive(Clone, Debug)]
-pub struct BatchOptions {
-    pub mode: BatchMode,
-    pub parallel: ParallelConfig,
-}
-
-impl Default for BatchOptions {
-    fn default() -> Self {
-        BatchOptions {
-            mode: BatchMode::Parallel,
-            parallel: ParallelConfig::default(),
+/// Render jobs back into the line-oriented text manifest format;
+/// `parse_manifest(&render_manifest(&jobs))` reproduces the jobs.
+pub fn render_manifest(jobs: &[BatchJob]) -> String {
+    let mut out = String::new();
+    for job in jobs {
+        out.push_str(&job.topology_spec);
+        out.push(' ');
+        out.push_str(job.collective.spec_name());
+        if let Some(root) = job.collective.root() {
+            out.push_str(&format!(" root={root}"));
         }
+        out.push('\n');
     }
+    out
+}
+
+/// Render jobs into the JSON manifest format (also accepted by
+/// [`parse_manifest`]).
+pub fn render_manifest_json(jobs: &[BatchJob]) -> String {
+    let entries: Vec<JsonJob> = jobs
+        .iter()
+        .map(|job| JsonJob {
+            topology: job.topology_spec.clone(),
+            collective: job.collective.spec_name().to_string(),
+            root: job.collective.root(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&entries).expect("manifest entries serialize")
+}
+
+/// Batch execution options of the deprecated [`run_batch`] wrapper.
+#[deprecated(
+    since = "0.1.0",
+    note = "configure sccl::Engine via its builder instead"
+)]
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    pub mode: SolveMode,
+    pub parallel: ParallelConfig,
 }
 
 /// Outcome of one job.
@@ -180,77 +327,37 @@ impl BatchReport {
             .sum()
     }
 
-    /// Jobs per second over the whole run.
+    /// Jobs per second over the whole run. An all-hit warm batch can finish
+    /// below the clock's resolution; the elapsed time is floored at 1 µs so
+    /// the rate stays finite.
     pub fn throughput(&self) -> f64 {
-        let secs = self.wall_time.as_secs_f64();
-        if secs > 0.0 {
-            self.results.len() as f64 / secs
-        } else {
-            f64::INFINITY
-        }
+        let secs = self.wall_time.as_secs_f64().max(1e-6);
+        self.results.len() as f64 / secs
     }
 }
 
 /// Run a batch of synthesis jobs, consulting (and populating) the cache
 /// when one is provided.
+#[deprecated(since = "0.1.0", note = "use sccl::Engine::run_batch")]
+#[allow(deprecated)]
 pub fn run_batch(
     jobs: &[BatchJob],
     config: &SynthesisConfig,
     options: &BatchOptions,
     cache: Option<&AlgorithmCache>,
 ) -> BatchReport {
-    let start = Instant::now();
-    let mut results = Vec::with_capacity(jobs.len());
-    for job in jobs {
-        let job_start = Instant::now();
-        let key = cache.map(|_| CacheKey::new(&job.topology, job.collective, config));
-        let cached = match (cache, &key) {
-            (Some(cache), Some(key)) => cache.lookup(key),
-            _ => None,
-        };
-        let (outcome, from_cache) = match cached {
-            Some(report) => (Ok(report), true),
-            None => {
-                let outcome = match options.mode {
-                    BatchMode::Sequential => {
-                        pareto_synthesize(&job.topology, job.collective, config)
-                    }
-                    BatchMode::Parallel => pareto_synthesize_parallel(
-                        &job.topology,
-                        job.collective,
-                        config,
-                        &options.parallel,
-                    ),
-                };
-                if let (Some(cache), Some(key), Ok(report)) = (cache, &key, &outcome) {
-                    // Budget-truncated frontiers are timing-dependent (a
-                    // contended run may drop entries a quiet one would
-                    // find); persisting one would serve the degraded result
-                    // forever. Cache only reproducible reports. A failed
-                    // store leaves the batch result intact; the next run
-                    // simply re-synthesizes.
-                    if !report.budget_exhausted {
-                        let _ = cache.store(key, report);
-                    }
-                }
-                (outcome, false)
-            }
-        };
-        results.push(BatchResult {
-            job: job.clone(),
-            outcome,
-            from_cache,
-            elapsed: job_start.elapsed(),
-        });
-    }
-    BatchReport {
-        results,
-        wall_time: start.elapsed(),
-    }
+    let engine = crate::Engine::builder()
+        .mode(options.mode)
+        .threads(options.parallel.num_threads)
+        .build()
+        .expect("an engine without a cache directory builds infallibly");
+    engine.run_batch_on(cache, jobs, config)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]
@@ -330,5 +437,22 @@ chain:3 allreduce
         assert_eq!(report.cache_hits(), 0);
         assert_eq!(report.solved(), 2);
         assert!(report.total_entries() >= 2);
+    }
+
+    #[test]
+    fn throughput_is_finite_even_at_zero_elapsed() {
+        let jobs = parse_manifest("ring:4 allgather\n").expect("jobs");
+        let report = BatchReport {
+            results: vec![BatchResult {
+                job: jobs[0].clone(),
+                outcome: Err(SynthesisError::TooFewNodes),
+                from_cache: true,
+                elapsed: Duration::ZERO,
+            }],
+            wall_time: Duration::ZERO,
+        };
+        let throughput = report.throughput();
+        assert!(throughput.is_finite(), "throughput was {throughput}");
+        assert!(throughput > 0.0);
     }
 }

@@ -1,12 +1,17 @@
 //! The persistent algorithm cache: a content-addressed, on-disk store of
 //! [`SynthesisReport`]s keyed by a canonical hash of the full synthesis
-//! input `(topology, collective, SynthesisConfig)`.
+//! input `(encoder version, topology, collective, SynthesisConfig)`.
 //!
 //! Synthesis is expensive (seconds to minutes per frontier) while its
-//! inputs are tiny and perfectly reproducible, so the cache never has to
-//! invalidate: identical inputs produce identical frontiers, and any change
-//! to the topology, the collective, the search caps or the solver
-//! configuration changes the key hash. Entries are JSON blobs
+//! inputs are tiny and perfectly reproducible, so the cache never
+//! invalidates entries individually: identical inputs produce identical
+//! frontiers, and any change to the topology, the collective, the search
+//! caps or the solver configuration changes the key hash. The one
+//! codebase-level input — the SMT encoding itself — is covered by the
+//! `encoder_version` key field: bumping
+//! [`sccl_core::encoding::ENCODER_VERSION`] re-addresses every key, so
+//! entries written by older encoders are simply never looked up again
+//! (pruning them is a separate concern). Entries are JSON blobs
 //! (`<sha256>.json`) holding the key alongside the report, so a lookup can
 //! verify it did not collide and a human can inspect the store with
 //! standard tools. An in-memory index (and report memo) makes repeat
@@ -27,6 +32,12 @@ use std::sync::Mutex;
 /// (which only affects *whether* a run completes, not its result) is not.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CacheKey {
+    /// [`sccl_core::encoding::ENCODER_VERSION`] at key-construction time:
+    /// encoding changes bump the version, which changes every key hash, so
+    /// entries synthesized by older encoders (including any written before
+    /// this field existed) live at addresses no current key ever resolves
+    /// to — stale results are never served.
+    pub encoder_version: u32,
     pub topology: Topology,
     pub collective: Collective,
     pub k: u64,
@@ -56,6 +67,7 @@ impl CacheKey {
     /// Build the canonical key for a synthesis request.
     pub fn new(topology: &Topology, collective: Collective, config: &SynthesisConfig) -> Self {
         CacheKey {
+            encoder_version: sccl_core::encoding::ENCODER_VERSION,
             topology: topology.clone(),
             collective,
             k: config.k,
@@ -261,6 +273,34 @@ mod tests {
         capped.max_chunks = 2;
         let other_config = CacheKey::new(&ring, Collective::Allgather, &capped);
         assert_ne!(a.content_hash(), other_config.content_hash());
+    }
+
+    #[test]
+    fn bumping_the_encoder_version_misses_the_cache() {
+        use sccl_core::pareto::pareto_synthesize;
+
+        let cache = AlgorithmCache::open(tmp_dir("encver")).expect("open");
+        let ring = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: 2,
+            ..Default::default()
+        };
+        let report = pareto_synthesize(&ring, Collective::Allgather, &config).expect("synthesis");
+        let key = CacheKey::new(&ring, Collective::Allgather, &config);
+        cache.store(&key, &report).expect("store");
+        assert!(cache.lookup(&key).is_some(), "same-version key must hit");
+
+        // An encoding change bumps the version; entries written by the old
+        // encoder must not be served.
+        let mut newer = key.clone();
+        newer.encoder_version += 1;
+        assert_ne!(key.content_hash(), newer.content_hash());
+        assert!(
+            cache.lookup(&newer).is_none(),
+            "stale-encoder entry served after a version bump"
+        );
+        let _ = std::fs::remove_dir_all(cache.root());
     }
 
     #[test]

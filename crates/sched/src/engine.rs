@@ -1,0 +1,823 @@
+//! The serving engine: one request/response API over synthesis, caching,
+//! scheduling and lowering.
+//!
+//! [`Engine`] is a long-lived handle that owns the worker-pool
+//! configuration, the persistent [`AlgorithmCache`] and the cost model. All
+//! execution modes — single-shot sequential, work-queue parallel, batch
+//! manifests and warm-cache serving — are one code path:
+//!
+//! 1. build the canonical [`CacheKey`] for the request,
+//! 2. look it up in the cache (if one is attached),
+//! 3. on a miss, solve through the sequential or parallel driver per the
+//!    request's [`SolveMode`],
+//! 4. persist reproducible results, and
+//! 5. return a [`SynthesisResponse`] carrying the report, its
+//!    [`Provenance`] (cache hit or freshly solved) and per-stage timings.
+//!
+//! The response offers a fluent follow-on stage: [`SynthesisResponse::lower`]
+//! turns a frontier entry into a [`LoweredAlgorithm`] that can emit
+//! CUDA-flavoured code ([`LoweredAlgorithm::cuda`]) or predict execution
+//! time under the engine's (α, β) cost model
+//! ([`LoweredAlgorithm::simulate`]).
+//!
+//! ```
+//! use sccl_sched::{Engine, SynthesisRequest};
+//! use sccl_core::pareto::SynthesisConfig;
+//! use sccl_collectives::Collective;
+//! use sccl_program::LoweringOptions;
+//! use sccl_topology::builders;
+//!
+//! let engine = Engine::builder().threads(2).build().expect("engine");
+//! let ring = builders::ring(4, 1);
+//! let config = SynthesisConfig { max_steps: 6, max_chunks: 4, ..Default::default() };
+//! let response = engine
+//!     .synthesize(SynthesisRequest::new(&ring, Collective::Allgather).with_config(config))
+//!     .expect("synthesis succeeds");
+//! let lowered = response.lower(LoweringOptions::default()).expect("nonempty frontier");
+//! assert!(lowered.cuda().contains("__global__"));
+//! assert!(lowered.simulate(1 << 20) > 0.0);
+//! ```
+
+use crate::batch::{BatchJob, BatchReport, BatchResult, ManifestError, SolveMode};
+use crate::cache::{AlgorithmCache, CacheKey, CacheStats};
+use crate::parallel::{parallel_frontier, ParallelConfig};
+use sccl_collectives::Collective;
+use sccl_core::pareto::{pareto_synthesize, SynthesisConfig, SynthesisError, SynthesisReport};
+use sccl_core::{Algorithm, CostModel};
+use sccl_program::{generate_cuda, lower, LoweringOptions, Program};
+use sccl_runtime::{simulate_time, CollectiveLibrary};
+use sccl_topology::Topology;
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// The unified error surface
+// ---------------------------------------------------------------------
+
+/// Every way a request to the engine (or the CLI built on it) can fail,
+/// unified into one enum so callers match on a single type instead of four.
+#[derive(Debug)]
+pub enum Error {
+    /// Synthesis could not start (disconnected topology, too few nodes).
+    Synthesis(SynthesisError),
+    /// A batch manifest failed to parse.
+    Manifest(ManifestError),
+    /// The persistent cache could not be opened or written.
+    Cache(io::Error),
+    /// A command-line flag failed to parse (used by the `sccl` CLI).
+    Flag {
+        /// The offending flag, without the leading `--`.
+        flag: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A follow-on stage asked for a frontier entry that does not exist
+    /// (the frontier is empty, or the index is out of range).
+    NoSuchEntry {
+        /// The entry index that was requested.
+        index: usize,
+        /// How many entries the frontier actually has.
+        len: usize,
+        /// The collective that was requested.
+        collective: Collective,
+        /// The topology it was requested on.
+        topology: String,
+    },
+    /// A lowered program failed its send/receive matching check.
+    Program(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Synthesis(e) => write!(f, "synthesis: {e}"),
+            Error::Manifest(e) => write!(f, "{e}"),
+            Error::Cache(e) => write!(f, "cache: {e}"),
+            Error::Flag { flag, message } => write!(f, "flag --{flag}: {message}"),
+            Error::NoSuchEntry {
+                index,
+                len,
+                collective,
+                topology,
+            } => {
+                if *len == 0 {
+                    write!(f, "the frontier of {collective} on {topology} is empty")
+                } else {
+                    write!(
+                        f,
+                        "the frontier of {collective} on {topology} has {len} entries, \
+                         no entry {index}"
+                    )
+                }
+            }
+            Error::Program(e) => write!(f, "lowered program is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Synthesis(e) => Some(e),
+            Error::Manifest(e) => Some(e),
+            Error::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynthesisError> for Error {
+    fn from(e: SynthesisError) -> Self {
+        Error::Synthesis(e)
+    }
+}
+
+impl From<ManifestError> for Error {
+    fn from(e: ManifestError) -> Self {
+        Error::Manifest(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Cache(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------
+
+/// One synthesis problem posed to the engine.
+#[derive(Clone, Debug)]
+pub struct SynthesisRequest {
+    /// The hardware topology to synthesize for.
+    pub topology: Topology,
+    /// The collective to implement.
+    pub collective: Collective,
+    /// Search configuration; `None` uses the engine's defaults.
+    pub config: Option<SynthesisConfig>,
+    /// How to solve on a cache miss; `None` uses the engine's default mode.
+    pub mode: Option<SolveMode>,
+}
+
+impl SynthesisRequest {
+    /// A request with the engine's default configuration and solve mode.
+    pub fn new(topology: &Topology, collective: Collective) -> Self {
+        SynthesisRequest {
+            topology: topology.clone(),
+            collective,
+            config: None,
+            mode: None,
+        }
+    }
+
+    /// Override the search configuration for this request.
+    pub fn with_config(mut self, config: SynthesisConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Override the solve mode for this request.
+    pub fn with_mode(mut self, mode: SolveMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Solve cache misses with the plain sequential Algorithm 1 loop.
+    pub fn sequential(self) -> Self {
+        self.with_mode(SolveMode::Sequential)
+    }
+
+    /// Solve cache misses with the work-queue parallel scheduler.
+    pub fn parallel(self) -> Self {
+        self.with_mode(SolveMode::Parallel)
+    }
+}
+
+/// Where a response's report came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Served from the persistent cache without solving.
+    CacheHit,
+    /// Freshly solved in the given mode.
+    Solved(SolveMode),
+}
+
+/// Wall-clock breakdown of one request.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResponseTimings {
+    /// Cache lookup time (zero when no cache is attached).
+    pub lookup: Duration,
+    /// Solver time (zero on a cache hit).
+    pub solve: Duration,
+    /// Cache store time (zero on a hit or without a cache).
+    pub store: Duration,
+    /// End-to-end time of the request.
+    pub total: Duration,
+}
+
+/// The engine's answer to a [`SynthesisRequest`].
+#[derive(Clone, Debug)]
+pub struct SynthesisResponse {
+    /// The Pareto frontier (identical whether cached or freshly solved).
+    pub report: SynthesisReport,
+    /// Whether the report was served from the cache or solved.
+    pub provenance: Provenance,
+    /// Wall-clock breakdown of the request.
+    pub timings: ResponseTimings,
+    /// The topology the request was posed on (kept for the fluent
+    /// lowering/simulation stage).
+    topology: Topology,
+    /// The engine's cost model at response time.
+    cost_model: CostModel,
+}
+
+impl SynthesisResponse {
+    /// `true` if the report came out of the cache without solving.
+    pub fn from_cache(&self) -> bool {
+        self.provenance == Provenance::CacheHit
+    }
+
+    /// Lower the first frontier entry — the one with the fewest steps.
+    /// Whenever the frontier reaches the latency lower bound that entry is
+    /// the latency-optimal point; on a capped or budget-truncated search it
+    /// is merely the best found (check
+    /// [`SynthesisReport::latency_optimal`](sccl_core::pareto::SynthesisReport::latency_optimal)
+    /// when the distinction matters).
+    pub fn lower(&self, options: LoweringOptions) -> Result<LoweredAlgorithm, Error> {
+        self.lower_entry(0, options)
+    }
+
+    /// Lower the frontier entry at `index` (entries are in increasing step
+    /// order: index 0 has the fewest steps, the last is the cheapest in
+    /// bandwidth).
+    pub fn lower_entry(
+        &self,
+        index: usize,
+        options: LoweringOptions,
+    ) -> Result<LoweredAlgorithm, Error> {
+        let entry = self
+            .report
+            .entries
+            .get(index)
+            .ok_or_else(|| Error::NoSuchEntry {
+                index,
+                len: self.report.entries.len(),
+                collective: self.report.collective,
+                topology: self.report.topology_name.clone(),
+            })?;
+        let program = lower(&entry.algorithm, options);
+        program.check_matching().map_err(Error::Program)?;
+        Ok(LoweredAlgorithm {
+            algorithm: entry.algorithm.clone(),
+            program,
+            options,
+            topology: self.topology.clone(),
+            cost_model: self.cost_model,
+        })
+    }
+}
+
+/// A frontier entry lowered to a rank program, ready for code generation or
+/// simulation — the follow-on stage of the request/response chain.
+#[derive(Clone, Debug)]
+pub struct LoweredAlgorithm {
+    /// The synthesized algorithm that was lowered.
+    pub algorithm: Algorithm,
+    /// Its SPMD rank program.
+    pub program: Program,
+    /// The lowering options that produced the program.
+    pub options: LoweringOptions,
+    topology: Topology,
+    cost_model: CostModel,
+}
+
+impl LoweredAlgorithm {
+    /// Generate CUDA-flavoured code for the program.
+    pub fn cuda(&self) -> String {
+        generate_cuda(&self.program)
+    }
+
+    /// Predicted execution time (µs) for an input of `input_bytes` bytes
+    /// under the engine's (α, β) cost model.
+    pub fn simulate(&self, input_bytes: u64) -> f64 {
+        simulate_time(
+            &self.algorithm,
+            &self.topology,
+            input_bytes,
+            &self.cost_model,
+            &self.options,
+        )
+    }
+}
+
+/// A request for a hydrated, size-switching [`CollectiveLibrary`].
+#[derive(Clone, Debug)]
+pub struct LibraryRequest {
+    /// The machine the library targets.
+    pub topology: Topology,
+    /// The collectives it should serve.
+    pub collectives: Vec<Collective>,
+    /// Search configuration; `None` uses the engine's defaults.
+    pub config: Option<SynthesisConfig>,
+    /// Lowering options registered with every frontier entry; `None` uses
+    /// the engine's defaults.
+    pub lowering: Option<LoweringOptions>,
+    /// `true` (default): synthesize whatever the cache is missing and
+    /// persist it. `false`: hydrate from the cache only, reporting misses.
+    pub solve_misses: bool,
+}
+
+impl LibraryRequest {
+    /// A warm-library request (misses are synthesized and persisted).
+    pub fn new(topology: &Topology, collectives: &[Collective]) -> Self {
+        LibraryRequest {
+            topology: topology.clone(),
+            collectives: collectives.to_vec(),
+            config: None,
+            lowering: None,
+            solve_misses: true,
+        }
+    }
+
+    /// Override the search configuration.
+    pub fn with_config(mut self, config: SynthesisConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Override the lowering options.
+    pub fn with_lowering(mut self, lowering: LoweringOptions) -> Self {
+        self.lowering = Some(lowering);
+        self
+    }
+
+    /// Hydrate from the cache only; collectives without an entry are
+    /// reported as misses instead of synthesized.
+    pub fn cache_only(mut self) -> Self {
+        self.solve_misses = false;
+        self
+    }
+}
+
+/// The engine's answer to a [`LibraryRequest`].
+#[derive(Debug)]
+pub struct LibraryResponse {
+    /// The hydrated library.
+    pub library: CollectiveLibrary,
+    /// How many collectives had to be synthesized (cache misses that were
+    /// solved).
+    pub synthesized: usize,
+    /// Collectives left unserved (only non-empty for cache-only requests).
+    pub misses: Vec<Collective>,
+}
+
+// ---------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------
+
+/// Configures and constructs an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    cache_dir: Option<PathBuf>,
+    threads: usize,
+    mode: SolveMode,
+    cost_model: CostModel,
+    config: SynthesisConfig,
+    lowering: LoweringOptions,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            cache_dir: None,
+            threads: 0,
+            mode: SolveMode::Parallel,
+            cost_model: CostModel::nvlink(),
+            config: SynthesisConfig::default(),
+            lowering: LoweringOptions::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Attach a persistent algorithm cache rooted at `dir` (created if
+    /// absent when the engine is built).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Worker threads for parallel solves (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Default solve mode for requests that don't specify one.
+    pub fn mode(mut self, mode: SolveMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Solve with the plain sequential loop by default.
+    pub fn sequential(self) -> Self {
+        self.mode(SolveMode::Sequential)
+    }
+
+    /// The (α, β) cost model used for library selection and simulation.
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Default search configuration for requests that don't carry one.
+    pub fn synthesis_defaults(mut self, config: SynthesisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Default lowering options for library hydration (requests without an
+    /// explicit [`LibraryRequest::lowering`]). The fluent
+    /// [`SynthesisResponse::lower`] stage takes its options per call.
+    pub fn lowering(mut self, lowering: LoweringOptions) -> Self {
+        self.lowering = lowering;
+        self
+    }
+
+    /// Build the engine, opening the cache directory if one was configured.
+    pub fn build(self) -> Result<Engine, Error> {
+        let cache = match self.cache_dir {
+            Some(dir) => Some(AlgorithmCache::open(dir)?),
+            None => None,
+        };
+        Ok(Engine {
+            cache,
+            parallel: ParallelConfig::with_threads(self.threads),
+            mode: self.mode,
+            cost_model: self.cost_model,
+            defaults: self.config,
+            lowering: self.lowering,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// How the unified request path treats a cache miss.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum MissPolicy {
+    /// Solve the problem (the normal serving path).
+    Solve(SolveMode),
+    /// Report the miss without solving (cache-only hydration).
+    Skip,
+}
+
+/// A long-lived synthesis-serving handle: owns the worker-pool
+/// configuration, the persistent cache and the cost model, and serves
+/// single-shot, parallel, batch and warm-cache requests through one path.
+pub struct Engine {
+    cache: Option<AlgorithmCache>,
+    parallel: ParallelConfig,
+    mode: SolveMode,
+    cost_model: CostModel,
+    defaults: SynthesisConfig,
+    lowering: LoweringOptions,
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn cache(&self) -> Option<&AlgorithmCache> {
+        self.cache.as_ref()
+    }
+
+    /// Hit/miss counters of the attached cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The engine's (α, β) cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The default solve mode for requests that don't specify one.
+    pub fn mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// The engine's default search configuration.
+    pub fn defaults(&self) -> &SynthesisConfig {
+        &self.defaults
+    }
+
+    /// Serve one synthesis request: cache lookup, solve on miss (in the
+    /// request's or engine's mode), persist, respond.
+    pub fn synthesize(&self, request: SynthesisRequest) -> Result<SynthesisResponse, Error> {
+        let config = request.config.as_ref().unwrap_or(&self.defaults);
+        let mode = request.mode.unwrap_or(self.mode);
+        let response = self.serve(
+            self.cache.as_ref(),
+            &request.topology,
+            request.collective,
+            config,
+            MissPolicy::Solve(mode),
+        )?;
+        Ok(response.expect("a solving policy always produces a response"))
+    }
+
+    /// Run a batch of jobs through the same request path, one
+    /// [`BatchResult`] per job. Failures are per-job; the batch itself
+    /// always completes.
+    pub fn run_batch(&self, jobs: &[BatchJob], config: Option<&SynthesisConfig>) -> BatchReport {
+        self.run_batch_on(self.cache.as_ref(), jobs, config.unwrap_or(&self.defaults))
+    }
+
+    /// Hydrate (and optionally warm) a size-switching collective library
+    /// through the same request path.
+    pub fn library(&self, request: LibraryRequest) -> Result<LibraryResponse, Error> {
+        self.library_on(self.cache.as_ref(), request)
+    }
+
+    // -- the one code path -------------------------------------------------
+
+    /// The unified request path. `cache` is a parameter (rather than always
+    /// `self.cache`) so the deprecated free functions can route their
+    /// caller-owned cache handles through the same code.
+    pub(crate) fn serve(
+        &self,
+        cache: Option<&AlgorithmCache>,
+        topology: &Topology,
+        collective: Collective,
+        config: &SynthesisConfig,
+        policy: MissPolicy,
+    ) -> Result<Option<SynthesisResponse>, Error> {
+        let start = Instant::now();
+        let mut timings = ResponseTimings::default();
+        let key = cache.map(|_| CacheKey::new(topology, collective, config));
+
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            let lookup_start = Instant::now();
+            let hit = cache.lookup(key);
+            timings.lookup = lookup_start.elapsed();
+            if let Some(report) = hit {
+                timings.total = start.elapsed();
+                return Ok(Some(SynthesisResponse {
+                    report,
+                    provenance: Provenance::CacheHit,
+                    timings,
+                    topology: topology.clone(),
+                    cost_model: self.cost_model,
+                }));
+            }
+        }
+
+        let mode = match policy {
+            MissPolicy::Solve(mode) => mode,
+            MissPolicy::Skip => return Ok(None),
+        };
+        let solve_start = Instant::now();
+        let report = match mode {
+            SolveMode::Sequential => pareto_synthesize(topology, collective, config)?,
+            SolveMode::Parallel => parallel_frontier(topology, collective, config, &self.parallel)?,
+        };
+        timings.solve = solve_start.elapsed();
+
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            // Budget-truncated frontiers are timing-dependent (a contended
+            // run may drop entries a quiet one would find); persisting one
+            // would serve the degraded result forever. A failed store leaves
+            // the response intact; the next request simply re-solves.
+            if !report.budget_exhausted {
+                let store_start = Instant::now();
+                let _ = cache.store(key, &report);
+                timings.store = store_start.elapsed();
+            }
+        }
+
+        timings.total = start.elapsed();
+        Ok(Some(SynthesisResponse {
+            report,
+            provenance: Provenance::Solved(mode),
+            timings,
+            topology: topology.clone(),
+            cost_model: self.cost_model,
+        }))
+    }
+
+    pub(crate) fn run_batch_on(
+        &self,
+        cache: Option<&AlgorithmCache>,
+        jobs: &[BatchJob],
+        config: &SynthesisConfig,
+    ) -> BatchReport {
+        let start = Instant::now();
+        let mut results = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let job_start = Instant::now();
+            let served = self.serve(
+                cache,
+                &job.topology,
+                job.collective,
+                config,
+                MissPolicy::Solve(self.mode),
+            );
+            let (outcome, from_cache) = match served {
+                Ok(Some(response)) => {
+                    let from_cache = response.from_cache();
+                    (Ok(response.report), from_cache)
+                }
+                Ok(None) => unreachable!("a solving policy always produces a response"),
+                Err(Error::Synthesis(e)) => (Err(e), false),
+                Err(other) => {
+                    unreachable!("the serve path only fails with synthesis errors, got {other}")
+                }
+            };
+            results.push(BatchResult {
+                job: job.clone(),
+                outcome,
+                from_cache,
+                elapsed: job_start.elapsed(),
+            });
+        }
+        BatchReport {
+            results,
+            wall_time: start.elapsed(),
+        }
+    }
+
+    pub(crate) fn library_on(
+        &self,
+        cache: Option<&AlgorithmCache>,
+        request: LibraryRequest,
+    ) -> Result<LibraryResponse, Error> {
+        let config = request.config.as_ref().unwrap_or(&self.defaults);
+        let lowering = request.lowering.unwrap_or(self.lowering);
+        let policy = if request.solve_misses {
+            MissPolicy::Solve(self.mode)
+        } else {
+            MissPolicy::Skip
+        };
+        let mut library = CollectiveLibrary::new(request.topology.clone(), self.cost_model);
+        let mut synthesized = 0;
+        let mut misses = Vec::new();
+        for &collective in &request.collectives {
+            match self.serve(cache, &request.topology, collective, config, policy)? {
+                Some(response) => {
+                    if !response.from_cache() {
+                        synthesized += 1;
+                    }
+                    library.register_frontier(&response.report, lowering);
+                }
+                None => misses.push(collective),
+            }
+        }
+        Ok(LibraryResponse {
+            library,
+            synthesized,
+            misses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_topology::builders;
+
+    fn quick_config() -> SynthesisConfig {
+        SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sccl-engine-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn request_mode_overrides_engine_mode() {
+        let engine = Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let ring = builders::ring(4, 1);
+        let seq = engine
+            .synthesize(SynthesisRequest::new(&ring, Collective::Allgather))
+            .expect("sequential");
+        assert_eq!(seq.provenance, Provenance::Solved(SolveMode::Sequential));
+        let par = engine
+            .synthesize(SynthesisRequest::new(&ring, Collective::Allgather).parallel())
+            .expect("parallel");
+        assert_eq!(par.provenance, Provenance::Solved(SolveMode::Parallel));
+        assert!(par.report.same_frontier(&seq.report));
+    }
+
+    #[test]
+    fn errors_carry_the_synthesis_cause() {
+        let engine = Engine::builder().build().expect("engine");
+        let solo = Topology::new("solo", 1);
+        let err = engine
+            .synthesize(SynthesisRequest::new(&solo, Collective::Allgather))
+            .unwrap_err();
+        assert!(matches!(err, Error::Synthesis(SynthesisError::TooFewNodes)));
+        // The unified error chains to its source.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn lowering_an_empty_frontier_is_an_error() {
+        let engine = Engine::builder()
+            .synthesis_defaults(SynthesisConfig {
+                max_steps: 1,
+                max_chunks: 1,
+                ..Default::default()
+            })
+            .build()
+            .expect("engine");
+        // A 4-ring Allgather needs at least 2 steps, so max_steps = 1
+        // produces an empty frontier.
+        let response = engine
+            .synthesize(SynthesisRequest::new(
+                &builders::ring(4, 1),
+                Collective::Allgather,
+            ))
+            .expect("response");
+        assert!(response.report.entries.is_empty());
+        let err = response.lower(LoweringOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::NoSuchEntry { len: 0, .. }));
+        assert!(err.to_string().contains("is empty"), "was: {err}");
+    }
+
+    #[test]
+    fn lowering_an_out_of_range_entry_names_the_index() {
+        let engine = Engine::builder()
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let response = engine
+            .synthesize(SynthesisRequest::new(
+                &builders::ring(4, 1),
+                Collective::Allgather,
+            ))
+            .expect("response");
+        let len = response.report.entries.len();
+        assert!(len > 0);
+        let err = response
+            .lower_entry(len + 3, LoweringOptions::default())
+            .unwrap_err();
+        // The error must not claim the frontier is empty — it isn't.
+        assert!(matches!(err, Error::NoSuchEntry { .. }));
+        assert!(err.to_string().contains("no entry"), "was: {err}");
+        assert!(!err.to_string().contains("is empty"), "was: {err}");
+    }
+
+    #[test]
+    fn cache_only_library_reports_misses_then_warm_fills_them() {
+        let dir = tmp_dir("library");
+        let engine = Engine::builder()
+            .cache_dir(&dir)
+            .threads(2)
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let ring = builders::ring(4, 1);
+        let wanted = [Collective::Allgather, Collective::ReduceScatter];
+
+        let cold = engine
+            .library(LibraryRequest::new(&ring, &wanted).cache_only())
+            .expect("hydrate");
+        assert_eq!(cold.misses, wanted.to_vec());
+        assert!(cold.library.is_empty());
+
+        let warm = engine
+            .library(LibraryRequest::new(&ring, &wanted))
+            .expect("warm");
+        assert_eq!(warm.synthesized, 2);
+        assert!(warm.misses.is_empty());
+        assert!(warm.library.select(Collective::Allgather, 1024).is_some());
+
+        // Everything is now served from the cache.
+        let hot = engine
+            .library(LibraryRequest::new(&ring, &wanted).cache_only())
+            .expect("rehydrate");
+        assert!(hot.misses.is_empty());
+        assert_eq!(hot.synthesized, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

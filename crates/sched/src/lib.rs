@@ -1,54 +1,71 @@
 //! # sccl-sched
 //!
-//! Parallel synthesis orchestration for the SCCL reproduction: the serving
-//! path that turns one-at-a-time Algorithm 1 runs into a scheduled,
-//! cached, batched workload.
+//! The serving layer of the SCCL reproduction: the [`Engine`] — one
+//! request/response API over synthesis, caching, scheduling and lowering —
+//! plus the machinery underneath it.
 //!
-//! Three layers:
+//! Layers:
 //!
-//! * [`parallel`] — a work-queue Pareto search: candidate `(S, R, C)`
+//! * [`engine`] — the [`Engine`]: a long-lived handle (built via
+//!   [`Engine::builder`]) that owns the worker-pool configuration, the
+//!   persistent [`AlgorithmCache`] and the cost model, and serves
+//!   [`SynthesisRequest`] → [`SynthesisResponse`] calls. Single-shot,
+//!   parallel, batch and warm-cache execution are one code path differing
+//!   only in policy; responses chain into lowering, code generation and
+//!   simulation.
+//! * [`parallel`] — the work-queue Pareto search: candidate `(S, R, C)`
 //!   instances fan out over a `std::thread` worker pool with cooperative
 //!   cancellation plumbed into the CDCL solver, while the deterministic
 //!   merge state machine from `sccl_core::pareto` guarantees the identical
 //!   frontier as the sequential loop.
 //! * [`cache`] — a persistent, content-addressed algorithm cache: SHA-256
-//!   of the canonical `(topology, collective, SynthesisConfig)` JSON keys
-//!   on-disk `SynthesisReport` blobs with an in-memory index, so nothing is
-//!   ever synthesized twice.
-//! * [`batch`] + [`library`] — the batch front-end (manifests of
-//!   `topology × collective` jobs with throughput accounting) and hydration
-//!   of the runtime's size-switching `CollectiveLibrary` from the cache.
+//!   of the canonical `(encoder version, topology, collective,
+//!   SynthesisConfig)` JSON keys on-disk `SynthesisReport` blobs with an
+//!   in-memory index, so nothing is ever synthesized twice.
+//! * [`batch`] + [`library`] — manifest parsing/rendering (text and JSON)
+//!   and the deprecated free-function front-ends, kept as thin wrappers
+//!   over the engine.
 //!
 //! ## Example
 //!
 //! ```
-//! use sccl_sched::{pareto_synthesize_parallel, ParallelConfig};
+//! use sccl_sched::{Engine, SynthesisRequest};
 //! use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
 //! use sccl_collectives::Collective;
 //! use sccl_topology::builders;
 //!
+//! let engine = Engine::builder().threads(2).build().expect("engine");
 //! let ring = builders::ring(4, 1);
 //! let config = SynthesisConfig { max_steps: 6, max_chunks: 4, ..Default::default() };
-//! let parallel = pareto_synthesize_parallel(
-//!     &ring,
-//!     Collective::Allgather,
-//!     &config,
-//!     &ParallelConfig::default(),
-//! ).expect("synthesis succeeds");
+//! let response = engine
+//!     .synthesize(
+//!         SynthesisRequest::new(&ring, Collective::Allgather).with_config(config.clone()),
+//!     )
+//!     .expect("synthesis succeeds");
 //! let sequential = pareto_synthesize(&ring, Collective::Allgather, &config).unwrap();
-//! assert!(parallel.same_frontier(&sequential));
+//! assert!(response.report.same_frontier(&sequential));
 //! ```
 
 pub mod batch;
 pub mod cache;
+pub mod engine;
 pub mod library;
 pub mod parallel;
 mod sha256;
 
 pub use batch::{
-    parse_manifest, run_batch, BatchJob, BatchMode, BatchOptions, BatchReport, BatchResult,
-    ManifestError,
+    parse_manifest, render_manifest, render_manifest_json, BatchJob, BatchReport, BatchResult,
+    ManifestError, SolveMode,
 };
+#[allow(deprecated)]
+pub use batch::{run_batch, BatchMode, BatchOptions};
 pub use cache::{AlgorithmCache, CacheKey, CacheStats};
+pub use engine::{
+    Engine, EngineBuilder, Error, LibraryRequest, LibraryResponse, LoweredAlgorithm, Provenance,
+    ResponseTimings, SynthesisRequest, SynthesisResponse,
+};
+#[allow(deprecated)]
 pub use library::{hydrate_library, warm_library};
-pub use parallel::{pareto_synthesize_parallel, ParallelConfig};
+#[allow(deprecated)]
+pub use parallel::pareto_synthesize_parallel;
+pub use parallel::ParallelConfig;

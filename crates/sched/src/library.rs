@@ -1,10 +1,11 @@
-//! Hydrating the runtime's size-switching [`CollectiveLibrary`] from the
-//! persistent cache: a serving process starts with the frontiers already on
-//! disk instead of re-running synthesis, and `warm_library` fills any holes
-//! through the parallel scheduler (persisting them for the next process).
+//! Deprecated free-function front-end for library hydration, kept for
+//! source compatibility: [`hydrate_library`] and [`warm_library`] are thin
+//! wrappers over [`crate::Engine::library`], which serves the same requests
+//! (and more) through the engine's unified cache/solve path.
 
-use crate::cache::{AlgorithmCache, CacheKey};
-use crate::parallel::{pareto_synthesize_parallel, ParallelConfig};
+use crate::cache::AlgorithmCache;
+use crate::engine::{Engine, Error, LibraryRequest};
+use crate::parallel::ParallelConfig;
 use sccl_collectives::Collective;
 use sccl_core::pareto::{SynthesisConfig, SynthesisError};
 use sccl_core::CostModel;
@@ -15,6 +16,10 @@ use sccl_topology::Topology;
 /// Build a library purely from cached frontiers. Returns the library plus
 /// the collectives that had no cache entry (the caller decides whether to
 /// synthesize them — see [`warm_library`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use sccl::Engine::library with LibraryRequest::cache_only"
+)]
 pub fn hydrate_library(
     cache: &AlgorithmCache,
     topology: &Topology,
@@ -23,21 +28,24 @@ pub fn hydrate_library(
     config: &SynthesisConfig,
     lowering: LoweringOptions,
 ) -> (CollectiveLibrary, Vec<Collective>) {
-    let mut library = CollectiveLibrary::new(topology.clone(), cost_model);
-    let mut misses = Vec::new();
-    for &collective in collectives {
-        let key = CacheKey::new(topology, collective, config);
-        match cache.lookup(&key) {
-            Some(report) => library.register_frontier(&report, lowering),
-            None => misses.push(collective),
-        }
-    }
-    (library, misses)
+    let engine = Engine::builder()
+        .cost_model(cost_model)
+        .build()
+        .expect("an engine without a cache directory builds infallibly");
+    let request = LibraryRequest::new(topology, collectives)
+        .with_config(config.clone())
+        .with_lowering(lowering)
+        .cache_only();
+    let response = engine
+        .library_on(Some(cache), request)
+        .expect("cache-only hydration never solves, so it cannot fail");
+    (response.library, response.misses)
 }
 
 /// Build a library from the cache, synthesizing (in parallel) and
 /// persisting whatever is missing. The returned `usize` is the number of
 /// collectives that had to be synthesized.
+#[deprecated(since = "0.1.0", note = "use sccl::Engine::library")]
 pub fn warm_library(
     cache: &AlgorithmCache,
     topology: &Topology,
@@ -47,24 +55,25 @@ pub fn warm_library(
     lowering: LoweringOptions,
     parallel: &ParallelConfig,
 ) -> Result<(CollectiveLibrary, usize), SynthesisError> {
-    let (mut library, misses) =
-        hydrate_library(cache, topology, cost_model, collectives, config, lowering);
-    let synthesized = misses.len();
-    for collective in misses {
-        let report = pareto_synthesize_parallel(topology, collective, config, parallel)?;
-        // Budget-truncated frontiers are timing-dependent; don't let one
-        // shadow a complete result in the persistent store.
-        if !report.budget_exhausted {
-            let key = CacheKey::new(topology, collective, config);
-            let _ = cache.store(&key, &report);
-        }
-        library.register_frontier(&report, lowering);
+    let engine = Engine::builder()
+        .cost_model(cost_model)
+        .threads(parallel.num_threads)
+        .build()
+        .expect("an engine without a cache directory builds infallibly");
+    let request = LibraryRequest::new(topology, collectives)
+        .with_config(config.clone())
+        .with_lowering(lowering);
+    match engine.library_on(Some(cache), request) {
+        Ok(response) => Ok((response.library, response.synthesized)),
+        Err(Error::Synthesis(e)) => Err(e),
+        Err(other) => unreachable!("library warming only fails in the solver: {other}"),
     }
-    Ok((library, synthesized))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use sccl_topology::builders;
     use std::path::PathBuf;

@@ -3,8 +3,9 @@
 //! The sequential Algorithm 1 loop pays the *sum* of all solver calls; this
 //! driver pays roughly the *max* of the chains the decision procedure
 //! actually depends on. It speculatively solves every candidate `(S, R, C)`
-//! instance of the [`CandidatePlan`] on a pool of `std::thread` workers
-//! while the [`ParetoMerge`] state machine — the same decision procedure
+//! instance of the [`CandidatePlan`](sccl_core::pareto::CandidatePlan) on a
+//! pool of `std::thread` workers while the [`ParetoMerge`] state machine —
+//! the same decision procedure
 //! the sequential driver uses — replays the sequential order over the
 //! arriving outcomes. Candidates the procedure decides to skip get their
 //! cooperative stop flag raised, aborting any in-flight solve via
@@ -122,7 +123,33 @@ fn cancelled_run() -> SynthesisRun {
 /// Parallel drop-in for `sccl_core::pareto::pareto_synthesize`: same
 /// frontier, wall-clock bounded by the dependent chain of solver calls
 /// instead of their sum.
+#[deprecated(
+    since = "0.1.0",
+    note = "use sccl::Engine::synthesize with SolveMode::Parallel"
+)]
 pub fn pareto_synthesize_parallel(
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+    parallel: &ParallelConfig,
+) -> Result<SynthesisReport, SynthesisError> {
+    let engine = crate::Engine::builder()
+        .threads(parallel.num_threads)
+        .build()
+        .expect("an engine without a cache directory builds infallibly");
+    let request = crate::SynthesisRequest::new(topology, collective)
+        .with_config(config.clone())
+        .parallel();
+    match engine.synthesize(request) {
+        Ok(response) => Ok(response.report),
+        Err(crate::Error::Synthesis(e)) => Err(e),
+        Err(other) => unreachable!("cacheless synthesis only fails in the solver: {other}"),
+    }
+}
+
+/// The work-queue parallel Pareto driver (the engine's `SolveMode::Parallel`
+/// path).
+pub(crate) fn parallel_frontier(
     topology: &Topology,
     collective: Collective,
     config: &SynthesisConfig,
@@ -221,6 +248,10 @@ fn parallel_noncombining(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrapper is exactly what these tests pin down: it must
+    // keep producing the sequential frontier through the engine path.
+    #![allow(deprecated)]
+
     use super::*;
     use sccl_core::pareto::pareto_synthesize;
     use sccl_topology::builders;

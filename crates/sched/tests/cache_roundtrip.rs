@@ -2,6 +2,10 @@
 //! by a cold process returns the identical `SynthesisReport`, a warm batch
 //! run never invokes the solver, and hydrated libraries preserve the
 //! size-based selection crossover.
+//!
+//! Deliberately exercises the deprecated `run_batch`/`hydrate_library`
+//! wrappers: they must keep these guarantees through the engine path.
+#![allow(deprecated)]
 
 use sccl_collectives::Collective;
 use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};

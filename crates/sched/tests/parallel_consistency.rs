@@ -2,6 +2,10 @@
 //! produce the *identical* Pareto frontier — same `(steps, rounds, chunks)`
 //! entries, same algorithms, same termination — as the sequential
 //! Algorithm 1 loop, on every topology the paper evaluates.
+//!
+//! Deliberately exercises the deprecated `pareto_synthesize_parallel`
+//! wrapper: it must keep producing these frontiers through the engine path.
+#![allow(deprecated)]
 
 use sccl_collectives::Collective;
 use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
