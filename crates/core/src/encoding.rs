@@ -26,7 +26,12 @@ use std::time::{Duration, Instant};
 /// variable ordering, changed decoding), so that persistent caches keyed on
 /// it — see `sccl_sched::CacheKey` — invalidate entries produced by older
 /// encoders instead of serving stale frontiers.
-pub const ENCODER_VERSION: u32 = 1;
+///
+/// History: 2 — `Topology::reversed()` now returns edge-symmetric machines
+/// unchanged, so the inversion duals of combining collectives encode
+/// against the original constraint order (different variable ordering,
+/// hence possibly different — equally valid — decoded models).
+pub const ENCODER_VERSION: u32 = 2;
 
 /// One synthesis query: find a `(S, R)` k-synchronous schedule implementing
 /// `spec` on `topology` (the SynColl instance of §3.2 with its parameters).

@@ -37,6 +37,7 @@ pub mod bounds;
 pub mod combining;
 pub mod cost;
 pub mod encoding;
+pub mod incremental;
 pub mod pareto;
 
 pub use algorithm::{Algorithm, Send, SendOp, ValidationError};

@@ -27,11 +27,13 @@ use crate::cost::AlgorithmCost;
 use crate::encoding::{
     synthesize, EncodingOptions, EncodingStats, SynCollInstance, SynthesisOutcome, SynthesisRun,
 };
+use crate::incremental::{IncrementalEncoder, IncrementalStats};
 use sccl_collectives::{Collective, CollectiveClass};
 use sccl_solver::{Limits, SolverConfig};
 use sccl_topology::{Rational, Topology};
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Parameters of the Pareto search.
 #[derive(Clone, Debug)]
@@ -735,6 +737,300 @@ fn pareto_synthesize_noncombining(
     Ok(merge.into_report())
 }
 
+// ---------------------------------------------------------------------
+// The warm (incremental) driver
+// ---------------------------------------------------------------------
+
+/// A pool of warm solvers for one *base problem* `(topology, non-combining
+/// collective, config)`: one [`IncrementalEncoder`] per chunk count `C`, so
+/// every candidate `(S, R)` with the same `C` reuses the base encoding, the
+/// learnt clauses, the VSIDS activities and the saved phases of its
+/// predecessors.
+///
+/// The pool preserves *exact* frontier equality with the cold sequential
+/// path: unsatisfiable candidates are decided warm (the layered encoding is
+/// equisatisfiable with the cold one per candidate), while satisfiable
+/// candidates — the ones whose models become frontier entries — are
+/// re-confirmed by a cold [`synthesize`] call, so the reported algorithm,
+/// formula statistics and optimality labels are byte-identical to
+/// [`pareto_synthesize`]'s. Since a frontier has at most one satisfiable
+/// candidate per step count while unsatisfiable probes dominate the sweep,
+/// the warm path pays the cold price only where the cold result is actually
+/// reported.
+///
+/// The pool owns its inputs and is long-lived by design: decided candidates
+/// are memoized, so a *second* sweep over the same base problem — e.g. an
+/// Allreduce request after an Allgather request (both reduce to the same
+/// Allgather base), or ReduceScatter on a symmetric topology — answers its
+/// probes without touching a solver at all. This is reuse the report cache
+/// cannot see, because the requests have different cache keys.
+///
+/// Equality holds verbatim for runs that complete (no per-instance budget);
+/// under conflict or wall-clock budgets warm and cold searches may time out
+/// on different candidates, exactly as two cold runs on different machines
+/// already might (`Unknown` outcomes are never memoized).
+pub struct WarmPool {
+    topology: Topology,
+    collective: Collective,
+    config: SynthesisConfig,
+    encoders: HashMap<usize, IncrementalEncoder>,
+    /// Decided candidates: `(C, S, R)` → the run the sweep was supplied.
+    /// Only settled verdicts (Sat/Unsat) are memoized.
+    memo: HashMap<(usize, usize, u64), SynthesisRun>,
+    /// Conflicts of the hardest single warm probe decided so far, the
+    /// basis of the adaptive budget below.
+    hardest_probe_conflicts: u64,
+    confirm_time: Duration,
+    confirmed_sat: u64,
+    memo_hits: u64,
+    cold_fallbacks: u64,
+}
+
+impl WarmPool {
+    /// A pool for the non-combining `collective` on `topology` (reduce
+    /// combining collectives with [`base_problem`] first).
+    pub fn new(topology: &Topology, collective: Collective, config: &SynthesisConfig) -> Self {
+        WarmPool {
+            topology: topology.clone(),
+            collective,
+            config: config.clone(),
+            encoders: HashMap::new(),
+            memo: HashMap::new(),
+            hardest_probe_conflicts: 0,
+            confirm_time: Duration::ZERO,
+            confirmed_sat: 0,
+            memo_hits: 0,
+            cold_fallbacks: 0,
+        }
+    }
+
+    /// Conflict budget for one warm probe: generous relative to the
+    /// hardest probe decided so far, so legitimate proofs (which grow
+    /// gradually along the sweep) complete, while a pathological search —
+    /// warm CDCL occasionally diverges on hard satisfiable instances the
+    /// cold solver gets lucky on — is cut off and handed to the cold
+    /// solver. Correctness is unaffected: the fallback *is* the cold path.
+    fn warm_budget(&self) -> u64 {
+        20_000 + 16 * self.hardest_probe_conflicts
+    }
+
+    /// A budgeted warm probe of `(C, S, R)`: solve on the chunk count's
+    /// incremental encoder under the adaptive conflict budget, tracking
+    /// the hardest probe seen.
+    fn warm_probe(
+        &mut self,
+        chunks: usize,
+        steps: usize,
+        rounds: u64,
+        limits: &Limits,
+    ) -> SynthesisRun {
+        let num_nodes = self.topology.num_nodes();
+        let warm_budget = self.warm_budget();
+        let encoder = self.encoders.entry(chunks).or_insert_with(|| {
+            IncrementalEncoder::new(
+                &self.topology,
+                self.collective.spec(num_nodes, chunks),
+                chunks,
+                self.config.max_steps,
+                self.config.k,
+                &self.config.encoding,
+                self.config.solver.clone(),
+            )
+        });
+        let mut warm_limits = limits.clone();
+        warm_limits.max_conflicts = Some(
+            warm_limits
+                .max_conflicts
+                .map_or(warm_budget, |user| user.min(warm_budget)),
+        );
+        let conflicts_before = encoder.solver_stats().conflicts;
+        let warm = encoder.solve_candidate(steps, rounds, warm_limits);
+        let probe_conflicts = encoder.solver_stats().conflicts - conflicts_before;
+        // Only settled probes raise the adaptive budget: folding in a
+        // budget-exhausted probe would grow the cap ~16× after every cold
+        // fallback, unbounding exactly the pathological searches the
+        // budget exists to cut off.
+        if !matches!(warm.outcome, SynthesisOutcome::Unknown) {
+            self.hardest_probe_conflicts = self.hardest_probe_conflicts.max(probe_conflicts);
+        }
+        warm
+    }
+
+    /// One cold [`synthesize`] call for `job`, its wall time folded into
+    /// the pool's cold-solve accounting. Shared by the SAT confirmation
+    /// and the two fallback paths so they cannot drift apart.
+    fn cold_run(&mut self, job: &CandidateJob, limits: Limits) -> SynthesisRun {
+        let start = Instant::now();
+        let cold = synthesize(
+            &self.topology,
+            &job.instance(self.collective, self.topology.num_nodes()),
+            &self.config.encoding,
+            self.config.solver.clone(),
+            limits,
+        );
+        self.confirm_time += start.elapsed();
+        cold
+    }
+
+    /// Decide one candidate, warm. Satisfiable outcomes are returned as the
+    /// cold path's run for that candidate (see the type-level docs).
+    pub fn solve(&mut self, job: &CandidateJob, limits: Limits) -> SynthesisRun {
+        let key = (job.chunks, job.steps, job.rounds);
+        if let Some(run) = self.memo.get(&key) {
+            self.memo_hits += 1;
+            return run.clone();
+        }
+        // The chronological-backtracking ablation cannot honour assumption
+        // semantics (it flips decisions), so such configs are served by the
+        // cold path outright — candidate memoization still applies.
+        if !self.config.solver.clause_learning {
+            let cold = self.cold_run(job, limits);
+            self.cold_fallbacks += 1;
+            if !matches!(cold.outcome, SynthesisOutcome::Unknown) {
+                self.memo.insert(key, cold.clone());
+            }
+            return cold;
+        }
+        let warm = self.warm_probe(job.chunks, job.steps, job.rounds, &limits);
+        let run = match warm.outcome {
+            SynthesisOutcome::Satisfiable(_) => {
+                // A candidate cancelled mid-probe is never read by the
+                // merge: report it unknown instead of paying a full cold
+                // confirmation for a result nobody consumes.
+                if limits.stop_requested() {
+                    return SynthesisRun {
+                        outcome: SynthesisOutcome::Unknown,
+                        ..warm
+                    };
+                }
+                // Frontier entry: pin it to the cold path's exact model and
+                // statistics so warm and cold reports stay byte-identical.
+                let cold = self.cold_run(job, limits);
+                self.confirmed_sat += 1;
+                cold
+            }
+            SynthesisOutcome::Unknown => {
+                // A cancelled probe stays cancelled: re-encoding cold just
+                // to have the stop flag abort the solve again would waste
+                // the hot parallel path on work the merge already decided
+                // never to read.
+                if limits.stop_requested() {
+                    return warm;
+                }
+                // The warm search ran over its adaptive budget (or the
+                // caller's): decide the candidate cold, which is exactly
+                // what the reference path would report anyway.
+                let cold = self.cold_run(job, limits);
+                self.cold_fallbacks += 1;
+                cold
+            }
+            SynthesisOutcome::Unsatisfiable => warm,
+        };
+        if !matches!(run.outcome, SynthesisOutcome::Unknown) {
+            self.memo.insert(key, run.clone());
+        }
+        run
+    }
+
+    /// Run the full warm Pareto search for `collective` on `topology`
+    /// through this pool. The pool must have been built for that request's
+    /// [`base_problem`] and the same configuration.
+    pub fn frontier(
+        &mut self,
+        topology: &Topology,
+        collective: Collective,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        if topology.num_nodes() < 2 {
+            return Err(SynthesisError::TooFewNodes);
+        }
+        let base = base_problem(topology, collective);
+        // A real check, not a debug_assert: probing a mismatched base in a
+        // release build would silently answer with the wrong machine's
+        // verdicts.
+        assert!(
+            base.collective == self.collective && base.topology == self.topology,
+            "pool was built for a different base problem \
+             ({:?} on {}, asked for {:?} on {})",
+            self.collective,
+            self.topology.name(),
+            base.collective,
+            base.topology.name()
+        );
+        let plan = enumerate_candidates(&base.topology, base.collective, &self.config)?;
+        let mut merge = ParetoMerge::new(plan);
+        while let MergeAction::Need(index) = merge.next() {
+            let job = merge.plan().jobs[index].clone();
+            let limits = self.config.per_instance_limits.clone();
+            let run = self.solve(&job, limits);
+            merge.supply(index, run);
+        }
+        Ok(finalize_report(topology, collective, merge.into_report()))
+    }
+
+    /// Number of candidates this pool has decided and memoized. A bounded
+    /// pool store uses this to keep the more valuable pool when two
+    /// concurrent requests raced on the same base problem.
+    pub fn decided(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Aggregated accounting across every encoder in the pool (cumulative
+    /// since the pool was created; see [`IncrementalStats::delta_since`]
+    /// for per-request figures).
+    pub fn stats(&self) -> IncrementalStats {
+        let mut stats = IncrementalStats {
+            confirm_time: self.confirm_time,
+            confirmed_sat: self.confirmed_sat,
+            base_encodings: self.encoders.len() as u64,
+            memo_hits: self.memo_hits,
+            cold_fallbacks: self.cold_fallbacks,
+            ..IncrementalStats::default()
+        };
+        for encoder in self.encoders.values() {
+            stats.encode_time += encoder.encode_time();
+            stats.warm_solve_time += encoder.solve_time();
+            stats.warm_candidates += encoder.candidates();
+            stats.solve_calls += encoder.solver_stats().solve_calls;
+            stats.reused_clauses += encoder.solver_stats().reused_clauses;
+            stats.core_skips += encoder.core_skips();
+        }
+        stats
+    }
+}
+
+/// A [`SynthesisReport`] produced by the warm (incremental) driver,
+/// alongside the sweep's incremental accounting.
+#[derive(Clone, Debug)]
+pub struct WarmSynthesis {
+    /// The frontier — byte-identical to [`pareto_synthesize`]'s on runs
+    /// that complete within their budgets.
+    pub report: SynthesisReport,
+    /// Warm-sweep accounting (encode/solve split, clause reuse).
+    pub incremental: IncrementalStats,
+}
+
+/// Run Algorithm 1 with warm, assumption-based incremental solving: one
+/// long-lived solver per chunk count instead of one throwaway solver per
+/// candidate. Produces the same frontier as [`pareto_synthesize`] (see
+/// [`WarmPool`] for the exact guarantee) in a fraction of the solve time on
+/// unsat-heavy sweeps.
+pub fn pareto_synthesize_warm(
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+) -> Result<WarmSynthesis, SynthesisError> {
+    if topology.num_nodes() < 2 {
+        return Err(SynthesisError::TooFewNodes);
+    }
+    let base = base_problem(topology, collective);
+    let mut pool = WarmPool::new(&base.topology, base.collective, config);
+    let report = pool.frontier(topology, collective)?;
+    Ok(WarmSynthesis {
+        report,
+        incremental: pool.stats(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1057,6 +1353,79 @@ mod tests {
         assert!(report.entries.is_empty());
         assert_eq!(report.termination, TerminationReason::ChunkLimited);
         assert!(!report.hit_step_cap);
+    }
+
+    #[test]
+    fn warm_driver_matches_cold_frontier() {
+        let topo = builders::ring(4, 1);
+        for collective in [
+            Collective::Allgather,
+            Collective::Broadcast { root: 0 },
+            Collective::Allreduce,
+        ] {
+            let cold = pareto_synthesize(&topo, collective, &quick_config()).expect("cold");
+            let warm = pareto_synthesize_warm(&topo, collective, &quick_config()).expect("warm");
+            assert!(
+                warm.report.same_frontier(&cold),
+                "{collective} warm frontier diverged from cold"
+            );
+            // Every satisfiable candidate was confirmed cold; the rest were
+            // decided warm.
+            assert_eq!(warm.incremental.confirmed_sat as usize, cold.entries.len());
+            assert!(warm.incremental.solve_calls >= warm.incremental.warm_candidates);
+        }
+    }
+
+    #[test]
+    fn warm_driver_reuses_base_encodings_across_step_counts() {
+        // Broadcast on a ring probes the same chunk counts at several step
+        // counts, so the pool must build fewer base encodings than it
+        // decides candidates, and later candidates must observe retained
+        // learnt clauses.
+        let topo = builders::ring(4, 1);
+        let warm =
+            pareto_synthesize_warm(&topo, Collective::Broadcast { root: 0 }, &quick_config())
+                .expect("warm");
+        assert!(warm.incremental.warm_candidates > warm.incremental.base_encodings);
+        assert!(warm.incremental.reused_clauses > 0);
+    }
+
+    #[test]
+    fn warm_driver_supports_the_clause_learning_ablation() {
+        // Assumption solving requires clause learning; the warm driver
+        // must serve the chronological-backtracking ablation through the
+        // cold path instead of panicking — with the identical frontier.
+        let topo = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: 2,
+            solver: SolverConfig {
+                clause_learning: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cold = pareto_synthesize(&topo, Collective::Allgather, &config).expect("cold");
+        let warm = pareto_synthesize_warm(&topo, Collective::Allgather, &config).expect("warm");
+        assert!(warm.report.same_frontier(&cold));
+        assert!(warm.incremental.cold_fallbacks > 0);
+        assert_eq!(warm.incremental.solve_calls, 0);
+    }
+
+    #[test]
+    fn warm_driver_propagates_errors_like_cold() {
+        let solo = sccl_topology::Topology::new("solo", 1);
+        assert_eq!(
+            pareto_synthesize_warm(&solo, Collective::Allgather, &quick_config()).unwrap_err(),
+            SynthesisError::TooFewNodes
+        );
+        let mut split = sccl_topology::Topology::new("split", 4);
+        split.add_bidi_link(0, 1, 1);
+        split.add_bidi_link(2, 3, 1);
+        assert_eq!(
+            pareto_synthesize_warm(&split, Collective::Allgather, &quick_config()).unwrap_err(),
+            SynthesisError::Disconnected
+        );
     }
 
     #[test]

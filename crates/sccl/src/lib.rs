@@ -56,6 +56,8 @@ pub use sccl_sched as sched;
 pub use sccl_solver as solver;
 pub use sccl_topology as topology;
 
+pub use sccl_core::incremental::IncrementalStats;
+pub use sccl_core::pareto::{pareto_synthesize_warm, WarmPool, WarmSynthesis};
 pub use sccl_sched::{
     Engine, EngineBuilder, Error, LibraryRequest, LibraryResponse, LoweredAlgorithm, Provenance,
     ResponseTimings, SolveMode, SynthesisRequest, SynthesisResponse,

@@ -11,11 +11,22 @@
 //! `encoder_version` key field: bumping
 //! [`sccl_core::encoding::ENCODER_VERSION`] re-addresses every key, so
 //! entries written by older encoders are simply never looked up again
-//! (pruning them is a separate concern). Entries are JSON blobs
-//! (`<sha256>.json`) holding the key alongside the report, so a lookup can
-//! verify it did not collide and a human can inspect the store with
-//! standard tools. An in-memory index (and report memo) makes repeat
-//! lookups run in microseconds without touching the filesystem.
+//! (pruning them is [`AlgorithmCache::prune`]'s job). Entries are JSON
+//! blobs holding the key alongside the report, so a lookup can verify it
+//! did not collide and a human can inspect the store with standard tools.
+//! An in-memory index (and report memo) makes repeat lookups run in
+//! microseconds without touching the filesystem.
+//!
+//! # On-disk layout
+//!
+//! Entries are sharded by the first two hex digits of their content hash —
+//! `<root>/ab/cdef….json` — so a store shared by thousands of serving
+//! processes never funnels every create/rename/readdir through one
+//! directory (and stays friendly to NFS-style backends with per-directory
+//! lock contention). Stores written by older versions used a flat
+//! `<root>/<sha256>.json` layout; those entries are still indexed and
+//! served transparently, and every new write lands in the sharded layout,
+//! so a legacy store migrates incrementally as it is used.
 
 use crate::sha256;
 use sccl_collectives::Collective;
@@ -136,19 +147,28 @@ pub struct AlgorithmCache {
 
 impl AlgorithmCache {
     /// Open (creating if necessary) a cache directory and build the
-    /// in-memory index from the entries already on disk.
+    /// in-memory index from the entries already on disk — both the sharded
+    /// `ab/cdef….json` layout and legacy flat `<sha256>.json` files.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
         let mut index = HashMap::new();
         for entry in std::fs::read_dir(&root)? {
             let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("json") {
-                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    if stem.len() == 64 && stem.bytes().all(|b| b.is_ascii_hexdigit()) {
-                        index.insert(stem.to_string(), path);
-                    }
+            if path.is_dir() {
+                let Some(shard) = path.file_name().and_then(|s| s.to_str()) else {
+                    continue;
+                };
+                if shard.len() != 2 || !shard.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    continue;
                 }
+                let shard = shard.to_string();
+                for entry in std::fs::read_dir(&path)? {
+                    Self::index_file(&mut index, entry?.path(), Some(&shard));
+                }
+            } else {
+                // Legacy flat-layout entry (pre-sharding stores).
+                Self::index_file(&mut index, path, None);
             }
         }
         Ok(AlgorithmCache {
@@ -158,6 +178,36 @@ impl AlgorithmCache {
                 ..CacheState::default()
             }),
         })
+    }
+
+    /// Record `path` in the index if it looks like a cache entry: inside a
+    /// shard directory the file stem is the hash remainder (62 hex digits),
+    /// in the legacy flat layout it is the full 64-digit hash. When both
+    /// layouts hold the same hash, whichever is indexed last wins — they
+    /// decode to the same report, so the choice is immaterial.
+    fn index_file(index: &mut HashMap<String, PathBuf>, path: PathBuf, shard: Option<&str>) {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            return;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return;
+        };
+        if !stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return;
+        }
+        let hash = match shard {
+            Some(prefix) if stem.len() == 62 => format!("{prefix}{stem}"),
+            _ if stem.len() == 64 => stem.to_string(),
+            _ => return,
+        };
+        index.insert(hash, path);
+    }
+
+    /// The sharded on-disk location for a content hash.
+    fn sharded_path(&self, hash: &str) -> PathBuf {
+        self.root
+            .join(&hash[..2])
+            .join(format!("{}.json", &hash[2..]))
     }
 
     /// The directory backing this cache.
@@ -198,6 +248,16 @@ impl AlgorithmCache {
             Some(report) => {
                 state.stats.hits += 1;
                 state.memo.insert(hash, report.clone());
+                // Refresh the entry's mtime (best effort, outside the
+                // lock) so LRU pruning sees reads, not just writes, as
+                // recency. Only the first read per handle pays this —
+                // later hits come from the memo — so the signal is
+                // approximate but keeps a steadily-read entry from being
+                // evicted as "oldest".
+                drop(state);
+                if let Ok(file) = std::fs::File::options().append(true).open(&path) {
+                    let _ = file.set_modified(std::time::SystemTime::now());
+                }
                 Some(report)
             }
             None => {
@@ -216,8 +276,10 @@ impl AlgorithmCache {
         (entry.key == *key).then_some(entry.report)
     }
 
-    /// Persist a report. The write is atomic (temp file + rename) so a
-    /// concurrent reader never observes a torn entry.
+    /// Persist a report (always into the sharded layout). The write is
+    /// atomic (temp file + rename) so a concurrent reader never observes a
+    /// torn entry. A legacy flat-layout file for the same hash, if any, is
+    /// removed so the store converges on the sharded layout as it is used.
     pub fn store(&self, key: &CacheKey, report: &SynthesisReport) -> io::Result<()> {
         let hash = key.content_hash();
         let entry = CacheEntry {
@@ -226,7 +288,8 @@ impl AlgorithmCache {
         };
         let json = serde_json::to_string_pretty(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let path = self.root.join(format!("{hash}.json"));
+        let path = self.sharded_path(&hash);
+        std::fs::create_dir_all(path.parent().expect("sharded paths have a parent"))?;
         // Unique per write (pid + counter) so two threads storing the same
         // key cannot clobber each other's temp file mid-rename.
         static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -237,10 +300,73 @@ impl AlgorithmCache {
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, &path)?;
         let mut state = self.state.lock().expect("cache lock");
+        if let Some(old) = state.index.get(&hash) {
+            if old != &path {
+                let _ = std::fs::remove_file(old);
+            }
+        }
         state.index.insert(hash.clone(), path);
         state.memo.insert(hash, report.clone());
         state.stats.stores += 1;
         Ok(())
+    }
+
+    /// Evict least-recently-used entries (by file modification time, the
+    /// best cross-process recency signal a shared store has) until at most
+    /// `max_entries` remain. Eviction is advisory: an entry whose file has
+    /// already vanished (e.g. pruned by a concurrent process) just drops
+    /// out of the index. Returns how many entries were removed.
+    ///
+    /// The O(entries) metadata scan and the unlinks run *outside* the
+    /// cache's state lock, so concurrent lookups and stores are only
+    /// blocked for the two brief index passes.
+    pub fn prune(&self, max_entries: usize) -> io::Result<usize> {
+        // Pass 1 (locked): snapshot the index.
+        let snapshot: Vec<(String, PathBuf)> = {
+            let state = self.state.lock().expect("cache lock");
+            if state.index.len() <= max_entries {
+                return Ok(0);
+            }
+            state
+                .index
+                .iter()
+                .map(|(hash, path)| (hash.clone(), path.clone()))
+                .collect()
+        };
+        // Unlocked: stat everything and pick the oldest entries. Hash as
+        // tiebreak for a deterministic order when a filesystem truncates
+        // mtimes.
+        let mut aged: Vec<(std::time::SystemTime, String, PathBuf)> = snapshot
+            .into_iter()
+            .map(|(hash, path)| {
+                let mtime = std::fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                (mtime, hash, path)
+            })
+            .collect();
+        aged.sort();
+        let excess = aged.len().saturating_sub(max_entries);
+        // Pass 2 (locked): drop victims from the index — but only if they
+        // still point at the snapshotted file, so an entry re-stored by a
+        // concurrent writer mid-prune survives.
+        let mut evicted: Vec<PathBuf> = Vec::with_capacity(excess);
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            for (_, hash, path) in aged.into_iter().take(excess) {
+                if state.index.get(&hash) == Some(&path) {
+                    state.index.remove(&hash);
+                    state.memo.remove(&hash);
+                    evicted.push(path);
+                }
+            }
+        }
+        // Unlocked: unlink the evicted files.
+        let removed = evicted.len();
+        for path in evicted {
+            let _ = std::fs::remove_file(&path);
+        }
+        Ok(removed)
     }
 }
 
@@ -300,6 +426,97 @@ mod tests {
             cache.lookup(&newer).is_none(),
             "stale-encoder entry served after a version bump"
         );
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    fn tiny_report(chunks: usize) -> (CacheKey, SynthesisReport) {
+        use sccl_core::pareto::pareto_synthesize;
+        let ring = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: chunks,
+            ..Default::default()
+        };
+        let report = pareto_synthesize(&ring, Collective::Allgather, &config).expect("synthesis");
+        (CacheKey::new(&ring, Collective::Allgather, &config), report)
+    }
+
+    #[test]
+    fn stores_land_in_the_sharded_layout() {
+        let cache = AlgorithmCache::open(tmp_dir("shard")).expect("open");
+        let (key, report) = tiny_report(2);
+        cache.store(&key, &report).expect("store");
+        let hash = key.content_hash();
+        let sharded = cache
+            .root()
+            .join(&hash[..2])
+            .join(format!("{}.json", &hash[2..]));
+        assert!(sharded.is_file(), "entry must live at {sharded:?}");
+        // A fresh handle re-indexes the sharded entry.
+        let reopened = AlgorithmCache::open(cache.root()).expect("reopen");
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.lookup(&key), Some(report));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn legacy_flat_entries_are_served_and_migrated() {
+        let dir = tmp_dir("legacy");
+        let (key, report) = tiny_report(2);
+        let hash = key.content_hash();
+        // Simulate a pre-sharding store: write the blob flat into the root.
+        {
+            let cache = AlgorithmCache::open(&dir).expect("open");
+            cache.store(&key, &report).expect("store");
+            let sharded = cache
+                .root()
+                .join(&hash[..2])
+                .join(format!("{}.json", &hash[2..]));
+            let flat = dir.join(format!("{hash}.json"));
+            std::fs::rename(&sharded, &flat).expect("flatten");
+            let _ = std::fs::remove_dir(dir.join(&hash[..2]));
+        }
+        // A fresh handle reads the legacy layout transparently…
+        let cache = AlgorithmCache::open(&dir).expect("reopen");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key), Some(report.clone()));
+        // …and re-storing migrates the entry into the sharded layout.
+        cache.store(&key, &report).expect("restore");
+        assert!(!dir.join(format!("{hash}.json")).exists());
+        assert!(cache
+            .root()
+            .join(&hash[..2])
+            .join(format!("{}.json", &hash[2..]))
+            .is_file());
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_evicts_oldest_entries_first() {
+        let cache = AlgorithmCache::open(tmp_dir("prune")).expect("open");
+        let (old_key, old_report) = tiny_report(1);
+        let (mid_key, mid_report) = tiny_report(2);
+        let (new_key, new_report) = tiny_report(3);
+        cache.store(&old_key, &old_report).expect("store old");
+        // Make the recency order unambiguous even on coarse-mtime
+        // filesystems.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        cache.store(&mid_key, &mid_report).expect("store mid");
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        cache.store(&new_key, &new_report).expect("store new");
+        assert_eq!(cache.len(), 3);
+
+        assert_eq!(cache.prune(5).expect("no-op prune"), 0);
+        assert_eq!(cache.prune(1).expect("prune"), 2);
+        assert_eq!(cache.len(), 1);
+        // Only the most recent entry survives, on disk and in memory.
+        assert_eq!(cache.lookup(&new_key), Some(new_report));
+        assert!(cache.lookup(&old_key).is_none());
+        assert!(cache.lookup(&mid_key).is_none());
+        // A fresh handle agrees with the post-prune state.
+        let reopened = AlgorithmCache::open(cache.root()).expect("reopen");
+        assert_eq!(reopened.len(), 1);
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -8,11 +8,17 @@
 //!
 //! 1. build the canonical [`CacheKey`] for the request,
 //! 2. look it up in the cache (if one is attached),
-//! 3. on a miss, solve through the sequential or parallel driver per the
-//!    request's [`SolveMode`],
-//! 4. persist reproducible results, and
+//! 3. on a miss, solve through the warm (assumption-based incremental)
+//!    sequential or parallel driver per the request's [`SolveMode`] — both
+//!    keep one incremental encoder per chunk count instead of re-encoding
+//!    every candidate from scratch, and both produce the same frontier the
+//!    cold sequential loop would,
+//! 4. persist reproducible results (evicting LRU entries when a
+//!    [`EngineBuilder::cache_capacity`] is configured), and
 //! 5. return a [`SynthesisResponse`] carrying the report, its
-//!    [`Provenance`] (cache hit or freshly solved) and per-stage timings.
+//!    [`Provenance`] (cache hit or freshly solved), per-stage timings
+//!    (including the encode / warm-solve split) and the sweep's
+//!    [`IncrementalStats`].
 //!
 //! The response offers a fluent follow-on stage: [`SynthesisResponse::lower`]
 //! turns a frontier entry into a [`LoweredAlgorithm`] that can emit
@@ -42,13 +48,16 @@ use crate::batch::{BatchJob, BatchReport, BatchResult, ManifestError, SolveMode}
 use crate::cache::{AlgorithmCache, CacheKey, CacheStats};
 use crate::parallel::{parallel_frontier, ParallelConfig};
 use sccl_collectives::Collective;
-use sccl_core::pareto::{pareto_synthesize, SynthesisConfig, SynthesisError, SynthesisReport};
+use sccl_core::incremental::IncrementalStats;
+use sccl_core::pareto::{base_problem, SynthesisConfig, SynthesisError, SynthesisReport, WarmPool};
 use sccl_core::{Algorithm, CostModel};
 use sccl_program::{generate_cuda, lower, LoweringOptions, Program};
 use sccl_runtime::{simulate_time, CollectiveLibrary};
 use sccl_topology::Topology;
+use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -210,7 +219,15 @@ pub enum Provenance {
 pub struct ResponseTimings {
     /// Cache lookup time (zero when no cache is attached).
     pub lookup: Duration,
-    /// Solver time (zero on a cache hit).
+    /// Time spent building encodings — base layers plus per-candidate
+    /// deltas of the warm sweep (zero on a cache hit).
+    pub encode: Duration,
+    /// Time spent in warm assumption solves. In sequential mode this is
+    /// the incremental share of `solve` (the remainder being cold
+    /// confirmations plus driver overhead); in parallel mode it is summed
+    /// across workers and may exceed the wall-clock `solve`.
+    pub solve_incremental: Duration,
+    /// End-to-end solver time (zero on a cache hit).
     pub solve: Duration,
     /// Cache store time (zero on a hit or without a cache).
     pub store: Duration,
@@ -227,6 +244,9 @@ pub struct SynthesisResponse {
     pub provenance: Provenance,
     /// Wall-clock breakdown of the request.
     pub timings: ResponseTimings,
+    /// Warm-sweep accounting of the solve (clause reuse, base-encoding
+    /// count, warm-vs-confirm solve split). `None` on a cache hit.
+    pub incremental: Option<IncrementalStats>,
     /// The topology the request was posed on (kept for the fluent
     /// lowering/simulation stage).
     topology: Topology,
@@ -382,6 +402,7 @@ pub struct LibraryResponse {
 #[derive(Clone, Debug)]
 pub struct EngineBuilder {
     cache_dir: Option<PathBuf>,
+    cache_capacity: Option<usize>,
     threads: usize,
     mode: SolveMode,
     cost_model: CostModel,
@@ -393,6 +414,7 @@ impl Default for EngineBuilder {
     fn default() -> Self {
         EngineBuilder {
             cache_dir: None,
+            cache_capacity: None,
             threads: 0,
             mode: SolveMode::Parallel,
             cost_model: CostModel::nvlink(),
@@ -407,6 +429,17 @@ impl EngineBuilder {
     /// absent when the engine is built).
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Bound the attached cache to roughly `max_entries` entries: once a
+    /// store pushes the index 10% past the bound, least-recently-used
+    /// entries (by file modification time, refreshed on reads) are evicted
+    /// back down to `max_entries` — the slack keeps a store at capacity
+    /// from paying an O(entries) metadata scan on every request. No effect
+    /// without [`EngineBuilder::cache_dir`].
+    pub fn cache_capacity(mut self, max_entries: usize) -> Self {
+        self.cache_capacity = Some(max_entries);
         self
     }
 
@@ -455,11 +488,13 @@ impl EngineBuilder {
         };
         Ok(Engine {
             cache,
+            cache_capacity: self.cache_capacity,
             parallel: ParallelConfig::with_threads(self.threads),
             mode: self.mode,
             cost_model: self.cost_model,
             defaults: self.config,
             lowering: self.lowering,
+            warm: Mutex::new(WarmPools::default()),
         })
     }
 }
@@ -482,14 +517,67 @@ pub(crate) enum MissPolicy {
 /// single-shot, parallel, batch and warm-cache requests through one path.
 pub struct Engine {
     cache: Option<AlgorithmCache>,
+    cache_capacity: Option<usize>,
     parallel: ParallelConfig,
     mode: SolveMode,
     cost_model: CostModel,
     defaults: SynthesisConfig,
     lowering: LoweringOptions,
+    /// Warm solver pools held across requests, one per *base problem*
+    /// (keyed by the content hash of `(base topology, base collective,
+    /// config)`). Different requests that reduce to the same base — e.g.
+    /// Allgather and Allreduce on one machine — share encoders, learnt
+    /// clauses and decided-candidate memos, reuse the report cache cannot
+    /// see because the requests have distinct cache keys. Used by the
+    /// sequential solve path; the parallel path builds per-worker pools
+    /// per request instead (solvers are not shareable across threads).
+    /// Bounded to [`Engine::WARM_POOL_CAP`] pools, least-recently-used
+    /// first out, so a long-lived engine serving many distinct machines
+    /// does not accumulate solver state without bound.
+    warm: Mutex<WarmPools>,
+}
+
+/// The engine's bounded warm-pool store: pools tagged with a recency tick.
+#[derive(Default)]
+struct WarmPools {
+    tick: u64,
+    pools: HashMap<String, (u64, WarmPool)>,
+}
+
+impl WarmPools {
+    /// Return a pool under `key`, evicting the least recently used pool
+    /// once the store exceeds `cap`. When two concurrent requests raced on
+    /// the same base problem (both checked out "nothing" and solved cold),
+    /// the pool with more decided candidates wins the slot so the more
+    /// valuable warm state survives the collision.
+    fn check_in(&mut self, key: String, pool: WarmPool, cap: usize) {
+        self.tick += 1;
+        match self.pools.get_mut(&key) {
+            Some(slot) if slot.1.decided() > pool.decided() => slot.0 = self.tick,
+            _ => {
+                self.pools.insert(key, (self.tick, pool));
+            }
+        }
+        if self.pools.len() > cap {
+            if let Some(oldest) = self
+                .pools
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(key, _)| key.clone())
+            {
+                self.pools.remove(&oldest);
+            }
+        }
+    }
 }
 
 impl Engine {
+    /// Most warm pools retained across requests (LRU eviction beyond it).
+    /// A pool holds full solver state per chunk count, so the bound keeps
+    /// a long-lived engine's memory proportional to its working set of
+    /// base problems rather than to its lifetime.
+    const WARM_POOL_CAP: usize = 32;
+
     /// Start configuring an engine.
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
@@ -575,6 +663,7 @@ impl Engine {
                     report,
                     provenance: Provenance::CacheHit,
                     timings,
+                    incremental: None,
                     topology: topology.clone(),
                     cost_model: self.cost_model,
                 }));
@@ -586,11 +675,40 @@ impl Engine {
             MissPolicy::Skip => return Ok(None),
         };
         let solve_start = Instant::now();
-        let report = match mode {
-            SolveMode::Sequential => pareto_synthesize(topology, collective, config)?,
+        let (report, incremental) = match mode {
+            SolveMode::Sequential => {
+                if topology.num_nodes() < 2 {
+                    return Err(SynthesisError::TooFewNodes.into());
+                }
+                // Check out (or create) the warm pool for this request's
+                // base problem, sweep through it, and return it to the map
+                // so the next request over the same base starts warm.
+                let base = base_problem(topology, collective);
+                let pool_key =
+                    CacheKey::new(&base.topology, base.collective, config).content_hash();
+                let mut pool = self
+                    .warm
+                    .lock()
+                    .expect("warm pool map")
+                    .pools
+                    .remove(&pool_key)
+                    .map(|(_, pool)| pool)
+                    .unwrap_or_else(|| WarmPool::new(&base.topology, base.collective, config));
+                let before = pool.stats();
+                let result = pool.frontier(topology, collective);
+                let stats = pool.stats().delta_since(&before);
+                self.warm.lock().expect("warm pool map").check_in(
+                    pool_key,
+                    pool,
+                    Self::WARM_POOL_CAP,
+                );
+                (result?, stats)
+            }
             SolveMode::Parallel => parallel_frontier(topology, collective, config, &self.parallel)?,
         };
         timings.solve = solve_start.elapsed();
+        timings.encode = incremental.encode_time;
+        timings.solve_incremental = incremental.warm_solve_time;
 
         if let (Some(cache), Some(key)) = (cache, &key) {
             // Budget-truncated frontiers are timing-dependent (a contended
@@ -599,7 +717,16 @@ impl Engine {
             // the response intact; the next request simply re-solves.
             if !report.budget_exhausted {
                 let store_start = Instant::now();
-                let _ = cache.store(key, &report);
+                if cache.store(key, &report).is_ok() {
+                    // Prune with 10% slack so a store at capacity does not
+                    // pay an O(entries) metadata scan on every request;
+                    // the store stays within capacity + capacity/10.
+                    if let Some(capacity) = self.cache_capacity {
+                        if cache.len() > capacity + (capacity / 10).max(1) {
+                            let _ = cache.prune(capacity);
+                        }
+                    }
+                }
                 timings.store = store_start.elapsed();
             }
         }
@@ -609,6 +736,7 @@ impl Engine {
             report,
             provenance: Provenance::Solved(mode),
             timings,
+            incremental: Some(incremental),
             topology: topology.clone(),
             cost_model: self.cost_model,
         }))
@@ -785,6 +913,90 @@ mod tests {
         assert!(matches!(err, Error::NoSuchEntry { .. }));
         assert!(err.to_string().contains("no entry"), "was: {err}");
         assert!(!err.to_string().contains("is empty"), "was: {err}");
+    }
+
+    #[test]
+    fn solved_responses_carry_incremental_accounting() {
+        let engine = Engine::builder()
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let ring = builders::ring(4, 1);
+        for request in [
+            SynthesisRequest::new(&ring, Collective::Allgather).sequential(),
+            SynthesisRequest::new(&ring, Collective::Allgather).parallel(),
+        ] {
+            let sequential = matches!(request.mode, Some(SolveMode::Sequential));
+            let response = engine.synthesize(request).expect("solved");
+            let inc = response.incremental.expect("solved responses carry stats");
+            assert!(inc.warm_candidates > 0);
+            if sequential {
+                // Only meaningful sequentially: parallel workers confirm
+                // speculative SAT candidates the merge may later skip, and
+                // their warm-solve time is summed across threads (so it
+                // can exceed the wall clock).
+                assert!(inc.confirmed_sat as usize == response.report.entries.len());
+                assert!(response.timings.solve >= response.timings.solve_incremental);
+            } else {
+                assert!(inc.confirmed_sat as usize >= response.report.entries.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_have_no_incremental_accounting() {
+        let dir = tmp_dir("hit-stats");
+        let engine = Engine::builder()
+            .cache_dir(&dir)
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let ring = builders::ring(4, 1);
+        let request = SynthesisRequest::new(&ring, Collective::Allgather);
+        let cold = engine.synthesize(request.clone()).expect("solve");
+        assert!(cold.incremental.is_some());
+        let hit = engine.synthesize(request).expect("hit");
+        assert!(hit.from_cache());
+        assert!(hit.incremental.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_the_store() {
+        let dir = tmp_dir("capacity");
+        let engine = Engine::builder()
+            .cache_dir(&dir)
+            .cache_capacity(1)
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let ring = builders::ring(4, 1);
+        for collective in [
+            Collective::Allgather,
+            Collective::Broadcast { root: 0 },
+            Collective::Gather { root: 0 },
+        ] {
+            engine
+                .synthesize(SynthesisRequest::new(&ring, collective))
+                .expect("solve");
+            // Pruning allows a small slack above the configured bound so a
+            // store at capacity is not followed by a scan on every request.
+            assert!(
+                engine.cache().expect("cache").len() <= 2,
+                "store exceeded its capacity plus slack"
+            );
+        }
+        assert_eq!(
+            engine.cache().expect("cache").len(),
+            1,
+            "the slack-tripping store must prune back to capacity"
+        );
+        // The most recent entry is the one retained.
+        let hot = engine
+            .synthesize(SynthesisRequest::new(&ring, Collective::Gather { root: 0 }))
+            .expect("lookup");
+        assert!(hot.from_cache());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -69,3 +69,4 @@ pub use library::{hydrate_library, warm_library};
 #[allow(deprecated)]
 pub use parallel::pareto_synthesize_parallel;
 pub use parallel::ParallelConfig;
+pub use sccl_core::incremental::IncrementalStats;

@@ -11,24 +11,34 @@
 //! cooperative stop flag raised, aborting any in-flight solve via
 //! `sccl_solver::Limits::stop`.
 //!
+//! Each worker solves its candidates through a
+//! [`WarmPool`]: one assumption-based
+//! incremental encoder per chunk count, so the base encoding, learnt
+//! clauses, VSIDS activities and saved phases carry over between the
+//! candidates a worker claims instead of being rebuilt per instance.
+//!
 //! Determinism: the merge consumes exactly the candidates the sequential
-//! loop would have solved, in the same order, and the CDCL solver is
-//! deterministic for a fixed instance and configuration — so the assembled
-//! frontier is identical to `pareto_synthesize`'s (modulo wall-clock
-//! timings). Cancellation is only ever applied to candidates the procedure
-//! has already decided never to read, so speculation cannot leak into the
-//! result. One caveat: a *wall-clock* `per_instance_limits.max_time` makes
-//! individual outcomes timing-dependent (under worker contention a solve
-//! can hit the budget that it would beat running alone), exactly as it
-//! already does between two sequential runs on different machines. For a
-//! bit-identical guarantee, budget instances by `max_conflicts` or not at
-//! all.
+//! loop would have solved, in the same order. Unsatisfiable verdicts are
+//! independent of the warm state that produced them (each candidate layer
+//! is equisatisfiable with the cold encoding), and satisfiable candidates
+//! are re-confirmed by a cold deterministic solve inside the pool — so the
+//! assembled frontier is identical to `pareto_synthesize`'s (modulo
+//! wall-clock timings). Cancellation is only ever applied to candidates the
+//! procedure has already decided never to read, so speculation cannot leak
+//! into the result. One caveat: a *wall-clock* `per_instance_limits.max_time`
+//! makes individual outcomes timing-dependent (under worker contention a
+//! solve can hit the budget that it would beat running alone), exactly as
+//! it already does between two sequential runs on different machines; a
+//! `max_conflicts` budget can likewise fire on a warm solver at a different
+//! point than on a cold one. For a bit-identical guarantee, run without
+//! per-instance budgets.
 
 use sccl_collectives::Collective;
-use sccl_core::encoding::{synthesize, SynthesisOutcome, SynthesisRun};
+use sccl_core::encoding::{SynthesisOutcome, SynthesisRun};
+use sccl_core::incremental::IncrementalStats;
 use sccl_core::pareto::{
     base_problem, enumerate_candidates, finalize_report, MergeAction, ParetoMerge, SynthesisConfig,
-    SynthesisError, SynthesisReport,
+    SynthesisError, SynthesisReport, WarmPool,
 };
 use sccl_topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -148,19 +158,20 @@ pub fn pareto_synthesize_parallel(
 }
 
 /// The work-queue parallel Pareto driver (the engine's `SolveMode::Parallel`
-/// path).
+/// path). Returns the frontier together with the warm-sweep accounting
+/// aggregated over every worker's encoder pool.
 pub(crate) fn parallel_frontier(
     topology: &Topology,
     collective: Collective,
     config: &SynthesisConfig,
     parallel: &ParallelConfig,
-) -> Result<SynthesisReport, SynthesisError> {
+) -> Result<(SynthesisReport, IncrementalStats), SynthesisError> {
     if topology.num_nodes() < 2 {
         return Err(SynthesisError::TooFewNodes);
     }
     let base = base_problem(topology, collective);
-    let report = parallel_noncombining(&base.topology, base.collective, config, parallel)?;
-    Ok(finalize_report(topology, collective, report))
+    let (report, stats) = parallel_noncombining(&base.topology, base.collective, config, parallel)?;
+    Ok((finalize_report(topology, collective, report), stats))
 }
 
 fn parallel_noncombining(
@@ -168,14 +179,13 @@ fn parallel_noncombining(
     collective: Collective,
     config: &SynthesisConfig,
     parallel: &ParallelConfig,
-) -> Result<SynthesisReport, SynthesisError> {
+) -> Result<(SynthesisReport, IncrementalStats), SynthesisError> {
     let plan = enumerate_candidates(topology, collective, config)?;
     let num_jobs = plan.jobs.len();
-    let num_nodes = topology.num_nodes();
     let num_threads = parallel.resolved_threads().max(1).min(num_jobs.max(1));
     let mut merge = ParetoMerge::new(plan);
     if num_jobs == 0 {
-        return Ok(merge.into_report());
+        return Ok((merge.into_report(), IncrementalStats::default()));
     }
 
     let queue = WorkQueue::new(num_jobs);
@@ -184,40 +194,48 @@ fn parallel_noncombining(
     // panicking solve must neither hang the merger (its result slot is
     // filled with Unknown so `wait_for` always returns) nor be swallowed.
     let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    // Warm-sweep accounting, folded in by each worker as it drains out.
+    let stats_acc: Mutex<IncrementalStats> = Mutex::new(IncrementalStats::default());
 
     std::thread::scope(|scope| {
         for _ in 0..num_threads {
-            scope.spawn(|| loop {
-                let index = queue.next.fetch_add(1, Ordering::Relaxed);
-                if index >= num_jobs {
-                    break;
-                }
-                let run = if queue.cancels[index].load(Ordering::Relaxed) {
-                    cancelled_run()
-                } else {
-                    let job = &jobs[index];
-                    let limits = config
-                        .per_instance_limits
-                        .clone()
-                        .with_stop(Arc::clone(&queue.cancels[index]));
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        synthesize(
-                            topology,
-                            &job.instance(collective, num_nodes),
-                            &config.encoding,
-                            config.solver.clone(),
-                            limits,
-                        )
-                    })) {
-                        Ok(run) => run,
-                        Err(payload) => {
-                            let mut slot = panicked.lock().expect("panic slot");
-                            slot.get_or_insert(payload);
-                            cancelled_run()
-                        }
+            scope.spawn(|| {
+                // Each worker holds its own warm pool: one incremental
+                // encoder per chunk count it encounters, retaining learnt
+                // clauses across the candidates it claims.
+                let mut pool = WarmPool::new(topology, collective, config);
+                loop {
+                    let index = queue.next.fetch_add(1, Ordering::Relaxed);
+                    if index >= num_jobs {
+                        break;
                     }
-                };
-                queue.publish(index, run);
+                    let run = if queue.cancels[index].load(Ordering::Relaxed) {
+                        cancelled_run()
+                    } else {
+                        let job = &jobs[index];
+                        let limits = config
+                            .per_instance_limits
+                            .clone()
+                            .with_stop(Arc::clone(&queue.cancels[index]));
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            pool.solve(job, limits)
+                        })) {
+                            Ok(run) => run,
+                            Err(payload) => {
+                                let mut slot = panicked.lock().expect("panic slot");
+                                slot.get_or_insert(payload);
+                                // The pool's solver state is suspect after a
+                                // panic; rebuild it before serving further
+                                // candidates.
+                                stats_acc.lock().expect("stats lock").absorb(&pool.stats());
+                                pool = WarmPool::new(topology, collective, config);
+                                cancelled_run()
+                            }
+                        }
+                    };
+                    queue.publish(index, run);
+                }
+                stats_acc.lock().expect("stats lock").absorb(&pool.stats());
             });
         }
 
@@ -243,7 +261,8 @@ fn parallel_noncombining(
     if let Some(payload) = panicked.into_inner().expect("panic slot") {
         std::panic::resume_unwind(payload);
     }
-    Ok(merge.into_report())
+    let stats = *stats_acc.lock().expect("stats lock");
+    Ok((merge.into_report(), stats))
 }
 
 #[cfg(test)]

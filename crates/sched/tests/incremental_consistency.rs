@@ -1,0 +1,194 @@
+//! Incremental == cold equivalence: the warm (assumption-based) drivers
+//! must produce byte-identical frontiers to the cold sequential Algorithm 1
+//! loop — `same_frontier` compares bounds, termination, per-entry `(C, S,
+//! R)` costs, optimality labels, formula statistics and the synthesized
+//! algorithms themselves, everything except wall-clock timings.
+//!
+//! Three paths are compared on every topology of the acceptance matrix
+//! (ring:4, ring:8, line:4, dgx1):
+//!
+//! * **sequential-cold** — `sccl_core::pareto::pareto_synthesize`, one
+//!   throwaway solver per candidate (the reference semantics),
+//! * **sequential-warm** — `pareto_synthesize_warm`, one incremental
+//!   encoder per chunk count,
+//! * **parallel-warm** — the engine's work-queue driver, whose workers each
+//!   hold a warm pool.
+//!
+//! A property test then re-checks cold == warm on random small connected
+//! topologies, where the encoder cannot rely on any structure the named
+//! topologies happen to have.
+
+use proptest::prelude::*;
+use sccl_collectives::Collective;
+use sccl_core::pareto::{pareto_synthesize, pareto_synthesize_warm, SynthesisConfig};
+use sccl_sched::{Engine, SynthesisRequest};
+use sccl_topology::{builders, Topology};
+
+fn config(max_steps: usize, max_chunks: usize, k: u64) -> SynthesisConfig {
+    SynthesisConfig {
+        k,
+        max_steps,
+        max_chunks,
+        ..Default::default()
+    }
+}
+
+/// Assert frontier equality across sequential-cold, sequential-warm and
+/// parallel-warm for one synthesis problem.
+fn assert_three_way(topology: &Topology, collective: Collective, config: &SynthesisConfig) {
+    let cold = pareto_synthesize(topology, collective, config).expect("sequential-cold");
+    let warm = pareto_synthesize_warm(topology, collective, config).expect("sequential-warm");
+    assert!(
+        warm.report.same_frontier(&cold),
+        "sequential-warm diverged from sequential-cold for {collective} on {}",
+        topology.name()
+    );
+    let engine = Engine::builder()
+        .threads(3)
+        .build()
+        .expect("a cacheless engine builds infallibly");
+    let parallel = engine
+        .synthesize(
+            SynthesisRequest::new(topology, collective)
+                .with_config(config.clone())
+                .parallel(),
+        )
+        .expect("parallel-warm");
+    assert!(
+        parallel.report.same_frontier(&cold),
+        "parallel-warm diverged from sequential-cold for {collective} on {}",
+        topology.name()
+    );
+}
+
+#[test]
+fn ring4_frontiers_are_identical_across_drivers() {
+    let topo = builders::ring(4, 1);
+    let cfg = config(8, 8, 1);
+    for collective in [
+        Collective::Allgather,
+        Collective::Broadcast { root: 0 },
+        Collective::Allreduce,
+    ] {
+        assert_three_way(&topo, collective, &cfg);
+    }
+}
+
+#[test]
+fn ring8_frontiers_are_identical_across_drivers() {
+    let topo = builders::ring(8, 1);
+    let cfg = config(8, 4, 0);
+    for collective in [Collective::Allgather, Collective::Broadcast { root: 0 }] {
+        assert_three_way(&topo, collective, &cfg);
+    }
+}
+
+#[test]
+fn line4_frontiers_are_identical_across_drivers() {
+    let topo = builders::chain(4, 1);
+    let cfg = config(8, 6, 1);
+    for collective in [
+        Collective::Allgather,
+        Collective::Broadcast { root: 0 },
+        Collective::ReduceScatter,
+    ] {
+        assert_three_way(&topo, collective, &cfg);
+    }
+}
+
+#[test]
+fn dgx1_frontiers_are_identical_across_drivers() {
+    let topo = builders::dgx1();
+    let cfg = config(4, 4, 1);
+    for collective in [Collective::Allgather, Collective::Broadcast { root: 0 }] {
+        assert_three_way(&topo, collective, &cfg);
+    }
+}
+
+/// Cross-request warm reuse: Allgather, Allreduce and ReduceScatter all
+/// reduce to the same Allgather base problem (the ring is symmetric, so
+/// its reversal is itself), and the engine holds one warm pool per base —
+/// the later requests must be answered from the pool's candidate memo and
+/// still be byte-identical to their cold references.
+#[test]
+fn engine_reuses_warm_pools_across_requests() {
+    let topo = builders::ring(4, 1);
+    let cfg = config(8, 8, 1);
+    let engine = Engine::builder()
+        .sequential()
+        .synthesis_defaults(cfg.clone())
+        .build()
+        .expect("engine");
+    let first = engine
+        .synthesize(SynthesisRequest::new(&topo, Collective::Allgather))
+        .expect("allgather");
+    assert_eq!(
+        first.incremental.expect("stats").memo_hits,
+        0,
+        "a cold pool has nothing memoized"
+    );
+    for collective in [Collective::Allreduce, Collective::ReduceScatter] {
+        let response = engine
+            .synthesize(SynthesisRequest::new(&topo, collective))
+            .expect("shared-base request");
+        let stats = response.incremental.expect("stats");
+        assert!(
+            stats.memo_hits > 0,
+            "{collective} must reuse the Allgather base pool"
+        );
+        assert_eq!(
+            stats.solve_calls, 0,
+            "{collective} sweep must not touch a warm solver"
+        );
+        let cold = pareto_synthesize(&topo, collective, &cfg).expect("cold reference");
+        assert!(
+            response.report.same_frontier(&cold),
+            "memo-served {collective} frontier diverged from cold"
+        );
+    }
+}
+
+/// Build a connected topology from a chain backbone over `n` nodes plus a
+/// set of arbitrary extra directed links.
+fn random_topology(n: usize, extra: &[(usize, usize)]) -> Topology {
+    let mut topo = Topology::new(format!("random-{n}"), n);
+    for i in 0..n - 1 {
+        topo.add_bidi_link(i, i + 1, 1);
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            topo.add_link(a, b, 1);
+        }
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Warm frontiers equal cold frontiers on random small connected
+    /// topologies, for both a gather-style and a rooted collective.
+    #[test]
+    fn warm_matches_cold_on_random_topologies(
+        n in 3usize..=5,
+        extra in prop::collection::vec((0usize..5, 0usize..5), 0..5),
+        rooted in any::<bool>(),
+    ) {
+        let topo = random_topology(n, &extra);
+        let collective = if rooted {
+            Collective::Broadcast { root: 0 }
+        } else {
+            Collective::Allgather
+        };
+        let cfg = config(5, 3, 1);
+        let cold = pareto_synthesize(&topo, collective, &cfg).expect("cold");
+        let warm = pareto_synthesize_warm(&topo, collective, &cfg).expect("warm");
+        prop_assert!(
+            warm.report.same_frontier(&cold),
+            "warm diverged from cold for {collective} on {} ({:?} extra links)",
+            topo.name(),
+            extra
+        );
+    }
+}

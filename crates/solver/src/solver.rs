@@ -10,6 +10,24 @@
 //! VSIDS branching with phase saving, Luby restarts, LBD-based learnt-clause
 //! database reduction, and pseudo-Boolean constraints propagated by slack
 //! counting with eagerly materialized explanations.
+//!
+//! # Incremental solving
+//!
+//! The solver is incremental: clauses, pseudo-Boolean constraints and fresh
+//! variables may be added between solve calls, and
+//! [`Solver::solve_under_assumptions`] decides the formula under a
+//! conjunction of assumption literals without making them permanent.
+//! Assumptions are placed as the first decisions of the search (one per
+//! decision level, MiniSat-style), so everything the solver accumulates —
+//! learnt clauses, VSIDS activities, saved phases — is implied by the
+//! formula alone and carries over to later calls. When the formula is
+//! unsatisfiable *under the assumptions* (but not inherently), the failed
+//! subset is available from [`Solver::failed_assumptions`], and the solver
+//! remains usable — either keep probing with different assumption sets, or
+//! make a retraction permanent by adding the negated assumption as a unit
+//! clause. This is the engine of SCCL's warm Pareto sweep, which encodes
+//! the shared base problem once and activates one `(S, R)` candidate at a
+//! time purely through assumptions.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -213,6 +231,10 @@ pub struct Solver {
     stats: SolverStats,
     learnt_count: usize,
     learnt_limit: usize,
+    /// Failed-assumption subset of the most recent
+    /// `solve_under_assumptions` call that returned [`SolveResult::Unsat`]
+    /// while the formula itself remained satisfiable.
+    conflict_core: Vec<Lit>,
 }
 
 impl Default for Solver {
@@ -254,6 +276,7 @@ impl Solver {
             stats: SolverStats::default(),
             learnt_count: 0,
             learnt_limit,
+            conflict_core: Vec::new(),
         }
     }
 
@@ -571,8 +594,28 @@ impl Solver {
         }
     }
 
-    fn propagate(&mut self) -> Option<Conflict> {
+    /// How many literals `propagate` processes between polls of the
+    /// cooperative stop flag. Large retained clause databases make a single
+    /// propagation pass arbitrarily long, so waiting for the restart loop's
+    /// budget check alone would delay cancellation; polling every few
+    /// thousand literals keeps the atomic load off the hot path while still
+    /// bounding the response time.
+    const STOP_POLL_INTERVAL: u32 = 2048;
+
+    fn propagate(&mut self, limits: &Limits) -> Option<Conflict> {
+        let mut since_stop_poll: u32 = 0;
         while self.qhead < self.trail.len() {
+            since_stop_poll += 1;
+            if since_stop_poll >= Self::STOP_POLL_INTERVAL {
+                since_stop_poll = 0;
+                // The flag is sticky (only ever raised), so cutting the pass
+                // short here is safe: the restart loop's budget check sees
+                // the same value and aborts before any decision is made on
+                // the partially propagated trail.
+                if limits.stop_requested() {
+                    return None;
+                }
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -937,6 +980,57 @@ impl Solver {
     // Main search loop
     // ------------------------------------------------------------------
 
+    /// Compute the failed-assumption subset once the assumption `p` is found
+    /// false at placement time: walk the implication trail backwards from
+    /// `¬p`'s reasons, collecting every *decision* encountered — at placement
+    /// time all decisions are assumptions, so the result is the subset of
+    /// assumptions that (together with `p`) the formula refutes.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match &self.reason[v] {
+                Reason::None => core.push(x),
+                Reason::Clause(cref) => {
+                    let lits = self.clauses.get(*cref).lits.clone();
+                    for q in &lits[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+                Reason::Pb(lits) => {
+                    let lits = lits.clone();
+                    for q in &lits[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+        core
+    }
+
+    /// The subset of assumptions under which the most recent
+    /// [`Solver::solve_under_assumptions`] call proved unsatisfiability.
+    /// Empty when the last call was satisfiable, ran out of budget, or
+    /// established unsatisfiability of the formula itself (check
+    /// [`Solver::is_ok`] to distinguish the latter).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
     /// Solve with no resource limits.
     pub fn solve(&mut self) -> SolveResult {
         self.solve_limited(Limits::none())
@@ -944,6 +1038,31 @@ impl Solver {
 
     /// Solve within the given resource limits.
     pub fn solve_limited(&mut self, limits: Limits) -> SolveResult {
+        self.solve_under_assumptions(&[], limits)
+    }
+
+    /// Solve under a conjunction of assumption literals within the given
+    /// resource limits.
+    ///
+    /// Assumptions hold only for this call: they are placed as the first
+    /// decisions of the search, so learnt clauses remain consequences of the
+    /// formula alone and are retained afterwards (as are VSIDS activities
+    /// and saved phases — the warm state incremental callers rely on).
+    /// [`SolveResult::Unsat`] means unsatisfiable *under the assumptions*;
+    /// when the formula itself is still satisfiable, [`Solver::is_ok`] stays
+    /// `true` and [`Solver::failed_assumptions`] names the refuted subset.
+    ///
+    /// Requires clause learning (assumption semantics cannot be preserved by
+    /// the chronological-backtracking ablation mode, which flips decisions).
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit], limits: Limits) -> SolveResult {
+        assert!(
+            self.config.clause_learning || assumptions.is_empty(),
+            "solve_under_assumptions requires clause learning"
+        );
+        self.conflict_core.clear();
+        self.stats.solve_calls += 1;
+        self.stats.assumptions += assumptions.len() as u64;
+        self.stats.reused_clauses += self.learnt_count as u64;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -954,7 +1073,7 @@ impl Solver {
         let mut restart_threshold = luby(restart_index) * self.config.restart_base;
 
         loop {
-            match self.propagate() {
+            match self.propagate(&limits) {
                 Some(conflict) => {
                     self.stats.conflicts += 1;
                     conflicts_since_restart += 1;
@@ -1023,6 +1142,30 @@ impl Solver {
                     }
                     if self.learnt_count > self.learnt_limit {
                         self.reduce_learnt_db();
+                    }
+                    // Place the next pending assumption (one per decision
+                    // level) before branching freely.
+                    if (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value(a) {
+                            LBool::True => {
+                                // Already implied: open an empty level so
+                                // the level ↔ assumption indexing stays
+                                // aligned.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => {
+                                self.conflict_core = self.analyze_final(a);
+                                self.cancel_until(0);
+                                return SolveResult::Unsat;
+                            }
+                            LBool::Undef => {
+                                self.stats.decisions += 1;
+                                self.trail_lim.push(self.trail.len());
+                                self.unchecked_enqueue(a, Reason::None);
+                            }
+                        }
+                        continue;
                     }
                     match self.pick_branch_var() {
                         None => {
@@ -1424,6 +1567,137 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        let a1 = s.new_var().positive();
+        let a2 = s.new_var().positive();
+        s.add_implies(a1, x);
+        s.add_implies(a2, !x);
+        let m = s
+            .solve_under_assumptions(&[a1], Limits::none())
+            .model()
+            .expect("sat under a1");
+        assert!(m.lit_value(x));
+        let m = s
+            .solve_under_assumptions(&[a2], Limits::none())
+            .model()
+            .expect("sat under a2");
+        assert!(!m.lit_value(x));
+        // Contradictory only together; the formula itself stays consistent.
+        let r = s.solve_under_assumptions(&[a1, a2], Limits::none());
+        assert!(r.is_unsat());
+        assert!(s.is_ok(), "assumption-unsat must not poison the solver");
+        let mut core = s.failed_assumptions().to_vec();
+        core.sort_unstable();
+        let mut expected = vec![a1, a2];
+        expected.sort_unstable();
+        assert_eq!(core, expected);
+        assert!(s.solve().is_sat());
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn assumption_contradicting_level0_fact_has_singleton_core() {
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        s.add_clause(&[!x]);
+        let r = s.solve_under_assumptions(&[x], Limits::none());
+        assert!(r.is_unsat());
+        assert!(s.is_ok());
+        assert_eq!(s.failed_assumptions(), &[x]);
+    }
+
+    #[test]
+    fn already_true_assumption_is_a_no_op_level() {
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        let y = s.new_var().positive();
+        s.add_clause(&[x]);
+        s.add_clause(&[!x, y]);
+        let m = s
+            .solve_under_assumptions(&[x, y], Limits::none())
+            .model()
+            .expect("sat");
+        assert!(m.lit_value(x) && m.lit_value(y));
+    }
+
+    #[test]
+    fn retire_candidate_via_activation_literal() {
+        // An activation-gated pigeonhole: UNSAT while assumed, harmless once
+        // retired — the shape of the incremental Pareto sweep.
+        let n = 4;
+        let h = 3;
+        let mut s = Solver::new();
+        let act = s.new_var().positive();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..h).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            let mut clause = vec![!act];
+            clause.extend_from_slice(row);
+            s.add_clause(&clause);
+        }
+        for hole in 0..h {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[!act, !p[i][hole], !p[j][hole]]);
+                }
+            }
+        }
+        let r = s.solve_under_assumptions(&[act], Limits::none());
+        assert!(r.is_unsat());
+        assert!(s.is_ok());
+        assert_eq!(s.failed_assumptions(), &[act]);
+        // Retire the candidate and keep solving: the formula is now SAT.
+        assert!(s.add_clause(&[!act]));
+        let m = s.solve().model().expect("sat after retirement");
+        assert!(!m.lit_value(act));
+    }
+
+    #[test]
+    fn learnt_clauses_are_reused_across_calls() {
+        let n = 5;
+        let h = 4;
+        let mut s = Solver::new();
+        let act = s.new_var().positive();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..h).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            let mut clause = vec![!act];
+            clause.extend_from_slice(row);
+            s.add_clause(&clause);
+        }
+        for hole in 0..h {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[!act, !p[i][hole], !p[j][hole]]);
+                }
+            }
+        }
+        assert!(s.solve_under_assumptions(&[act], Limits::none()).is_unsat());
+        let learnt_after_first = s.stats().learnt_clauses;
+        assert!(learnt_after_first > 0, "the pigeonhole must learn clauses");
+        assert!(s.solve_under_assumptions(&[act], Limits::none()).is_unsat());
+        assert_eq!(s.stats().solve_calls, 2);
+        assert_eq!(s.stats().assumptions, 2);
+        assert!(
+            s.stats().reused_clauses > 0,
+            "second call must start from retained learnt clauses"
+        );
+    }
+
+    #[test]
+    fn solve_under_assumptions_respects_budget() {
+        let mut s = hard_pigeonhole(10);
+        let a = s.new_var().positive();
+        let r = s.solve_under_assumptions(&[a], Limits::conflicts(3));
+        assert_eq!(r, SolveResult::Unknown);
+        assert!(s.failed_assumptions().is_empty());
     }
 
     #[test]

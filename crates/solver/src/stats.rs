@@ -24,6 +24,14 @@ pub struct SolverStats {
     pub pb_conflicts: u64,
     /// Number of literals propagated by pseudo-Boolean constraints.
     pub pb_propagations: u64,
+    /// Number of `solve`/`solve_under_assumptions` calls answered.
+    pub solve_calls: u64,
+    /// Total assumption literals placed across all solve calls.
+    pub assumptions: u64,
+    /// Learnt clauses already in the database at the start of a solve call,
+    /// summed over calls: the clause reuse an incremental caller gets for
+    /// free relative to re-encoding from scratch.
+    pub reused_clauses: u64,
 }
 
 impl SolverStats {

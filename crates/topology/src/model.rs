@@ -246,6 +246,27 @@ impl Topology {
             .iter()
             .map(|(&(s, d), t)| ((d, s), t.clone()))
             .collect();
+        // An edge-symmetric topology (every bidirectional machine built by
+        // `builders`) is its own reversal: return it unchanged, name
+        // included, so downstream consumers — notably the scheduler's
+        // per-base-problem warm solver pools, which key on the topology
+        // value — can recognize that e.g. the Allgather duals of Allreduce
+        // and ReduceScatter run on the *same* machine. Constraint order is
+        // immaterial to the machine, so compare as sorted sets.
+        let sorted = |cs: &[BandwidthConstraint]| {
+            let mut cs = cs.to_vec();
+            cs.sort_by(|a, b| {
+                a.edges
+                    .cmp(&b.edges)
+                    .then(a.chunks_per_round.cmp(&b.chunks_per_round))
+            });
+            cs
+        };
+        if sorted(&rev.constraints) == sorted(&self.constraints)
+            && rev.transports == self.transports
+        {
+            return self.clone();
+        }
         rev
     }
 
