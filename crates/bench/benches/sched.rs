@@ -85,10 +85,15 @@ fn cold_sweep(
 /// The cold-vs-warm incremental solver comparison: full Pareto sweeps per
 /// topology, solver-internal times summed over every candidate. The cold
 /// side pays one throwaway solver per candidate per request; the warm side
-/// serves the same requests through one sequential `Engine`, whose
-/// per-base-problem pools let collectives that reduce to the same base
+/// serves the same requests through one sequential `Engine`, whose shared
+/// warm-pool registry lets collectives that reduce to the same base
 /// (Allgather, Allreduce, ReduceScatter on symmetric machines) share
-/// encoders, learnt clauses and decided-candidate memos. Writes
+/// encoders, learnt clauses and decided-candidate memos. Satisfiable
+/// candidates decode canonically — the historic cold confirmation (and its
+/// `confirm_ms` tax) is gone from the warm path entirely. A second,
+/// parallel-mode engine then serves the same mix twice to demonstrate the
+/// registry's cross-request reuse under `SolveMode::Parallel` (the
+/// `parallel_warm` row: second-pass memo hits must be nonzero). Writes
 /// `BENCH_solver.json` at the repository root and asserts the headline
 /// criterion — at least one topology must cut total solve time by ≥ 2×.
 fn bench_incremental_solver(_c: &mut Criterion) {
@@ -102,15 +107,29 @@ fn bench_incremental_solver(_c: &mut Criterion) {
     struct WarmSide {
         encode_ms: f64,
         warm_solve_ms: f64,
-        confirm_ms: f64,
+        /// Cold fallback time (ablation/budget exhaustion only; 0 on this
+        /// sweep). The historic `confirm_ms` column is gone — satisfiable
+        /// candidates decode canonically instead of re-solving cold.
+        cold_fallback_ms: f64,
         solve_ms: f64,
         base_encodings: u64,
         solve_calls: u64,
         reused_clauses: u64,
-        confirmed_sat: u64,
+        canonical_probes: u64,
         memo_hits: u64,
         core_skips: u64,
         cold_fallbacks: u64,
+        pool_checkins: u64,
+    }
+    /// Second serving pass of the mix through a `SolveMode::Parallel`
+    /// engine: nonzero `memo_hits` is the proof that parallel workers now
+    /// reuse engine-held warm state across requests.
+    #[derive(serde::Serialize)]
+    struct ParallelWarmSide {
+        solve_ms: f64,
+        memo_hits: u64,
+        pool_checkins: u64,
+        solve_calls: u64,
     }
     #[derive(serde::Serialize)]
     struct TopologyRow {
@@ -118,6 +137,7 @@ fn bench_incremental_solver(_c: &mut Criterion) {
         collectives: Vec<String>,
         cold: ColdSide,
         warm: WarmSide,
+        parallel_warm: ParallelWarmSide,
         solve_speedup: f64,
     }
     #[derive(serde::Serialize)]
@@ -198,16 +218,51 @@ fn bench_incremental_solver(_c: &mut Criterion) {
         best_speedup = best_speedup.max(speedup);
         println!(
             "bench sched/incremental/{}: cold solve {cold_solve:?} ({cold_candidates} candidates) \
-             vs warm solve {warm_solve:?} (warm {:?} + confirm {:?}) = {speedup:.2}x; \
+             vs warm solve {warm_solve:?} (no cold confirm; {} canonical probes) = {speedup:.2}x; \
              reused clauses {}, base encodings {}, memo hits {}, core skips {}",
             case.name,
-            warm.warm_solve_time,
-            warm.confirm_time,
+            warm.canonical_probes,
             warm.reused_clauses,
             warm.base_encodings,
             warm.memo_hits,
             warm.core_skips
         );
+
+        // Cross-request warm reuse under SolveMode::Parallel: serve the mix
+        // twice through a parallel engine backed by the shared registry;
+        // the second pass must hit the memos the first one checked in.
+        let parallel_engine = Engine::builder()
+            .mode(SolveMode::Parallel)
+            .threads(2)
+            .synthesis_defaults(case.config.clone())
+            .build()
+            .expect("a cacheless engine builds infallibly");
+        let mut parallel_second = sccl_core::incremental::IncrementalStats::default();
+        for pass in 0..2 {
+            for &collective in &case.collectives {
+                let response = parallel_engine
+                    .synthesize(SynthesisRequest::new(&case.topology, collective))
+                    .expect("parallel warm sweep");
+                if pass == 1 {
+                    parallel_second
+                        .absorb(&response.incremental.expect("solved responses carry stats"));
+                }
+            }
+        }
+        assert!(
+            parallel_second.memo_hits > 0,
+            "parallel workers must reuse engine-held warm pools across requests on {}",
+            case.name
+        );
+        println!(
+            "bench sched/incremental/{}: parallel second pass memo hits {}, \
+             pool check-ins {}, solve calls {}",
+            case.name,
+            parallel_second.memo_hits,
+            parallel_second.pool_checkins,
+            parallel_second.solve_calls
+        );
+
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         rows.push(TopologyRow {
             topology: case.name.to_string(),
@@ -220,15 +275,22 @@ fn bench_incremental_solver(_c: &mut Criterion) {
             warm: WarmSide {
                 encode_ms: ms(warm.encode_time),
                 warm_solve_ms: ms(warm.warm_solve_time),
-                confirm_ms: ms(warm.confirm_time),
+                cold_fallback_ms: ms(warm.cold_solve_time),
                 solve_ms: ms(warm_solve),
                 base_encodings: warm.base_encodings,
                 solve_calls: warm.solve_calls,
                 reused_clauses: warm.reused_clauses,
-                confirmed_sat: warm.confirmed_sat,
+                canonical_probes: warm.canonical_probes,
                 memo_hits: warm.memo_hits,
                 core_skips: warm.core_skips,
                 cold_fallbacks: warm.cold_fallbacks,
+                pool_checkins: warm.pool_checkins,
+            },
+            parallel_warm: ParallelWarmSide {
+                solve_ms: ms(parallel_second.total_solve_time()),
+                memo_hits: parallel_second.memo_hits,
+                pool_checkins: parallel_second.pool_checkins,
+                solve_calls: parallel_second.solve_calls,
             },
             solve_speedup: speedup,
         });
@@ -237,7 +299,9 @@ fn bench_incremental_solver(_c: &mut Criterion) {
     let json = serde_json::to_string_pretty(&SolverBench {
         bench: "sched/incremental".to_string(),
         unit_note: "solver-internal times in milliseconds; warm solve = assumption solves \
-                    + cold confirmation of frontier entries"
+                    incl. canonical-decode probes (no cold confirmation — frontier entries \
+                    decode canonically); parallel_warm = second serving pass through a \
+                    SolveMode::Parallel engine sharing the warm-pool registry"
             .to_string(),
         topologies: rows,
         best_solve_speedup: best_speedup,

@@ -14,6 +14,7 @@
 #![allow(clippy::needless_range_loop)] // chunk x node grids read best with explicit indices
 
 use crate::algorithm::{Algorithm, Send};
+use crate::canonical::{canonical_schedule, raw_schedule, CanonicalInstance};
 use sccl_collectives::CollectiveSpec;
 use sccl_solver::{add_linear_eq, IntVar, Limits, Lit, SolveResult, Solver, SolverConfig};
 use sccl_topology::Topology;
@@ -31,7 +32,11 @@ use std::time::{Duration, Instant};
 /// unchanged, so the inversion duals of combining collectives encode
 /// against the original constraint order (different variable ordering,
 /// hence possibly different — equally valid — decoded models).
-pub const ENCODER_VERSION: u32 = 2;
+/// 3 — satisfiable instances decode through the canonical
+/// (lexicographically minimal) schedule reconstruction of
+/// [`crate::canonical`] instead of reporting the solver's incidental model,
+/// so cached algorithms from older encoders no longer match.
+pub const ENCODER_VERSION: u32 = 3;
 
 /// One synthesis query: find a `(S, R)` k-synchronous schedule implementing
 /// `spec` on `topology` (the SynColl instance of §3.2 with its parameters).
@@ -301,30 +306,57 @@ pub fn synthesize(
     };
     let encode_time = encode_start.elapsed();
 
-    // Solve and decode.
+    // Solve, then decode canonically: the reported algorithm is the
+    // greedy-lexicographically-minimal schedule of the instance, not the
+    // solver's incidental model, so the warm (incremental) path decodes to
+    // the byte-identical algorithm without ever re-solving cold. The
+    // canonicalization probes are part of the solve time (they are solver
+    // work the candidate costs).
     let solve_start = Instant::now();
-    let result = solver.solve_limited(limits);
-    let solve_time = solve_start.elapsed();
+    let conflicts_before = solver.stats().conflicts;
+    let result = solver.solve_limited(limits.clone());
 
     let outcome = match result {
         SolveResult::Unsat => SynthesisOutcome::Unsatisfiable,
         SolveResult::Unknown => SynthesisOutcome::Unknown,
         SolveResult::Sat(model) => {
-            let rounds_per_step: Vec<u64> = round_vars
-                .iter()
-                .map(|r| r.value_in(&model) as u64)
-                .collect();
-            let mut sends = Vec::new();
-            for (&(c, src, dst), &snd) in &snd_vars {
-                if !model.lit_value(snd) {
-                    continue;
+            let canonical_instance = CanonicalInstance {
+                spec,
+                num_steps: s_steps,
+                time_vars: &time_vars,
+                snd_vars: &snd_vars,
+                round_vars: &round_vars,
+                context: &[],
+            };
+            // The chronological-backtracking ablation cannot answer
+            // assumption probes; its raw decode stays deterministic through
+            // the solver's fixed model-completion rule. With clause
+            // learning, a decode cut short by the budget or the stop flag
+            // degrades the whole run to Unknown rather than report a
+            // model-dependent schedule: every Satisfiable outcome of this
+            // function is canonical, so callers (and the warm pools' memos)
+            // may rely on byte-identical algorithms unconditionally.
+            // The decode spends what is *left* of the candidate's budget
+            // after the main solve, not a fresh grant of it.
+            let decode_limits = limits.minus_consumed(
+                solve_start.elapsed(),
+                solver.stats().conflicts - conflicts_before,
+            );
+            let (rounds_per_step, sends) = if solver.config().clause_learning {
+                match canonical_schedule(&canonical_instance, &mut solver, &model, &decode_limits) {
+                    Some(schedule) => (schedule.rounds_per_step, schedule.sends),
+                    None => {
+                        return SynthesisRun {
+                            outcome: SynthesisOutcome::Unknown,
+                            encode_time,
+                            solve_time: solve_start.elapsed(),
+                            encoding,
+                        }
+                    }
                 }
-                let arrival = time_vars[c][dst].value_in(&model);
-                if arrival >= 1 && arrival <= s_steps as i64 {
-                    sends.push(Send::copy(c, src, dst, (arrival - 1) as usize));
-                }
-            }
-            sends.sort_by_key(|s| (s.step, s.chunk, s.src, s.dst));
+            } else {
+                raw_schedule(&canonical_instance, &model)
+            };
             SynthesisOutcome::Satisfiable(Algorithm {
                 collective: spec.collective,
                 topology_name: topology.name().to_string(),
@@ -336,6 +368,7 @@ pub fn synthesize(
             })
         }
     };
+    let solve_time = solve_start.elapsed();
 
     SynthesisRun {
         outcome,

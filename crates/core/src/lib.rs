@@ -34,6 +34,7 @@
 pub mod algorithm;
 pub mod analysis;
 pub mod bounds;
+pub mod canonical;
 pub mod combining;
 pub mod cost;
 pub mod encoding;

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod engine;
 pub mod library;
 pub mod parallel;
+pub mod registry;
 mod sha256;
 
 pub use batch::{
@@ -69,4 +70,5 @@ pub use library::{hydrate_library, warm_library};
 #[allow(deprecated)]
 pub use parallel::pareto_synthesize_parallel;
 pub use parallel::ParallelConfig;
+pub use registry::{PoolSession, WarmPoolRegistry};
 pub use sccl_core::incremental::IncrementalStats;

@@ -11,34 +11,40 @@
 //! cooperative stop flag raised, aborting any in-flight solve via
 //! `sccl_solver::Limits::stop`.
 //!
-//! Each worker solves its candidates through a
-//! [`WarmPool`]: one assumption-based
-//! incremental encoder per chunk count, so the base encoding, learnt
-//! clauses, VSIDS activities and saved phases carry over between the
-//! candidates a worker claims instead of being rebuilt per instance.
+//! Each worker solves its candidates through the engine's shared
+//! [warm-pool registry](crate::registry::WarmPoolRegistry): per candidate
+//! it checks out the [`ChunkPool`](sccl_core::pareto::ChunkPool) of
+//! exactly the chunk count it needs (the base encoding, learnt clauses,
+//! VSIDS activities, saved phases and the decided-candidate memo of every
+//! previous request over the same base problem), solves outside any lock,
+//! and checks the pool back in. Workers therefore share warm state both
+//! *within* a request — a pool freed by one worker is picked up by the
+//! next — and *across* requests, which private per-worker pools never
+//! could.
 //!
 //! Determinism: the merge consumes exactly the candidates the sequential
 //! loop would have solved, in the same order. Unsatisfiable verdicts are
 //! independent of the warm state that produced them (each candidate layer
 //! is equisatisfiable with the cold encoding), and satisfiable candidates
-//! are re-confirmed by a cold deterministic solve inside the pool — so the
+//! decode through the canonical schedule reconstruction of
+//! `sccl_core::canonical`, which is model- and driver-independent — so the
 //! assembled frontier is identical to `pareto_synthesize`'s (modulo
-//! wall-clock timings). Cancellation is only ever applied to candidates the
-//! procedure has already decided never to read, so speculation cannot leak
-//! into the result. One caveat: a *wall-clock* `per_instance_limits.max_time`
-//! makes individual outcomes timing-dependent (under worker contention a
-//! solve can hit the budget that it would beat running alone), exactly as
-//! it already does between two sequential runs on different machines; a
-//! `max_conflicts` budget can likewise fire on a warm solver at a different
-//! point than on a cold one. For a bit-identical guarantee, run without
-//! per-instance budgets.
+//! wall-clock timings), with no cold re-solve anywhere. Cancellation is
+//! only ever applied to candidates the procedure has already decided never
+//! to read, so speculation cannot leak into the result. One caveat: a
+//! *wall-clock* `per_instance_limits.max_time` makes individual outcomes
+//! timing-dependent (under worker contention a solve can hit the budget
+//! that it would beat running alone), exactly as it already does between
+//! two sequential runs on different machines; a `max_conflicts` budget can
+//! likewise fire on a warm solver at a different point than on a cold one.
+//! For a bit-identical guarantee, run without per-instance budgets.
 
+use crate::registry::PoolSession;
 use sccl_collectives::Collective;
 use sccl_core::encoding::{SynthesisOutcome, SynthesisRun};
-use sccl_core::incremental::IncrementalStats;
 use sccl_core::pareto::{
-    base_problem, enumerate_candidates, finalize_report, MergeAction, ParetoMerge, SynthesisConfig,
-    SynthesisError, SynthesisReport, WarmPool,
+    enumerate_candidates, finalize_report, BaseProblem, MergeAction, ParetoMerge, SynthesisConfig,
+    SynthesisError, SynthesisReport,
 };
 use sccl_topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -158,20 +164,23 @@ pub fn pareto_synthesize_parallel(
 }
 
 /// The work-queue parallel Pareto driver (the engine's `SolveMode::Parallel`
-/// path). Returns the frontier together with the warm-sweep accounting
-/// aggregated over every worker's encoder pool.
+/// path). `base` is the request's already-computed
+/// [`base_problem`](sccl_core::pareto::base_problem) and `pools` the
+/// engine's registry session for it; the warm-sweep accounting accumulates
+/// on the session as workers check pools in.
 pub(crate) fn parallel_frontier(
+    base: &BaseProblem,
     topology: &Topology,
     collective: Collective,
     config: &SynthesisConfig,
     parallel: &ParallelConfig,
-) -> Result<(SynthesisReport, IncrementalStats), SynthesisError> {
+    pools: &PoolSession<'_>,
+) -> Result<SynthesisReport, SynthesisError> {
     if topology.num_nodes() < 2 {
         return Err(SynthesisError::TooFewNodes);
     }
-    let base = base_problem(topology, collective);
-    let (report, stats) = parallel_noncombining(&base.topology, base.collective, config, parallel)?;
-    Ok((finalize_report(topology, collective, report), stats))
+    let report = parallel_noncombining(&base.topology, base.collective, config, parallel, pools)?;
+    Ok(finalize_report(topology, collective, report))
 }
 
 fn parallel_noncombining(
@@ -179,13 +188,14 @@ fn parallel_noncombining(
     collective: Collective,
     config: &SynthesisConfig,
     parallel: &ParallelConfig,
-) -> Result<(SynthesisReport, IncrementalStats), SynthesisError> {
+    pools: &PoolSession<'_>,
+) -> Result<SynthesisReport, SynthesisError> {
     let plan = enumerate_candidates(topology, collective, config)?;
     let num_jobs = plan.jobs.len();
     let num_threads = parallel.resolved_threads().max(1).min(num_jobs.max(1));
     let mut merge = ParetoMerge::new(plan);
     if num_jobs == 0 {
-        return Ok((merge.into_report(), IncrementalStats::default()));
+        return Ok(merge.into_report());
     }
 
     let queue = WorkQueue::new(num_jobs);
@@ -194,16 +204,14 @@ fn parallel_noncombining(
     // panicking solve must neither hang the merger (its result slot is
     // filled with Unknown so `wait_for` always returns) nor be swallowed.
     let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    // Warm-sweep accounting, folded in by each worker as it drains out.
-    let stats_acc: Mutex<IncrementalStats> = Mutex::new(IncrementalStats::default());
 
     std::thread::scope(|scope| {
         for _ in 0..num_threads {
             scope.spawn(|| {
-                // Each worker holds its own warm pool: one incremental
-                // encoder per chunk count it encounters, retaining learnt
-                // clauses across the candidates it claims.
-                let mut pool = WarmPool::new(topology, collective, config);
+                // Workers own no solver state: per candidate they check the
+                // matching chunk pool out of the shared registry through
+                // the session, solve, and check it back in — so warm state
+                // flows between workers and across requests.
                 loop {
                     let index = queue.next.fetch_add(1, Ordering::Relaxed);
                     if index >= num_jobs {
@@ -218,24 +226,22 @@ fn parallel_noncombining(
                             .clone()
                             .with_stop(Arc::clone(&queue.cancels[index]));
                         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            pool.solve(job, limits)
+                            pools.solve(job, limits)
                         })) {
                             Ok(run) => run,
                             Err(payload) => {
                                 let mut slot = panicked.lock().expect("panic slot");
                                 slot.get_or_insert(payload);
-                                // The pool's solver state is suspect after a
-                                // panic; rebuild it before serving further
-                                // candidates.
-                                stats_acc.lock().expect("stats lock").absorb(&pool.stats());
-                                pool = WarmPool::new(topology, collective, config);
+                                // The checked-out pool died with the panic
+                                // (the session drops it rather than check a
+                                // half-updated solver back in); later
+                                // candidates materialize a fresh one.
                                 cancelled_run()
                             }
                         }
                     };
                     queue.publish(index, run);
                 }
-                stats_acc.lock().expect("stats lock").absorb(&pool.stats());
             });
         }
 
@@ -261,8 +267,7 @@ fn parallel_noncombining(
     if let Some(payload) = panicked.into_inner().expect("panic slot") {
         std::panic::resume_unwind(payload);
     }
-    let stats = *stats_acc.lock().expect("stats lock");
-    Ok((merge.into_report(), stats))
+    Ok(merge.into_report())
 }
 
 #[cfg(test)]

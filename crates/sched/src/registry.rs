@@ -1,0 +1,320 @@
+//! The engine-owned warm-pool registry: shared, sharded, bounded.
+//!
+//! PR 3 gave the engine per-base-problem [`WarmPool`]s, but only the
+//! sequential solve path could use them — parallel workers held *private*
+//! pools that died with the request, so `SolveMode::Parallel` got no
+//! cross-request solver-state reuse at all. The registry fixes that by
+//! making the unit of sharing the [`ChunkPool`] (one incremental encoder +
+//! candidate memo for a single `(base problem, chunk count)` pair) and the
+//! sharing protocol *check-out / check-in*:
+//!
+//! * a worker (or the sequential driver) checks out the pool for exactly
+//!   the chunk count its candidate needs, solves **outside** any lock, and
+//!   checks the pool back in;
+//! * concurrent workers on different chunk counts map to different shards
+//!   (the shard index mixes the base-problem hash with the chunk count),
+//!   so they never contend on one mutex;
+//! * two workers racing on the *same* chunk count simply materialize a
+//!   second pool — both are checked in afterwards and both keep serving
+//!   future requests, so the race costs a duplicate base encoding, never
+//!   correctness;
+//! * the registry is bounded: beyond
+//!   [`EngineBuilder::warm_pool_capacity`](crate::EngineBuilder::warm_pool_capacity)
+//!   chunk pools (plus 10% slack so the bound is amortized, not a
+//!   per-check-in scan), the least-recently-used pools (by check-in tick)
+//!   are evicted back down to capacity, so a long-lived engine's solver
+//!   memory tracks its working set of base problems rather than its
+//!   lifetime.
+//!
+//! Per-request accounting goes through a [`PoolSession`]: every check-in
+//! folds the pool's stat delta into the session, which is what the engine
+//! reports as the response's [`IncrementalStats`] (including the new
+//! `pool_checkins` counter).
+//!
+//! [`WarmPool`]: sccl_core::pareto::WarmPool
+
+use parking_lot::Mutex;
+use sccl_core::encoding::SynthesisRun;
+use sccl_core::incremental::IncrementalStats;
+use sccl_core::pareto::{BaseProblem, CandidateJob, ChunkPool, SynthesisConfig};
+use sccl_solver::Limits;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked shards. A power of two comfortably above
+/// any realistic worker count, so check-out/check-in stay uncontended.
+const NUM_SHARDS: usize = 16;
+
+/// One slot per `(base-problem hash, chunk count)`; several pools can
+/// coexist in a slot when parallel workers raced on the chunk count. The
+/// key string is shared (`Arc<str>`), so the per-candidate check-out /
+/// check-in hot path never allocates.
+type Key = (Arc<str>, usize);
+type Slot = Vec<(u64, ChunkPool)>;
+
+#[derive(Default)]
+struct Shard {
+    slots: HashMap<Key, Slot>,
+}
+
+/// The shared store of warm [`ChunkPool`]s, keyed by base-problem content
+/// hash and sharded by chunk count under `parking_lot` mutexes.
+pub struct WarmPoolRegistry {
+    shards: Box<[Mutex<Shard>]>,
+    /// Most chunk pools retained across requests (LRU eviction beyond it).
+    capacity: usize,
+    /// Pools currently *stored* (checked-out pools are not counted; they
+    /// return through `check_in`).
+    len: AtomicUsize,
+    /// Monotonic recency tick, stamped on every check-in.
+    tick: AtomicU64,
+}
+
+impl WarmPoolRegistry {
+    /// An empty registry bounded to `capacity` chunk pools.
+    pub fn new(capacity: usize) -> Self {
+        WarmPoolRegistry {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity: capacity.max(1),
+            len: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Pools currently stored (approximate under concurrent check-outs).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no pool is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_index(key: &str, chunks: usize) -> usize {
+        // FNV-1a over the key, mixed with the chunk count: requests for
+        // different chunk counts of one base problem land on different
+        // shards, which is where parallel workers actually contend.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in key.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash.wrapping_add(chunks as u64) % NUM_SHARDS as u64) as usize
+    }
+
+    /// Take a pool for `(key, chunks)` out of the registry, preferring the
+    /// one with the most decided candidates when a race left several.
+    /// Returns `None` when no pool is stored (the caller materializes a
+    /// fresh one).
+    fn check_out(&self, key: &Arc<str>, chunks: usize) -> Option<ChunkPool> {
+        let mut shard = self.shards[Self::shard_index(key, chunks)].lock();
+        let slot = shard.slots.get_mut(&(Arc::clone(key), chunks))?;
+        let best = slot
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, pool))| pool.decided())
+            .map(|(i, _)| i)?;
+        let (_, pool) = slot.swap_remove(best);
+        if slot.is_empty() {
+            shard.slots.remove(&(Arc::clone(key), chunks));
+        }
+        // Still under the shard lock: a removal outside it could race a
+        // concurrent check-in's increment and wrap the counter below zero.
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        drop(shard);
+        Some(pool)
+    }
+
+    /// Return a pool to the registry. Eviction is amortized with 10% slack
+    /// (like the on-disk cache's prune): only once the store runs past
+    /// `capacity + slack` does one pass evict the oldest pools back down
+    /// to `capacity`, so a registry sitting at capacity does not pay a
+    /// full scan on every check-in of the hot path.
+    fn check_in(&self, key: Arc<str>, chunks: usize, pool: ChunkPool) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let new_len = {
+            let mut shard = self.shards[Self::shard_index(&key, chunks)].lock();
+            shard
+                .slots
+                .entry((key, chunks))
+                .or_default()
+                .push((tick, pool));
+            // Counted under the shard lock, symmetric with `check_out`'s
+            // decrement, so the counter can never transiently underflow.
+            self.len.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        let slack = (self.capacity / 10).max(1);
+        if new_len > self.capacity + slack {
+            self.evict_down_to(self.capacity);
+        }
+    }
+
+    /// Best-effort LRU eviction: snapshot every stored pool's recency tick
+    /// (scanning shards one lock at a time), then remove the oldest pools
+    /// until at most `target` remain. A pool checked out between the scan
+    /// and the removal simply survives — the capacity is a bound on
+    /// retained solver memory, not an exact invariant.
+    fn evict_down_to(&self, target: usize) {
+        let mut stored: Vec<(usize, Key, u64)> = Vec::new();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock();
+            for ((key, chunks), slot) in &shard.slots {
+                for (tick, _) in slot {
+                    stored.push((shard_idx, (Arc::clone(key), *chunks), *tick));
+                }
+            }
+        }
+        if stored.len() <= target {
+            return;
+        }
+        stored.sort_by_key(|&(_, _, tick)| tick);
+        for (shard_idx, key, tick) in stored.drain(..stored.len() - target) {
+            let mut shard = self.shards[shard_idx].lock();
+            if let Some(slot) = shard.slots.get_mut(&key) {
+                if let Some(pos) = slot.iter().position(|(t, _)| *t == tick) {
+                    slot.swap_remove(pos);
+                    if slot.is_empty() {
+                        shard.slots.remove(&key);
+                    }
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Open a per-request session against this registry for one base
+    /// problem. The session carries what a worker needs to materialize
+    /// missing pools and accumulates the request's incremental accounting.
+    pub fn session(
+        &self,
+        key: String,
+        base: BaseProblem,
+        config: SynthesisConfig,
+    ) -> PoolSession<'_> {
+        PoolSession {
+            registry: self,
+            key: Arc::from(key),
+            base,
+            config,
+            stats: Mutex::new(IncrementalStats::default()),
+        }
+    }
+}
+
+/// A per-request view of the registry: the check-out/check-in protocol for
+/// one base problem, plus the request's accumulated [`IncrementalStats`].
+/// Shared by reference across the parallel driver's worker threads.
+pub struct PoolSession<'a> {
+    registry: &'a WarmPoolRegistry,
+    key: Arc<str>,
+    base: BaseProblem,
+    config: SynthesisConfig,
+    stats: Mutex<IncrementalStats>,
+}
+
+impl PoolSession<'_> {
+    /// Decide one candidate through a checked-out chunk pool. The pool is
+    /// taken from the registry (or freshly built on a registry miss),
+    /// solved on outside any lock, and checked back in afterwards; its
+    /// stat delta is folded into the session. If the solve panics, the
+    /// pool is dropped rather than checked in — a half-updated solver
+    /// must not serve later candidates.
+    pub fn solve(&self, job: &CandidateJob, limits: Limits) -> SynthesisRun {
+        let mut pool = self
+            .registry
+            .check_out(&self.key, job.chunks)
+            .unwrap_or_else(|| ChunkPool::new(&self.base, &self.config, job.chunks));
+        let before = pool.stats();
+        let run = pool.solve(job, limits);
+        let mut delta = pool.stats().delta_since(&before);
+        delta.pool_checkins = 1;
+        self.registry
+            .check_in(Arc::clone(&self.key), job.chunks, pool);
+        self.stats.lock().absorb(&delta);
+        run
+    }
+
+    /// The request's accumulated incremental accounting so far.
+    pub fn stats(&self) -> IncrementalStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_collectives::Collective;
+    use sccl_core::pareto::base_problem;
+    use sccl_topology::builders;
+
+    fn session_for<'a>(registry: &'a WarmPoolRegistry, key: &str, nodes: usize) -> PoolSession<'a> {
+        let topo = builders::ring(nodes, 1);
+        let base = base_problem(&topo, Collective::Allgather);
+        let config = SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        };
+        registry.session(key.to_string(), base, config)
+    }
+
+    fn job(steps: usize, rounds: u64, chunks: usize) -> CandidateJob {
+        CandidateJob {
+            index: 0,
+            steps,
+            rounds,
+            chunks,
+        }
+    }
+
+    #[test]
+    fn pools_survive_across_sessions_and_memoize() {
+        let registry = WarmPoolRegistry::new(8);
+        let first = session_for(&registry, "ring4", 4);
+        assert!(first.solve(&job(2, 2, 1), Limits::none()).outcome.is_sat());
+        assert_eq!(first.stats().memo_hits, 0);
+        assert_eq!(first.stats().pool_checkins, 1);
+        assert_eq!(registry.len(), 1);
+
+        // A second session over the same key is served from the memo of
+        // the checked-in pool.
+        let second = session_for(&registry, "ring4", 4);
+        assert!(second.solve(&job(2, 2, 1), Limits::none()).outcome.is_sat());
+        assert_eq!(second.stats().memo_hits, 1);
+        assert_eq!(second.stats().solve_calls, 0);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_the_registry() {
+        let registry = WarmPoolRegistry::new(2);
+        let session = session_for(&registry, "ring4", 4);
+        for chunks in 1..=4 {
+            session.solve(&job(2, 2, chunks), Limits::none());
+        }
+        assert!(
+            registry.len() <= 2,
+            "LRU eviction (with its 10% slack, here 1) must bound the registry, had {}",
+            registry.len()
+        );
+        // The most recent chunk count survived.
+        let warm = session_for(&registry, "ring4", 4);
+        warm.solve(&job(2, 2, 4), Limits::none());
+        assert_eq!(warm.stats().memo_hits, 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_pools() {
+        let registry = WarmPoolRegistry::new(8);
+        let a = session_for(&registry, "a", 4);
+        a.solve(&job(2, 2, 1), Limits::none());
+        let b = session_for(&registry, "b", 4);
+        b.solve(&job(2, 2, 1), Limits::none());
+        assert_eq!(b.stats().memo_hits, 0, "keys must isolate warm state");
+        assert_eq!(registry.len(), 2);
+    }
+}

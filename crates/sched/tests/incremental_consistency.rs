@@ -1,8 +1,16 @@
 //! Incremental == cold equivalence: the warm (assumption-based) drivers
 //! must produce byte-identical frontiers to the cold sequential Algorithm 1
 //! loop — `same_frontier` compares bounds, termination, per-entry `(C, S,
-//! R)` costs, optimality labels, formula statistics and the synthesized
-//! algorithms themselves, everything except wall-clock timings.
+//! R)` costs, optimality labels and the synthesized algorithms themselves,
+//! everything except wall-clock timings and (driver-dependent) formula
+//! statistics.
+//!
+//! Since the cold-confirm elision, the warm paths never re-solve a
+//! satisfiable candidate cold: both sides decode through the canonical
+//! (lexicographically minimal) schedule reconstruction of
+//! `sccl_core::canonical`, so algorithm equality is a property of the
+//! decode, not of a runtime comparison — which is exactly what this suite
+//! pins down, including `cold_fallbacks == 0` on the warm side.
 //!
 //! Three paths are compared on every topology of the acceptance matrix
 //! (ring:4, ring:8, line:4, dgx1):
@@ -11,8 +19,8 @@
 //!   throwaway solver per candidate (the reference semantics),
 //! * **sequential-warm** — `pareto_synthesize_warm`, one incremental
 //!   encoder per chunk count,
-//! * **parallel-warm** — the engine's work-queue driver, whose workers each
-//!   hold a warm pool.
+//! * **parallel-warm** — the engine's work-queue driver, whose workers
+//!   check chunk pools out of the engine's shared registry.
 //!
 //! A property test then re-checks cold == warm on random small connected
 //! topologies, where the encoder cannot rely on any structure the named
@@ -41,6 +49,12 @@ fn assert_three_way(topology: &Topology, collective: Collective, config: &Synthe
     assert!(
         warm.report.same_frontier(&cold),
         "sequential-warm diverged from sequential-cold for {collective} on {}",
+        topology.name()
+    );
+    assert_eq!(
+        warm.incremental.cold_fallbacks,
+        0,
+        "the warm sweep must not re-solve anything cold for {collective} on {}",
         topology.name()
     );
     let engine = Engine::builder()
@@ -148,6 +162,77 @@ fn engine_reuses_warm_pools_across_requests() {
     }
 }
 
+/// Cross-request warm reuse under `SolveMode::Parallel`: workers check
+/// chunk pools out of the engine's shared registry and back in, so a
+/// second parallel request over the same base problem must be answered
+/// (at least partly) from the first request's candidate memos — reuse the
+/// per-request private pools of the pre-registry design could never see.
+#[test]
+fn parallel_workers_reuse_warm_pools_across_requests() {
+    let topo = builders::ring(4, 1);
+    let cfg = config(8, 8, 1);
+    let engine = Engine::builder()
+        .threads(3)
+        .synthesis_defaults(cfg.clone())
+        .build()
+        .expect("engine");
+    let first = engine
+        .synthesize(SynthesisRequest::new(&topo, Collective::Allgather).parallel())
+        .expect("first parallel request");
+    let first_stats = first.incremental.expect("stats");
+    assert!(
+        first_stats.pool_checkins > 0,
+        "parallel workers must check pools in and out of the registry"
+    );
+    let second = engine
+        .synthesize(SynthesisRequest::new(&topo, Collective::Allgather).parallel())
+        .expect("second parallel request");
+    let stats = second.incremental.expect("stats");
+    assert!(
+        stats.memo_hits > 0,
+        "the second parallel request must hit the first one's memos"
+    );
+    let cold = pareto_synthesize(&topo, Collective::Allgather, &cfg).expect("cold reference");
+    assert!(second.report.same_frontier(&cold));
+    // A combining collective reducing to the same Allgather base shares the
+    // same pools, parallel mode included.
+    let allreduce = engine
+        .synthesize(SynthesisRequest::new(&topo, Collective::Allreduce).parallel())
+        .expect("allreduce over the shared base");
+    assert!(
+        allreduce.incremental.expect("stats").memo_hits > 0,
+        "Allreduce must reuse the Allgather base pools under parallelism"
+    );
+}
+
+/// The engine's warm-pool registry is bounded: with capacity 1, serving
+/// distinct base problems cannot accumulate chunk pools.
+#[test]
+fn warm_pool_capacity_bounds_the_registry() {
+    let cfg = config(4, 2, 0);
+    let engine = Engine::builder()
+        .sequential()
+        .warm_pool_capacity(1)
+        .synthesis_defaults(cfg)
+        .build()
+        .expect("engine");
+    for nodes in [4usize, 5, 6] {
+        engine
+            .synthesize(SynthesisRequest::new(
+                &builders::ring(nodes, 1),
+                Collective::Allgather,
+            ))
+            .expect("request");
+    }
+    // Eviction is amortized with 10% slack (at least 1), mirroring the
+    // on-disk cache: the store may sit at capacity + slack between passes.
+    assert!(
+        engine.warm_pool_len() <= 2,
+        "LRU eviction must keep the registry within capacity plus slack, had {}",
+        engine.warm_pool_len()
+    );
+}
+
 /// Build a connected topology from a chain backbone over `n` nodes plus a
 /// set of arbitrary extra directed links.
 fn random_topology(n: usize, extra: &[(usize, usize)]) -> Topology {
@@ -190,5 +275,15 @@ proptest! {
             topo.name(),
             extra
         );
+        // Spell the canonical-decode guarantee out beyond same_frontier:
+        // the algorithms are byte-identical, not merely equal in cost.
+        // (Unlike the named-topology suites above, cold_fallbacks is NOT
+        // pinned to zero here: on adversarial random instances the
+        // adaptive conflict budget may legitimately hand a pathological
+        // warm probe to the cold solver, and the frontier stays canonical
+        // either way — that safety valve must not read as a failure.)
+        for (a, b) in warm.report.entries.iter().zip(&cold.entries) {
+            prop_assert_eq!(&a.algorithm, &b.algorithm);
+        }
     }
 }

@@ -113,6 +113,20 @@ impl Limits {
         self
     }
 
+    /// The budget left after part of it was spent: a limit set derived from
+    /// `self` with `elapsed` wall clock and `conflicts` deducted
+    /// (saturating at zero — a zero remainder means the very next budget
+    /// check fires). Lets a caller split one nominal budget across several
+    /// solver calls, e.g. a solve followed by decode probes, without each
+    /// call receiving a fresh grant.
+    pub fn minus_consumed(&self, elapsed: Duration, conflicts: u64) -> Limits {
+        Limits {
+            max_conflicts: self.max_conflicts.map(|c| c.saturating_sub(conflicts)),
+            max_time: self.max_time.map(|t| t.saturating_sub(elapsed)),
+            stop: self.stop.clone(),
+        }
+    }
+
     /// `true` once the attached stop flag (if any) has been raised.
     pub fn stop_requested(&self) -> bool {
         self.stop
@@ -298,6 +312,13 @@ impl Solver {
     /// Search statistics.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// The configuration the solver was built with. Incremental callers use
+    /// this to check capabilities before issuing assumption probes
+    /// (`solve_under_assumptions` requires clause learning).
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// `false` once unsatisfiability has been established at level 0.
@@ -594,49 +615,71 @@ impl Solver {
         }
     }
 
-    /// How many literals `propagate` processes between polls of the
-    /// cooperative stop flag. Large retained clause databases make a single
-    /// propagation pass arbitrarily long, so waiting for the restart loop's
-    /// budget check alone would delay cancellation; polling every few
-    /// thousand literals keeps the atomic load off the hot path while still
-    /// bounding the response time.
+    /// How many watcher / pseudo-Boolean-occurrence *visits* `propagate`
+    /// performs between polls of the cooperative stop flag. Polling per
+    /// trail literal is not enough: one literal with a very long watcher or
+    /// PB-occurrence list is traversed in full before the next poll, so a
+    /// dense formula could delay cancellation arbitrarily. Counting visits
+    /// bounds the poll latency by work actually done, while keeping the
+    /// atomic load off the hot path.
     const STOP_POLL_INTERVAL: u32 = 2048;
 
     fn propagate(&mut self, limits: &Limits) -> Option<Conflict> {
-        let mut since_stop_poll: u32 = 0;
+        let mut visits: u32 = 0;
+        let mut stopped = false;
         while self.qhead < self.trail.len() {
-            since_stop_poll += 1;
-            if since_stop_poll >= Self::STOP_POLL_INTERVAL {
-                since_stop_poll = 0;
-                // The flag is sticky (only ever raised), so cutting the pass
-                // short here is safe: the restart loop's budget check sees
-                // the same value and aborts before any decision is made on
-                // the partially propagated trail.
-                if limits.stop_requested() {
-                    return None;
-                }
-            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
 
-            if let Some(conflict) = self.propagate_clauses(p) {
+            if let Some(conflict) = self.propagate_clauses(p, limits, &mut visits, &mut stopped) {
                 return Some(conflict);
             }
-            if let Some(conflict) = self.propagate_pb(p) {
-                return Some(conflict);
+            if !stopped {
+                if let Some(conflict) = self.propagate_pb(p, limits, &mut visits, &mut stopped) {
+                    return Some(conflict);
+                }
+            }
+            if stopped {
+                // The flag is sticky (only ever raised), so cutting the pass
+                // short here is safe: the restart loop's budget check sees
+                // the same value and aborts before any decision is made on
+                // the partially propagated trail. Rewind the queue head so
+                // that, should the solver be reused after the aborted call,
+                // `p` is re-processed from scratch — both the watcher scan
+                // and the PB occurrence scan are idempotent, and skipping
+                // the tail of either would lose forced propagations.
+                self.qhead -= 1;
+                return None;
             }
         }
         None
     }
 
     /// Process clause watchers of the newly true literal `p`.
-    fn propagate_clauses(&mut self, p: Lit) -> Option<Conflict> {
+    fn propagate_clauses(
+        &mut self,
+        p: Lit,
+        limits: &Limits,
+        visits: &mut u32,
+        stopped: &mut bool,
+    ) -> Option<Conflict> {
         let watchers = std::mem::take(&mut self.watches[p.code()]);
         let mut keep: Vec<Watcher> = Vec::with_capacity(watchers.len());
         let mut conflict = None;
         let mut idx = 0;
         while idx < watchers.len() {
+            *visits += 1;
+            if *visits >= Self::STOP_POLL_INTERVAL {
+                *visits = 0;
+                if limits.stop_requested() {
+                    // Abort mid-list: retain every unprocessed watcher so the
+                    // list stays complete for the re-scan.
+                    *stopped = true;
+                    keep.extend_from_slice(&watchers[idx..]);
+                    break;
+                }
+            }
             let w = watchers[idx];
             idx += 1;
             if self.value(w.blocker).is_true() {
@@ -702,9 +745,26 @@ impl Solver {
 
     /// Update slack counters of PB constraints containing the newly true
     /// literal `p`; detect conflicts and propagate forced literals.
-    fn propagate_pb(&mut self, p: Lit) -> Option<Conflict> {
+    fn propagate_pb(
+        &mut self,
+        p: Lit,
+        limits: &Limits,
+        visits: &mut u32,
+        stopped: &mut bool,
+    ) -> Option<Conflict> {
         let n_occ = self.pb_occ[p.code()].len();
         for occ_idx in 0..n_occ {
+            *visits += 1;
+            if *visits >= Self::STOP_POLL_INTERVAL {
+                *visits = 0;
+                if limits.stop_requested() {
+                    // Safe to abort mid-scan: the caller rewinds the queue
+                    // head, so the whole occurrence list is re-visited if the
+                    // solver is used again (the scan is idempotent).
+                    *stopped = true;
+                    return None;
+                }
+            }
             let (ci, _coef) = self.pb_occ[p.code()][occ_idx];
             let ci = ci as usize;
             let (sum_true, bound, max_coef) = {
@@ -928,15 +988,21 @@ impl Solver {
         self.unchecked_enqueue(lit, Reason::None);
     }
 
+    /// Deterministic model completion: variables the search never had to
+    /// assign (none in practice, since the search branches until every
+    /// variable has a value, but kept total for safety) take the configured
+    /// default polarity rather than their saved phase. Saved phases depend
+    /// on the search history, so completing from them would make the model
+    /// of one formula differ between a cold and a warm solver; the fixed
+    /// polarity rule keeps decode-from-model reproducible.
     fn extract_model(&self) -> Model {
         let values: Vec<bool> = self
             .assigns
             .iter()
-            .enumerate()
-            .map(|(i, v)| match v {
+            .map(|v| match v {
                 LBool::True => true,
                 LBool::False => false,
-                LBool::Undef => self.polarity[i],
+                LBool::Undef => self.config.default_polarity,
             })
             .collect();
         Model::new(values)
