@@ -1,9 +1,10 @@
 //! Benchmarks for the synthesis engine: the cold-vs-warm incremental
 //! solver comparison (written to `BENCH_solver.json` so the perf
-//! trajectory is tracked across PRs), the work-queue parallel Pareto
-//! search against the sequential Algorithm 1 loop on a multi-collective
-//! DGX-1 manifest, and the persistent cache's warm-path latency — all
-//! driven through `Engine`'s one request path.
+//! trajectory is tracked across PRs), the many-client daemon load bench
+//! (folded into the same file under `daemon`), the work-queue parallel
+//! Pareto search against the sequential Algorithm 1 loop on a
+//! multi-collective DGX-1 manifest, and the persistent cache's warm-path
+//! latency — all driven through `Engine`'s one request path.
 //!
 //! On a multi-core host the parallel driver's wall clock approaches the
 //! longest dependent chain of solver calls instead of their sum; on a
@@ -20,6 +21,7 @@ use sccl_core::pareto::{
     ParetoMerge, SynthesisConfig, SynthesisReport,
 };
 use sccl_sched::{parse_manifest, Engine, Provenance, SolveMode, SynthesisRequest};
+use sccl_serve::{Daemon, ServeClient, ServeConfig, Server, WireResponse, WireSynthesize};
 use sccl_solver::Limits;
 use sccl_topology::{builders, Topology};
 use std::time::{Duration, Instant};
@@ -332,6 +334,234 @@ fn bench_incremental_solver(_c: &mut Criterion) {
     }
 }
 
+/// Many-client load through the daemon: a cold pass solves a mixed
+/// 5-collective workload over the wire, then 8 concurrent clients replay
+/// it against the hot tier. Every daemon answer is checked byte-for-byte
+/// (modulo per-entry wall clock) against a direct `Engine::synthesize`
+/// with the same configuration, and the throughput/hit-rate numbers are
+/// folded into `BENCH_solver.json` next to the solver rows.
+fn bench_daemon_load(_c: &mut Criterion) {
+    #[derive(serde::Serialize)]
+    struct DaemonLoadBench {
+        bench: String,
+        unit_note: String,
+        problems: u64,
+        clients: u64,
+        cold_requests: u64,
+        hot_requests: u64,
+        cold_wall_ms: f64,
+        hot_wall_ms: f64,
+        cold_requests_per_sec: f64,
+        hot_requests_per_sec: f64,
+        hit_rate: f64,
+        hot_hits: u64,
+        solved: u64,
+        rejections: u64,
+        served_p50_micros: u64,
+        served_p99_micros: u64,
+    }
+
+    // Reports carry per-entry wall-clock (`synthesis_time`); identity
+    // between two solves means identical bytes once that is zeroed.
+    fn timeless_json(report: &SynthesisReport) -> String {
+        let mut report = report.clone();
+        for entry in &mut report.entries {
+            entry.synthesis_time = Duration::ZERO;
+        }
+        serde_json::to_string(&report).expect("report json")
+    }
+
+    let config = SynthesisConfig {
+        k: 1,
+        max_steps: 6,
+        max_chunks: 4,
+        ..Default::default()
+    };
+    let collectives = [
+        "allgather",
+        "broadcast",
+        "reduce",
+        "allreduce",
+        "reducescatter",
+    ];
+    let topologies = ["ring:4", "chain:4"];
+    let problems: Vec<(String, String)> = topologies
+        .iter()
+        .flat_map(|t| collectives.iter().map(|c| (t.to_string(), c.to_string())))
+        .collect();
+
+    let engine = |mode| {
+        Engine::builder()
+            .mode(mode)
+            .synthesis_defaults(config.clone())
+            .build()
+            .expect("a cacheless engine builds infallibly")
+    };
+    let server = Server::start(
+        engine(SolveMode::Sequential),
+        ServeConfig {
+            workers: 4,
+            per_client_inflight: 8,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let socket =
+        std::env::temp_dir().join(format!("sccl-bench-daemon-{}.sock", std::process::id()));
+    let daemon = Daemon::bind(&socket, server).expect("bind");
+    let path = daemon.socket_path().to_path_buf();
+
+    // Cold pass: one client walks the whole mix over the wire, in the
+    // same order the reference engine will use, so the two solve streams
+    // are step-for-step comparable.
+    let mut cold_answers = Vec::new();
+    let cold_start = Instant::now();
+    {
+        let mut client = ServeClient::connect(&path).expect("connect");
+        for (topology, collective) in &problems {
+            let response = client
+                .synthesize(WireSynthesize::new(topology, collective).with_client("cold"))
+                .expect("cold roundtrip");
+            let WireResponse::Report {
+                report, provenance, ..
+            } = response
+            else {
+                panic!("cold {topology} {collective} failed: {response:?}");
+            };
+            assert!(
+                provenance.starts_with("solved"),
+                "cold pass must solve, served {provenance}"
+            );
+            cold_answers.push(serde_json::to_string(&report).expect("report json"));
+        }
+    }
+    let cold_wall = cold_start.elapsed();
+
+    // Byte-identity against the direct engine path (same mode, same
+    // defaults, same request order — the daemon adds no nondeterminism).
+    let direct = engine(SolveMode::Sequential);
+    for ((topology, collective), daemon_json) in problems.iter().zip(&cold_answers) {
+        let topology = builders::parse_spec(topology).expect("bench topology");
+        let collective = Collective::parse_spec(collective, 0).expect("bench collective");
+        let response = direct
+            .synthesize(SynthesisRequest::new(&topology, collective))
+            .expect("direct synthesize");
+        let daemon_report: SynthesisReport =
+            serde_json::from_str(daemon_json).expect("daemon report decodes");
+        assert_eq!(
+            timeless_json(&daemon_report),
+            timeless_json(&response.report),
+            "daemon answer diverged from Engine::synthesize on {} {}",
+            response.report.topology_name,
+            response.report.collective,
+        );
+    }
+
+    // Hot pass: 8 concurrent clients replay the mix twice each; every
+    // answer must come from the hot tier and carry the cold pass's exact
+    // bytes (tier hits re-serve the stored report verbatim).
+    const CLIENTS: usize = 8;
+    const PASSES: usize = 2;
+    let hot_start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let path = path.clone();
+            let problems = problems.clone();
+            let cold_answers = cold_answers.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&path).expect("connect");
+                for _ in 0..PASSES {
+                    for ((topology, collective), expected) in problems.iter().zip(&cold_answers) {
+                        let response = client
+                            .synthesize(
+                                WireSynthesize::new(topology, collective)
+                                    .with_client(format!("client-{i}")),
+                            )
+                            .expect("hot roundtrip");
+                        let WireResponse::Report {
+                            report, provenance, ..
+                        } = response
+                        else {
+                            panic!("hot {topology} {collective} failed: {response:?}");
+                        };
+                        assert_eq!(provenance, "hot", "replay must hit the hot tier");
+                        assert_eq!(
+                            &serde_json::to_string(&report).expect("report json"),
+                            expected,
+                            "hot tier must re-serve the solved bytes verbatim"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let hot_wall = hot_start.elapsed();
+
+    let snapshot = daemon.server().snapshot();
+    daemon.shutdown();
+    let cold_requests = problems.len() as u64;
+    let hot_requests = (CLIENTS * PASSES * problems.len()) as u64;
+    assert_eq!(snapshot.cache.solved, cold_requests);
+    assert_eq!(snapshot.cache.hot_hits, hot_requests);
+    let rejections = snapshot.rejections.queue_full
+        + snapshot.rejections.client_quota
+        + snapshot.rejections.memory_budget
+        + snapshot.rejections.shutdown;
+    assert_eq!(rejections, 0, "an idle-queue replay must admit everything");
+    let row = DaemonLoadBench {
+        bench: "serve/daemon-load".to_string(),
+        unit_note: "NDJSON over a Unix socket; cold = one client solving the 10-problem mix, \
+                    hot = 8 concurrent clients replaying it twice against the hot tier; \
+                    answers byte-identical to direct Engine::synthesize (modulo per-entry \
+                    wall clock)"
+            .to_string(),
+        problems: problems.len() as u64,
+        clients: CLIENTS as u64,
+        cold_requests,
+        hot_requests,
+        cold_wall_ms: cold_wall.as_secs_f64() * 1e3,
+        hot_wall_ms: hot_wall.as_secs_f64() * 1e3,
+        cold_requests_per_sec: cold_requests as f64 / cold_wall.as_secs_f64().max(1e-9),
+        hot_requests_per_sec: hot_requests as f64 / hot_wall.as_secs_f64().max(1e-9),
+        hit_rate: snapshot.cache.hit_rate,
+        hot_hits: snapshot.cache.hot_hits,
+        solved: snapshot.cache.solved,
+        rejections,
+        served_p50_micros: snapshot.latency_micros.total.p50_micros,
+        served_p99_micros: snapshot.latency_micros.total.p99_micros,
+    };
+    println!(
+        "bench serve/daemon-load: cold {cold_requests} reqs in {cold_wall:?} \
+         ({:.1}/s), hot {hot_requests} reqs from {CLIENTS} clients in {hot_wall:?} \
+         ({:.1}/s), hit rate {:.3}",
+        row.cold_requests_per_sec, row.hot_requests_per_sec, row.hit_rate
+    );
+
+    // Fold the daemon row into BENCH_solver.json next to the solver rows
+    // (the incremental bench writes the file earlier in this harness; a
+    // filtered run starts a fresh document).
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_solver.json");
+    let mut doc = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde::Content>(&text).ok())
+        .and_then(|content| match content {
+            serde::Content::Map(fields) => Some(fields),
+            _ => None,
+        })
+        .unwrap_or_default();
+    doc.retain(|(key, _)| key != "daemon");
+    doc.push(("daemon".to_string(), serde::to_content(&row)));
+    let json =
+        serde_json::to_string_pretty(&serde::Content::Map(doc)).expect("bench report serializes");
+    std::fs::write(&out, json).expect("write BENCH_solver.json");
+    println!("bench serve/daemon-load -> {}", out.display());
+}
+
 fn bench_batch_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched/dgx1-manifest");
     group.sample_size(10);
@@ -422,6 +652,7 @@ fn bench_cache_paths(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_incremental_solver,
+    bench_daemon_load,
     bench_batch_modes,
     bench_cache_paths
 );

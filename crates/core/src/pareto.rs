@@ -933,6 +933,21 @@ impl ChunkPool {
         self.memo.len()
     }
 
+    /// Size of the pool's incremental encoder in solver cells — variables
+    /// plus clauses, the quantities that dominate a retained pool's memory.
+    /// Zero until the first warm probe builds the encoder (memo-only pools
+    /// are nearly free). A bounded pool store weights its eviction by this,
+    /// so its capacity bounds actual solver memory rather than pool count.
+    pub fn encoder_cells(&self) -> usize {
+        match &self.encoder {
+            Some(encoder) => {
+                let stats = encoder.encoding_stats();
+                stats.num_vars + stats.num_clauses
+            }
+            None => 0,
+        }
+    }
+
     /// Cumulative accounting since the pool was created (see
     /// [`IncrementalStats::delta_since`] for per-candidate or per-request
     /// figures).

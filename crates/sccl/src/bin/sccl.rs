@@ -12,6 +12,7 @@
 //! cargo run --release --bin sccl -- codegen --topology ring:4 --collective allgather --chunks 1 --steps 3 --rounds 3
 //! cargo run --release --bin sccl -- batch --manifest jobs.txt --threads 8 --cache .sccl-cache
 //! cargo run --release --bin sccl -- warmup --manifest jobs.txt
+//! cargo run --release --bin sccl -- serve --socket /tmp/sccl.sock --cache .sccl-cache
 //! ```
 //!
 //! Each subcommand's flags are described by a declarative spec table
@@ -19,6 +20,7 @@
 //! usage text are all derived from it.
 
 use sccl::prelude::*;
+use sccl::{Daemon, ServeConfig, Server};
 use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
 use sccl_core::pareto::TerminationReason;
@@ -113,6 +115,36 @@ const ENGINE_FLAGS: &[FlagSpec] = &[
     switch("sequential", "solve with the sequential loop"),
 ];
 
+/// Daemon admission control and socket placement (`sccl serve`).
+const SERVE_FLAGS: &[FlagSpec] = &[
+    val(
+        "socket",
+        "PATH",
+        "Unix socket to listen on (default .sccl-serve.sock)",
+    ),
+    val("queue", "N", "bounded request queue capacity (default 64)"),
+    val(
+        "per-client",
+        "N",
+        "per-client in-flight request quota (default 4)",
+    ),
+    val(
+        "memory-budget",
+        "CELLS",
+        "cap on estimated solver memory of admitted jobs, encoder cells",
+    ),
+    val(
+        "hot",
+        "N",
+        "hot-tier capacity in cached frontiers, 0 disables (default 256)",
+    ),
+    val(
+        "workers",
+        "N",
+        "serving worker threads, 0 = one per core (default 0)",
+    ),
+];
+
 /// One subcommand: its flag groups and usage line.
 struct CommandSpec {
     name: &'static str,
@@ -180,6 +212,19 @@ const COMMANDS: &[CommandSpec] = &[
             )],
             SEARCH_FLAGS,
             ENGINE_FLAGS,
+        ],
+    },
+    CommandSpec {
+        name: "serve",
+        summary: "serve synthesis requests over a Unix socket (NDJSON protocol)",
+        flags: &[
+            SERVE_FLAGS,
+            SEARCH_FLAGS,
+            ENGINE_FLAGS,
+            &[switch(
+                "parallel",
+                "solve with the work-queue parallel scheduler",
+            )],
         ],
     },
 ];
@@ -367,6 +412,7 @@ fn build_engine(
     flags: &HashMap<String, String>,
     default_mode: SolveMode,
     default_cache: Option<&str>,
+    defaults: Option<SynthesisConfig>,
 ) -> Result<Engine, Error> {
     let mode = match (
         flags.contains_key("sequential"),
@@ -382,9 +428,17 @@ fn build_engine(
         (false, true) => SolveMode::Parallel,
         (false, false) => default_mode,
     };
-    let mut builder = Engine::builder()
-        .threads(get_usize(flags, "threads", 0)?)
-        .mode(mode);
+    // The CLI keeps `--threads 0` meaning "one per core" (its documented
+    // default); the builder reserves an explicit 0 as a config error, so
+    // auto-sizing is expressed by not calling threads() at all.
+    let mut builder = Engine::builder().mode(mode);
+    if let Some(config) = defaults {
+        builder = builder.synthesis_defaults(config);
+    }
+    let threads = get_usize(flags, "threads", 0)?;
+    if threads > 0 {
+        builder = builder.threads(threads);
+    }
     if let Some(dir) = flags.get("cache").map(String::as_str).or(default_cache) {
         builder = builder.cache_dir(dir);
     }
@@ -432,6 +486,7 @@ fn run_command(command: &CommandSpec, args: &[String]) -> Result<ExitCode, Error
         }
         "batch" => cmd_batch(&flags, false),
         "warmup" => cmd_batch(&flags, true),
+        "serve" => cmd_serve(&flags),
         _ => unreachable!("dispatch covers every entry of COMMANDS"),
     }
 }
@@ -566,7 +621,7 @@ fn cmd_pareto(
     let config = synthesis_config(flags, 120)?;
     // Single-shot requests default to the sequential loop (historic CLI
     // behavior); --parallel opts into the work-queue scheduler.
-    let engine = build_engine(flags, SolveMode::Sequential, None)?;
+    let engine = build_engine(flags, SolveMode::Sequential, None, None)?;
     let response =
         engine.synthesize(SynthesisRequest::new(topology, collective).with_config(config))?;
     if flags.contains_key("json") {
@@ -641,7 +696,7 @@ fn cmd_batch(flags: &HashMap<String, String>, warmup: bool) -> Result<ExitCode, 
     // `warmup` is batch whose whole point is the cache: default the
     // directory rather than requiring the flag.
     let default_cache = warmup.then_some(".sccl-cache");
-    let engine = build_engine(flags, SolveMode::Parallel, default_cache)?;
+    let engine = build_engine(flags, SolveMode::Parallel, default_cache, None)?;
     let report = engine.run_batch(&jobs, Some(&config));
     print_batch_report(&report, &engine, warmup);
     if report.failures() > 0 {
@@ -649,6 +704,33 @@ fn cmd_batch(flags: &HashMap<String, String>, warmup: bool) -> Result<ExitCode, 
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, Error> {
+    // The search flags become the daemon's synthesis defaults; each wire
+    // request may override max-steps/max-chunks/k per call.
+    let config = synthesis_config(flags, 120)?;
+    let engine = build_engine(flags, SolveMode::Parallel, None, Some(config))?;
+    let defaults = ServeConfig::default();
+    let serve_config = ServeConfig {
+        queue_capacity: get_usize(flags, "queue", defaults.queue_capacity)?,
+        workers: get_usize(flags, "workers", defaults.workers)?,
+        per_client_inflight: get_usize(flags, "per-client", defaults.per_client_inflight)?,
+        memory_budget_cells: get_usize(flags, "memory-budget", defaults.memory_budget_cells)?,
+        hot_capacity: get_usize(flags, "hot", defaults.hot_capacity)?,
+    };
+    let socket = flags
+        .get("socket")
+        .map(String::as_str)
+        .unwrap_or(".sccl-serve.sock");
+    let server = Server::start(engine, serve_config)?;
+    let daemon = Daemon::bind(socket, server)?;
+    println!("sccl-serve: listening on {socket}");
+    // Blocks until a `shutdown` wire verb arrives; drains admitted jobs
+    // and removes the socket file before returning.
+    daemon.wait();
+    println!("sccl-serve: stopped");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn mode_label(mode: SolveMode) -> &'static str {

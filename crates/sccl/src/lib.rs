@@ -23,6 +23,8 @@
 //! * [`baselines`] — NCCL/RCCL-style ring algorithms.
 //! * [`sched`] — the [`Engine`], parallel work-queue search, persistent
 //!   cache, batch manifests.
+//! * [`serve`] — the daemon serving layer: bounded queue, admission
+//!   control, hot cache tier, metrics, Unix-socket wire protocol.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use sccl_core as core;
 pub use sccl_program as program;
 pub use sccl_runtime as runtime;
 pub use sccl_sched as sched;
+pub use sccl_serve as serve;
 pub use sccl_solver as solver;
 pub use sccl_topology as topology;
 
@@ -62,6 +65,7 @@ pub use sccl_sched::{
     Engine, EngineBuilder, Error, LibraryRequest, LibraryResponse, LoweredAlgorithm, Provenance,
     ResponseTimings, SolveMode, SynthesisRequest, SynthesisResponse,
 };
+pub use sccl_serve::{Daemon, ServeClient, ServeConfig, Server};
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {

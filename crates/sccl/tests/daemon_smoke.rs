@@ -1,0 +1,139 @@
+//! Smoke test of the real `sccl serve` binary: launch the daemon on a
+//! Unix socket, drive it with concurrent clients through the NDJSON
+//! protocol, check the metrics verb reports a nonzero cache hit rate,
+//! and stop it with the shutdown verb. CI runs this as its serving
+//! integration job.
+
+use sccl::serve::{ServeClient, WireResponse, WireSynthesize};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn socket_path() -> PathBuf {
+    std::env::temp_dir().join(format!("sccl-smoke-{}.sock", std::process::id()))
+}
+
+/// The daemon prints its listening line after binding; readiness is the
+/// socket accepting a connection, not just the file existing.
+fn await_ready(path: &Path) -> ServeClient {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(client) = ServeClient::connect(path) {
+            return client;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not open {} within 30s",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn metrics_field(snapshot: &serde::Content, path: &[&str]) -> f64 {
+    let mut current = snapshot;
+    for key in path {
+        let serde::Content::Map(fields) = current else {
+            panic!("expected a map at {key}, got {current:?}");
+        };
+        current = &fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("metrics missing field {key}"))
+            .1;
+    }
+    match current {
+        serde::Content::U64(v) => *v as f64,
+        serde::Content::I64(v) => *v as f64,
+        serde::Content::F64(v) => *v,
+        other => panic!("expected a number at {path:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn serve_subcommand_serves_concurrent_clients() {
+    let socket = socket_path();
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_sccl"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().expect("utf-8 temp path"),
+            "--sequential",
+            "--max-steps",
+            "6",
+            "--max-chunks",
+            "4",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sccl serve");
+
+    // Everything below must release the daemon even on assertion failure;
+    // a wrapper thread would hide the panic message, so kill on drop.
+    struct KillOnDrop<'a>(&'a mut std::process::Child);
+    impl Drop for KillOnDrop<'_> {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+        }
+    }
+    let guard = KillOnDrop(&mut daemon);
+
+    // Warm the problem once so the burst below is deterministically hot.
+    let mut client = await_ready(&socket);
+    let warmup = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_client("warmup"))
+        .expect("warmup roundtrip");
+    assert!(
+        matches!(&warmup, WireResponse::Report { provenance, .. } if provenance.starts_with("solved")),
+        "was: {warmup:?}"
+    );
+
+    // 8 concurrent clients, each its own connection, same problem: every
+    // answer must be a report served from the hot tier.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&socket).expect("connect");
+                let response = client
+                    .synthesize(
+                        WireSynthesize::new("ring:4", "allgather")
+                            .with_client(format!("smoke-{i}")),
+                    )
+                    .expect("roundtrip");
+                match response {
+                    WireResponse::Report { provenance, .. } => {
+                        assert_eq!(provenance, "hot", "client {i} missed the hot tier")
+                    }
+                    other => panic!("client {i} got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+
+    // The metrics verb must agree: one solve, eight hot hits, a nonzero
+    // cache hit rate.
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb must answer with a snapshot");
+    };
+    assert_eq!(metrics_field(&snapshot, &["cache", "solved"]), 1.0);
+    assert_eq!(metrics_field(&snapshot, &["cache", "hot_hits"]), 8.0);
+    assert!(metrics_field(&snapshot, &["cache", "hit_rate"]) > 0.8);
+
+    // Shutdown verb: acknowledged, then the process exits cleanly and
+    // removes its socket file.
+    let WireResponse::Shutdown = client.shutdown().expect("shutdown") else {
+        panic!("shutdown must be acknowledged");
+    };
+    std::mem::forget(guard);
+    let status = daemon.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+}

@@ -348,7 +348,7 @@ pub fn run_batch(
 ) -> BatchReport {
     let engine = crate::Engine::builder()
         .mode(options.mode)
-        .threads(options.parallel.num_threads)
+        .threads_or_auto(options.parallel.num_threads)
         .build()
         .expect("an engine without a cache directory builds infallibly");
     engine.run_batch_on(cache, jobs, config)

@@ -84,6 +84,16 @@ pub enum Error {
         /// What was wrong with it.
         message: String,
     },
+    /// An [`EngineBuilder`] (or serving-layer) knob was set to a value that
+    /// cannot mean anything — e.g. zero worker threads or a zero-entry
+    /// cache. Rejected at build time so the misconfiguration surfaces where
+    /// it was written, not as a hung or memoryless engine later.
+    Config {
+        /// The builder field that was invalid.
+        field: &'static str,
+        /// Why the value was rejected.
+        message: String,
+    },
     /// A follow-on stage asked for a frontier entry that does not exist
     /// (the frontier is empty, or the index is out of range).
     NoSuchEntry {
@@ -107,6 +117,7 @@ impl std::fmt::Display for Error {
             Error::Manifest(e) => write!(f, "{e}"),
             Error::Cache(e) => write!(f, "cache: {e}"),
             Error::Flag { flag, message } => write!(f, "flag --{flag}: {message}"),
+            Error::Config { field, message } => write!(f, "config {field}: {message}"),
             Error::NoSuchEntry {
                 index,
                 len,
@@ -408,7 +419,9 @@ pub struct EngineBuilder {
     cache_dir: Option<PathBuf>,
     cache_capacity: Option<usize>,
     warm_pool_capacity: usize,
-    threads: usize,
+    /// `None` = one worker per available core; an explicit count otherwise.
+    /// `Some(0)` is representable but rejected by [`EngineBuilder::build`].
+    threads: Option<usize>,
     mode: SolveMode,
     cost_model: CostModel,
     config: SynthesisConfig,
@@ -421,7 +434,7 @@ impl Default for EngineBuilder {
             cache_dir: None,
             cache_capacity: None,
             warm_pool_capacity: Engine::DEFAULT_WARM_POOL_CAPACITY,
-            threads: 0,
+            threads: None,
             mode: SolveMode::Parallel,
             cost_model: CostModel::nvlink(),
             config: SynthesisConfig::default(),
@@ -449,22 +462,38 @@ impl EngineBuilder {
         self
     }
 
-    /// Bound the engine's shared warm-pool registry to roughly `n` chunk
-    /// pools (mirroring [`EngineBuilder::cache_capacity`] for the on-disk
-    /// cache): each pool holds a full incremental solver, so the bound caps
-    /// the solver memory a long-lived engine retains across requests. Once
-    /// a check-in pushes the store 10% past the bound, least-recently-used
-    /// pools are evicted back down to `n` — the slack keeps a registry at
-    /// capacity from paying a full scan on every check-in.
+    /// Bound the engine's shared warm-pool registry to roughly `n` encoder
+    /// cells — solver variables plus clauses, summed over every retained
+    /// chunk pool (mirroring [`EngineBuilder::cache_capacity`] for the
+    /// on-disk cache). Each pool holds a full incremental solver whose size
+    /// varies by orders of magnitude with the topology, so the bound is by
+    /// *weight*, not pool count: it caps the actual solver memory a
+    /// long-lived engine retains across requests. Once a check-in pushes
+    /// the stored weight 10% past the bound, least-recently-used pools are
+    /// evicted back down to `n` cells (the newest pool always survives) —
+    /// the slack keeps a registry at capacity from paying a full scan on
+    /// every check-in.
     pub fn warm_pool_capacity(mut self, n: usize) -> Self {
         self.warm_pool_capacity = n;
         self
     }
 
-    /// Worker threads for parallel solves (`0` = one per available core).
+    /// Worker threads for parallel solves. Not calling this (the default)
+    /// means one worker per available core; an explicit `0` is rejected by
+    /// [`EngineBuilder::build`] with [`Error::Config`].
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = Some(threads);
         self
+    }
+
+    /// Legacy [`ParallelConfig`] thread semantics for the deprecated free
+    /// functions: `0` means auto (the builder's default), not an error.
+    pub(crate) fn threads_or_auto(self, threads: usize) -> Self {
+        if threads == 0 {
+            self
+        } else {
+            self.threads(threads)
+        }
     }
 
     /// Default solve mode for requests that don't specify one.
@@ -499,7 +528,36 @@ impl EngineBuilder {
     }
 
     /// Build the engine, opening the cache directory if one was configured.
+    ///
+    /// Nonsense knob values are rejected with [`Error::Config`] rather than
+    /// silently reinterpreted: an explicit `threads(0)` (a pool that could
+    /// never solve anything), `cache_capacity(0)` (a cache evicted on every
+    /// store) or `warm_pool_capacity(0)` (a registry that retains nothing).
     pub fn build(self) -> Result<Engine, Error> {
+        if self.threads == Some(0) {
+            return Err(Error::Config {
+                field: "threads",
+                message: "0 worker threads cannot solve anything; omit threads() \
+                          for one worker per core"
+                    .to_string(),
+            });
+        }
+        if self.cache_capacity == Some(0) {
+            return Err(Error::Config {
+                field: "cache_capacity",
+                message: "a 0-entry cache evicts every store; omit cache_capacity() \
+                          for an unbounded cache"
+                    .to_string(),
+            });
+        }
+        if self.warm_pool_capacity == 0 {
+            return Err(Error::Config {
+                field: "warm_pool_capacity",
+                message: "a 0-cell registry retains no warm state; omit \
+                          warm_pool_capacity() for the default bound"
+                    .to_string(),
+            });
+        }
         let cache = match self.cache_dir {
             Some(dir) => Some(AlgorithmCache::open(dir)?),
             None => None,
@@ -507,7 +565,7 @@ impl EngineBuilder {
         Ok(Engine {
             cache,
             cache_capacity: self.cache_capacity,
-            parallel: ParallelConfig::with_threads(self.threads),
+            parallel: ParallelConfig::with_threads(self.threads.unwrap_or(0)),
             mode: self.mode,
             cost_model: self.cost_model,
             defaults: self.config,
@@ -556,12 +614,15 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Default bound on chunk pools retained across requests (LRU eviction
-    /// beyond it; see [`EngineBuilder::warm_pool_capacity`]). Each pool
-    /// holds one incremental solver, so the bound keeps a long-lived
-    /// engine's memory proportional to its working set of base problems
-    /// rather than to its lifetime.
-    pub const DEFAULT_WARM_POOL_CAPACITY: usize = 256;
+    /// Default bound on the warm-pool registry, in encoder cells — solver
+    /// variables plus clauses summed over every retained chunk pool (LRU
+    /// eviction beyond it; see [`EngineBuilder::warm_pool_capacity`]).
+    /// Weighting by encoder size (instead of the historic pool count) keeps
+    /// a long-lived engine's *memory* proportional to its working set of
+    /// base problems: 16 Mi cells holds a few hundred small-ring pools or a
+    /// few dozen dgx1-class ones, where a flat pool count would differ by
+    /// orders of magnitude between those mixes.
+    pub const DEFAULT_WARM_POOL_CAPACITY: usize = 16 << 20;
 
     /// Start configuring an engine.
     pub fn builder() -> EngineBuilder {
@@ -578,10 +639,16 @@ impl Engine {
         self.cache.as_ref().map(|c| c.stats())
     }
 
-    /// Chunk pools currently retained in the shared warm-pool registry
-    /// (bounded by [`EngineBuilder::warm_pool_capacity`]).
+    /// Chunk pools currently retained in the shared warm-pool registry.
     pub fn warm_pool_len(&self) -> usize {
         self.warm.len()
+    }
+
+    /// Encoder cells (solver variables + clauses) currently retained in
+    /// the shared warm-pool registry — the quantity
+    /// [`EngineBuilder::warm_pool_capacity`] bounds.
+    pub fn warm_pool_weight(&self) -> usize {
+        self.warm.weight()
     }
 
     /// The engine's (α, β) cost model.
@@ -843,6 +910,60 @@ mod tests {
             .expect("parallel");
         assert_eq!(par.provenance, Provenance::Solved(SolveMode::Parallel));
         assert!(par.report.same_frontier(&seq.report));
+    }
+
+    #[test]
+    fn nonsense_builder_knobs_are_config_errors() {
+        // `Engine` itself is deliberately not `Debug` (it owns live solver
+        // state), so extract build errors by hand.
+        fn build_err(builder: EngineBuilder) -> Error {
+            match builder.build() {
+                Err(e) => e,
+                Ok(_) => panic!("nonsense knob must be rejected"),
+            }
+        }
+        // An explicit zero thread count can never solve anything.
+        let err = build_err(Engine::builder().threads(0));
+        assert!(
+            matches!(
+                err,
+                Error::Config {
+                    field: "threads",
+                    ..
+                }
+            ),
+            "was: {err:?}"
+        );
+        assert!(err.to_string().contains("threads"), "was: {err}");
+        // A zero-entry cache would evict every store immediately.
+        let err = build_err(Engine::builder().cache_capacity(0));
+        assert!(
+            matches!(
+                err,
+                Error::Config {
+                    field: "cache_capacity",
+                    ..
+                }
+            ),
+            "was: {err:?}"
+        );
+        // A zero-cell warm-pool registry retains no warm state.
+        let err = build_err(Engine::builder().warm_pool_capacity(0));
+        assert!(
+            matches!(
+                err,
+                Error::Config {
+                    field: "warm_pool_capacity",
+                    ..
+                }
+            ),
+            "was: {err:?}"
+        );
+        // Config errors have no upstream cause to chain to.
+        assert!(std::error::Error::source(&err).is_none());
+        // The default (no explicit threads) still means one per core.
+        assert!(Engine::builder().build().is_ok());
+        assert!(Engine::builder().threads(1).build().is_ok());
     }
 
     #[test]

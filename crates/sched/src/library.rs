@@ -57,7 +57,7 @@ pub fn warm_library(
 ) -> Result<(CollectiveLibrary, usize), SynthesisError> {
     let engine = Engine::builder()
         .cost_model(cost_model)
-        .threads(parallel.num_threads)
+        .threads_or_auto(parallel.num_threads)
         .build()
         .expect("an engine without a cache directory builds infallibly");
     let request = LibraryRequest::new(topology, collectives)

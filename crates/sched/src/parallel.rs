@@ -150,7 +150,7 @@ pub fn pareto_synthesize_parallel(
     parallel: &ParallelConfig,
 ) -> Result<SynthesisReport, SynthesisError> {
     let engine = crate::Engine::builder()
-        .threads(parallel.num_threads)
+        .threads_or_auto(parallel.num_threads)
         .build()
         .expect("an engine without a cache directory builds infallibly");
     let request = crate::SynthesisRequest::new(topology, collective)

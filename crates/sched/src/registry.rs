@@ -18,13 +18,19 @@
 //!   second pool — both are checked in afterwards and both keep serving
 //!   future requests, so the race costs a duplicate base encoding, never
 //!   correctness;
-//! * the registry is bounded: beyond
+//! * the registry is bounded **by encoder size, not pool count**: every
+//!   check-in weighs its pool by the pool's encoder cells (solver variables
+//!   plus clauses — the quantities that dominate retained memory; see
+//!   [`ChunkPool::encoder_cells`]), and once the stored total runs past
 //!   [`EngineBuilder::warm_pool_capacity`](crate::EngineBuilder::warm_pool_capacity)
-//!   chunk pools (plus 10% slack so the bound is amortized, not a
-//!   per-check-in scan), the least-recently-used pools (by check-in tick)
-//!   are evicted back down to capacity, so a long-lived engine's solver
-//!   memory tracks its working set of base problems rather than its
-//!   lifetime.
+//!   cells (plus 10% slack so the bound is amortized, not a per-check-in
+//!   scan), the least-recently-used pools (by check-in tick) are evicted
+//!   back down to capacity. A dgx1 pool is two orders of magnitude heavier
+//!   than a 4-ring one, so counting pools would let the configured bound
+//!   mean wildly different memory footprints; counting cells makes the
+//!   capacity a bound on actual solver memory. The most recently checked-in
+//!   pool always survives, so a capacity below one pool's size degrades to
+//!   keep-newest rather than thrashing to empty.
 //!
 //! Per-request accounting goes through a [`PoolSession`]: every check-in
 //! folds the pool's stat delta into the session, which is what the engine
@@ -46,12 +52,22 @@ use std::sync::Arc;
 /// any realistic worker count, so check-out/check-in stay uncontended.
 const NUM_SHARDS: usize = 16;
 
+/// One stored pool: its check-in recency tick, its weight in encoder cells
+/// at check-in time (weights are re-measured on every check-in, so a pool
+/// that grew while checked out is re-weighed when it returns), and the pool
+/// itself.
+struct Stored {
+    tick: u64,
+    weight: usize,
+    pool: ChunkPool,
+}
+
 /// One slot per `(base-problem hash, chunk count)`; several pools can
 /// coexist in a slot when parallel workers raced on the chunk count. The
 /// key string is shared (`Arc<str>`), so the per-candidate check-out /
 /// check-in hot path never allocates.
 type Key = (Arc<str>, usize);
-type Slot = Vec<(u64, ChunkPool)>;
+type Slot = Vec<Stored>;
 
 #[derive(Default)]
 struct Shard {
@@ -62,17 +78,21 @@ struct Shard {
 /// hash and sharded by chunk count under `parking_lot` mutexes.
 pub struct WarmPoolRegistry {
     shards: Box<[Mutex<Shard>]>,
-    /// Most chunk pools retained across requests (LRU eviction beyond it).
+    /// Most encoder cells (solver variables + clauses, summed over stored
+    /// pools) retained across requests; LRU eviction beyond it.
     capacity: usize,
     /// Pools currently *stored* (checked-out pools are not counted; they
     /// return through `check_in`).
     len: AtomicUsize,
+    /// Encoder cells currently stored (same accounting as `len`).
+    weight: AtomicUsize,
     /// Monotonic recency tick, stamped on every check-in.
     tick: AtomicU64,
 }
 
 impl WarmPoolRegistry {
-    /// An empty registry bounded to `capacity` chunk pools.
+    /// An empty registry bounded to `capacity` encoder cells (solver
+    /// variables + clauses summed over every stored pool).
     pub fn new(capacity: usize) -> Self {
         WarmPoolRegistry {
             shards: (0..NUM_SHARDS)
@@ -80,6 +100,7 @@ impl WarmPoolRegistry {
                 .collect(),
             capacity: capacity.max(1),
             len: AtomicUsize::new(0),
+            weight: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
         }
     }
@@ -87,6 +108,12 @@ impl WarmPoolRegistry {
     /// Pools currently stored (approximate under concurrent check-outs).
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
+    }
+
+    /// Encoder cells currently stored across all pools (approximate under
+    /// concurrent check-outs) — the quantity the capacity bounds.
+    pub fn weight(&self) -> usize {
+        self.weight.load(Ordering::Relaxed)
     }
 
     /// `true` when no pool is stored.
@@ -116,71 +143,94 @@ impl WarmPoolRegistry {
         let best = slot
             .iter()
             .enumerate()
-            .max_by_key(|(_, (_, pool))| pool.decided())
+            .max_by_key(|(_, stored)| stored.pool.decided())
             .map(|(i, _)| i)?;
-        let (_, pool) = slot.swap_remove(best);
+        let stored = slot.swap_remove(best);
         if slot.is_empty() {
             shard.slots.remove(&(Arc::clone(key), chunks));
         }
         // Still under the shard lock: a removal outside it could race a
-        // concurrent check-in's increment and wrap the counter below zero.
+        // concurrent check-in's increment and wrap the counters below zero.
         self.len.fetch_sub(1, Ordering::Relaxed);
+        self.weight.fetch_sub(stored.weight, Ordering::Relaxed);
         drop(shard);
-        Some(pool)
+        Some(stored.pool)
     }
 
-    /// Return a pool to the registry. Eviction is amortized with 10% slack
-    /// (like the on-disk cache's prune): only once the store runs past
-    /// `capacity + slack` does one pass evict the oldest pools back down
-    /// to `capacity`, so a registry sitting at capacity does not pay a
-    /// full scan on every check-in of the hot path.
+    /// Return a pool to the registry, weighing it by its current encoder
+    /// size. Eviction is amortized with 10% slack (like the on-disk cache's
+    /// prune): only once the stored weight runs past `capacity + slack`
+    /// cells does one pass evict the oldest pools back down to `capacity`,
+    /// so a registry sitting at capacity does not pay a full scan on every
+    /// check-in of the hot path.
     fn check_in(&self, key: Arc<str>, chunks: usize, pool: ChunkPool) {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let new_len = {
+        // Weigh the pool as it returns: the encoder is built (and grows)
+        // while checked out, so check-in is the one moment its size is
+        // both current and observable without a lock on the pool. The +1
+        // keeps encoderless (memo-only) pools from being free.
+        let weight = 1 + pool.encoder_cells();
+        let new_weight = {
             let mut shard = self.shards[Self::shard_index(&key, chunks)].lock();
             shard
                 .slots
                 .entry((key, chunks))
                 .or_default()
-                .push((tick, pool));
+                .push(Stored { tick, weight, pool });
             // Counted under the shard lock, symmetric with `check_out`'s
-            // decrement, so the counter can never transiently underflow.
-            self.len.fetch_add(1, Ordering::Relaxed) + 1
+            // decrement, so the counters can never transiently underflow.
+            self.len.fetch_add(1, Ordering::Relaxed);
+            self.weight.fetch_add(weight, Ordering::Relaxed) + weight
         };
         let slack = (self.capacity / 10).max(1);
-        if new_len > self.capacity + slack {
+        if new_weight > self.capacity + slack {
             self.evict_down_to(self.capacity);
         }
     }
 
     /// Best-effort LRU eviction: snapshot every stored pool's recency tick
-    /// (scanning shards one lock at a time), then remove the oldest pools
-    /// until at most `target` remain. A pool checked out between the scan
-    /// and the removal simply survives — the capacity is a bound on
-    /// retained solver memory, not an exact invariant.
+    /// and weight (scanning shards one lock at a time), then remove the
+    /// oldest pools until the stored weight is at most `target` cells. The
+    /// most recent pool is never evicted (a capacity below one pool's size
+    /// keeps the newest instead of thrashing to empty), and a pool checked
+    /// out between the scan and the removal simply survives — the capacity
+    /// is a bound on retained solver memory, not an exact invariant.
     fn evict_down_to(&self, target: usize) {
-        let mut stored: Vec<(usize, Key, u64)> = Vec::new();
+        let mut stored: Vec<(usize, Key, u64, usize)> = Vec::new();
         for (shard_idx, shard) in self.shards.iter().enumerate() {
             let shard = shard.lock();
             for ((key, chunks), slot) in &shard.slots {
-                for (tick, _) in slot {
-                    stored.push((shard_idx, (Arc::clone(key), *chunks), *tick));
+                for entry in slot {
+                    stored.push((
+                        shard_idx,
+                        (Arc::clone(key), *chunks),
+                        entry.tick,
+                        entry.weight,
+                    ));
                 }
             }
         }
-        if stored.len() <= target {
-            return;
-        }
-        stored.sort_by_key(|&(_, _, tick)| tick);
-        for (shard_idx, key, tick) in stored.drain(..stored.len() - target) {
+        stored.sort_by_key(|&(_, _, tick, _)| tick);
+        let mut total: usize = stored.iter().map(|&(_, _, _, weight)| weight).sum();
+        let mut victims = stored.into_iter();
+        while total > target {
+            let Some((shard_idx, key, tick, weight)) = victims.next() else {
+                break;
+            };
+            // Keep the newest pool even when it alone exceeds the target.
+            if victims.len() == 0 {
+                break;
+            }
             let mut shard = self.shards[shard_idx].lock();
             if let Some(slot) = shard.slots.get_mut(&key) {
-                if let Some(pos) = slot.iter().position(|(t, _)| *t == tick) {
+                if let Some(pos) = slot.iter().position(|entry| entry.tick == tick) {
                     slot.swap_remove(pos);
                     if slot.is_empty() {
                         shard.slots.remove(&key);
                     }
                     self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.weight.fetch_sub(weight, Ordering::Relaxed);
+                    total -= weight;
                 }
             }
         }
@@ -271,9 +321,13 @@ mod tests {
         }
     }
 
+    /// A capacity comfortably above any pool this suite builds, so tests
+    /// about sharing/memoization never trip eviction.
+    const ROOMY: usize = 64 << 20;
+
     #[test]
     fn pools_survive_across_sessions_and_memoize() {
-        let registry = WarmPoolRegistry::new(8);
+        let registry = WarmPoolRegistry::new(ROOMY);
         let first = session_for(&registry, "ring4", 4);
         assert!(first.solve(&job(2, 2, 1), Limits::none()).outcome.is_sat());
         assert_eq!(first.stats().memo_hits, 0);
@@ -290,18 +344,20 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_the_registry() {
-        let registry = WarmPoolRegistry::new(2);
+    fn capacity_bounds_the_stored_weight() {
+        // A capacity of 1 cell is below any pool with a built encoder, so
+        // every check-in evicts everything but the newest pool.
+        let registry = WarmPoolRegistry::new(1);
         let session = session_for(&registry, "ring4", 4);
         for chunks in 1..=4 {
             session.solve(&job(2, 2, chunks), Limits::none());
         }
-        assert!(
-            registry.len() <= 2,
-            "LRU eviction (with its 10% slack, here 1) must bound the registry, had {}",
-            registry.len()
+        assert_eq!(
+            registry.len(),
+            1,
+            "weighted LRU eviction must keep only the newest pool under a tiny capacity"
         );
-        // The most recent chunk count survived.
+        // The most recent chunk count survived (keep-newest, not thrash).
         let warm = session_for(&registry, "ring4", 4);
         warm.solve(&job(2, 2, 4), Limits::none());
         assert_eq!(warm.stats().memo_hits, 1);
@@ -309,12 +365,84 @@ mod tests {
 
     #[test]
     fn distinct_keys_do_not_share_pools() {
-        let registry = WarmPoolRegistry::new(8);
+        let registry = WarmPoolRegistry::new(ROOMY);
         let a = session_for(&registry, "a", 4);
         a.solve(&job(2, 2, 1), Limits::none());
         let b = session_for(&registry, "b", 4);
         b.solve(&job(2, 2, 1), Limits::none());
         assert_eq!(b.stats().memo_hits, 0, "keys must isolate warm state");
         assert_eq!(registry.len(), 2);
+    }
+
+    /// Eviction order is pinned: oldest check-in first, and the *weights*
+    /// (encoder cells, not pool count) decide how many go. Three pools of
+    /// known sizes are checked in; a capacity that holds the two newest but
+    /// not all three must evict exactly the oldest.
+    #[test]
+    fn eviction_is_lru_and_weighted_by_encoder_size() {
+        let topo = builders::ring(4, 1);
+        let base = base_problem(&topo, Collective::Allgather);
+        let config = SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        };
+        // Build three pools with real encoders (solving one candidate each
+        // forces the base encoding); bigger chunk counts encode more cells.
+        let weigh = |chunks: usize| {
+            let mut pool = ChunkPool::new(&base, &config, chunks);
+            pool.solve(&job(2, 2, chunks), Limits::none());
+            (1 + pool.encoder_cells(), pool)
+        };
+        let (w1, p1) = weigh(1);
+        let (w2, p2) = weigh(2);
+        let (w3, p3) = weigh(3);
+        assert!(w2 > w1 && w3 > w2, "encoder size must grow with chunks");
+
+        // Capacity fits the two newest pools, not all three; slack (10%,
+        // min 1) is small against real encoder sizes.
+        let registry = WarmPoolRegistry::new(w2 + w3);
+        let key: Arc<str> = Arc::from("ring4");
+        registry.check_in(Arc::clone(&key), 1, p1);
+        registry.check_in(Arc::clone(&key), 2, p2);
+        assert_eq!(registry.len(), 2, "two pools fit within capacity");
+        registry.check_in(Arc::clone(&key), 3, p3);
+        assert_eq!(
+            registry.len(),
+            2,
+            "the third check-in must evict exactly one pool"
+        );
+        assert!(
+            registry.check_out(&key, 1).is_none(),
+            "the oldest pool (chunks=1) is the LRU victim"
+        );
+        assert!(registry.check_out(&key, 2).is_some());
+        assert!(registry.check_out(&key, 3).is_some());
+        assert_eq!(registry.weight(), 0, "all stored weight checked out");
+    }
+
+    /// A second check-in re-weighs the pool: growing an encoder while
+    /// checked out must grow the stored weight, not reuse the stale one.
+    #[test]
+    fn check_in_reweighs_grown_pools() {
+        let topo = builders::ring(4, 1);
+        let base = base_problem(&topo, Collective::Allgather);
+        let config = SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        };
+        let registry = WarmPoolRegistry::new(ROOMY);
+        let key: Arc<str> = Arc::from("ring4");
+        registry.check_in(Arc::clone(&key), 1, ChunkPool::new(&base, &config, 1));
+        let light = registry.weight();
+        assert_eq!(light, 1, "an encoderless pool weighs the minimum");
+        let mut pool = registry.check_out(&key, 1).expect("stored");
+        pool.solve(&job(2, 2, 1), Limits::none());
+        registry.check_in(Arc::clone(&key), 1, pool);
+        assert!(
+            registry.weight() > light,
+            "building the encoder while checked out must raise the stored weight"
+        );
     }
 }

@@ -1,0 +1,62 @@
+//! A minimal blocking client for the daemon's NDJSON socket protocol —
+//! used by the load bench, the integration tests and anyone scripting
+//! the daemon from Rust.
+
+use crate::wire::{WireRequest, WireResponse, WireSynthesize};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a running daemon. Requests are strictly
+/// request/response in order (the protocol has no pipelining), so the
+/// client is `&mut self` throughout.
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl ServeClient {
+    /// Connect to the daemon listening on `socket_path`.
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<ServeClient> {
+        let stream = UnixStream::connect(socket_path)?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read the matching response line.
+    pub fn roundtrip(&mut self, request: &WireRequest) -> io::Result<WireResponse> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without responding",
+            ));
+        }
+        serde_json::from_str(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Serve one synthesis request.
+    pub fn synthesize(&mut self, request: WireSynthesize) -> io::Result<WireResponse> {
+        self.roundtrip(&WireRequest::Synthesize(request))
+    }
+
+    /// Fetch a metrics snapshot.
+    pub fn metrics(&mut self) -> io::Result<WireResponse> {
+        self.roundtrip(&WireRequest::Metrics)
+    }
+
+    /// Ask the daemon to shut down (acknowledged before it stops
+    /// accepting).
+    pub fn shutdown(&mut self) -> io::Result<WireResponse> {
+        self.roundtrip(&WireRequest::Shutdown)
+    }
+}

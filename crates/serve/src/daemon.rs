@@ -1,0 +1,243 @@
+//! The Unix-domain-socket shell around the [`Server`]: an accept loop,
+//! one handler thread per connection, newline-delimited JSON both ways
+//! (see [`crate::wire`] for the protocol).
+//!
+//! The listener runs nonblocking with a short poll so the `shutdown`
+//! verb (or a programmatic [`Daemon::shutdown`]) can stop the accept
+//! loop without a self-connect trick; handler threads notice the same
+//! flag through rejected admissions and client disconnects.
+
+use crate::server::{ServeError, Served, Server};
+use crate::wire::{WireErrorKind, WireRequest, WireResponse};
+use sccl_core::pareto::SynthesisConfig;
+use sccl_sched::Error;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running daemon: the serving core plus its socket front end.
+pub struct Daemon {
+    server: Arc<Server>,
+    socket_path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind `socket_path` (replacing a stale socket file if one is left
+    /// from a crashed daemon) and start accepting connections against
+    /// `server`.
+    pub fn bind(socket_path: impl Into<PathBuf>, server: Arc<Server>) -> Result<Daemon, Error> {
+        let socket_path = socket_path.into();
+        if socket_path.exists() {
+            std::fs::remove_file(&socket_path).map_err(Error::Cache)?;
+        }
+        let listener = UnixListener::bind(&socket_path).map_err(Error::Cache)?;
+        listener.set_nonblocking(true).map_err(Error::Cache)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sccl-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, server, stop))
+                .map_err(Error::Cache)?
+        };
+        Ok(Daemon {
+            server,
+            socket_path,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The socket the daemon listens on.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// The serving core (for in-process metrics snapshots).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Block until the daemon stops — either a `shutdown` wire verb or a
+    /// concurrent [`Daemon::shutdown`]. Drains admitted jobs before
+    /// returning.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.server.shutdown();
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+
+    /// Stop accepting, drain admitted jobs and remove the socket file.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.server.shutdown();
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+fn accept_loop(listener: UnixListener, server: Arc<Server>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                // The listener polls nonblocking; its connections must
+                // not (handlers do blocking line reads).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                // Handler threads are detached: they exit when their
+                // client disconnects (or asked for shutdown), and the
+                // server core they talk to outlives them via the Arc.
+                let _ = std::thread::Builder::new()
+                    .name("sccl-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &server, &stop);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one connection: read request lines, write response lines, in
+/// order, until EOF or a `shutdown` verb.
+fn handle_connection(
+    stream: UnixStream,
+    server: &Arc<Server>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        server.metrics().request();
+        let response = match serde_json::from_str::<WireRequest>(&line) {
+            Err(e) => {
+                server.metrics().bad_request();
+                WireResponse::Error {
+                    kind: WireErrorKind::BadRequest,
+                    error: e.to_string(),
+                }
+            }
+            Ok(WireRequest::Metrics) => {
+                server.metrics().metrics_request();
+                WireResponse::Metrics(serde::to_content(&server.snapshot()))
+            }
+            Ok(WireRequest::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                write_line(&mut writer, &WireResponse::Shutdown)?;
+                return Ok(());
+            }
+            Ok(WireRequest::Synthesize(synthesize)) => serve_synthesize(server, synthesize),
+        };
+        write_line(&mut writer, &response)?;
+    }
+    Ok(())
+}
+
+fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) -> WireResponse {
+    let topology = match request.parse_topology() {
+        Ok(t) => t,
+        Err(error) => {
+            server.metrics().bad_request();
+            return WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                error,
+            };
+        }
+    };
+    let collective = match request.parse_collective() {
+        Ok(c) => c,
+        Err(error) => {
+            server.metrics().bad_request();
+            return WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                error,
+            };
+        }
+    };
+    // Fold the wire's overrides onto the engine's defaults; the result is
+    // the exact config the cache key and solve use, so a daemon answer is
+    // interchangeable with an in-process `Engine::synthesize` using the
+    // same folded config.
+    let mut config: SynthesisConfig = server.engine().defaults().clone();
+    if let Some(max_steps) = request.max_steps {
+        config.max_steps = max_steps;
+    }
+    if let Some(max_chunks) = request.max_chunks {
+        config.max_chunks = max_chunks;
+    }
+    if let Some(k) = request.k {
+        config.k = k;
+    }
+    match server.submit(topology, collective, config, request.mode, &request.client) {
+        Err(reject) => WireResponse::Error {
+            kind: reject_kind(&reject),
+            error: reject.to_string(),
+        },
+        Ok(ticket) => match ticket.wait() {
+            Ok(served) => report_response(served),
+            Err(error) => WireResponse::Error {
+                kind: WireErrorKind::Synthesis,
+                error: error.to_string(),
+            },
+        },
+    }
+}
+
+fn reject_kind(reject: &ServeError) -> WireErrorKind {
+    match reject {
+        ServeError::QueueFull { .. } => WireErrorKind::QueueFull,
+        ServeError::ClientQuota { .. } => WireErrorKind::ClientQuota,
+        ServeError::MemoryBudget { .. } => WireErrorKind::MemoryBudget,
+        ServeError::ShuttingDown => WireErrorKind::Shutdown,
+    }
+}
+
+fn report_response(served: Served) -> WireResponse {
+    WireResponse::Report {
+        provenance: match served.from {
+            crate::server::ServedFrom::HotTier => "hot".to_string(),
+            crate::server::ServedFrom::DiskCache => "cache".to_string(),
+            crate::server::ServedFrom::Solved(mode) => match mode {
+                sccl_sched::SolveMode::Sequential => "solved:sequential".to_string(),
+                sccl_sched::SolveMode::Parallel => "solved:parallel".to_string(),
+            },
+        },
+        timings: served.timings,
+        report: serde::to_content(served.report.as_ref()),
+    }
+}
+
+fn write_line(writer: &mut UnixStream, response: &WireResponse) -> io::Result<()> {
+    let mut line = serde_json::to_string(response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}

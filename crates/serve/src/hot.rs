@@ -1,0 +1,304 @@
+//! The in-memory hot tier in front of the on-disk
+//! [`AlgorithmCache`](sccl_sched::AlgorithmCache): recently served
+//! frontiers kept as `Arc<SynthesisReport>`s under their cache-key
+//! content hash, with a **lock-free read path** — a connection thread
+//! serving a hot hit touches three atomics and a `HashMap` probe, never
+//! a mutex, so hot hits cannot convoy behind a solver storing a
+//! multi-megabyte report.
+//!
+//! # Design: RCU over an immutable map
+//!
+//! The current map lives behind an [`AtomicPtr`]; readers snapshot the
+//! pointer and probe the (immutable) map it addresses. Writers are
+//! serialized by a mutex, build a *new* map (clone + mutate), publish it
+//! with a pointer swap, and retire the old map into a graveyard that is
+//! freed only at a observed quiescent point.
+//!
+//! Reclamation is the whole trick, and it needs no epochs or hazard
+//! pointers here because readers bracket their pointer access with a
+//! `SeqCst` active-reader count:
+//!
+//! * A reader increments `readers`, **then** loads the map pointer, uses
+//!   it, and decrements.
+//! * A writer swaps the pointer, **then** checks `readers == 0`. Under
+//!   `SeqCst`'s single total order, any reader still holding the *old*
+//!   pointer incremented `readers` before its load, i.e. before the
+//!   writer's check read zero — so it has already decremented and let go.
+//!   Any reader that increments after the check loads the pointer after
+//!   the swap and can only see the *new* map.
+//!
+//! A writer that observes a nonzero count simply leaves the retired map
+//! in the graveyard; a later write (or drop) frees it. Readers are thus
+//! wait-free; writers pay the map clone, which is the right trade for a
+//! tier whose hit path is orders of magnitude hotter than its fill path.
+
+use sccl_core::pareto::SynthesisReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+type Map = HashMap<String, Arc<SynthesisReport>>;
+
+/// State only writers touch, behind the writer mutex.
+struct WriterState {
+    /// Insertion order of the keys currently in the published map, oldest
+    /// first — the eviction queue.
+    order: Vec<String>,
+    /// Retired map generations not yet proven quiescent.
+    graveyard: Vec<*mut Map>,
+}
+
+/// A bounded, lock-free-read hot cache of synthesis reports.
+pub struct HotTier {
+    /// The published map. Always a valid `Box<Map>` leaked into the
+    /// pointer; never null.
+    map: AtomicPtr<Map>,
+    /// Readers currently between their increment and decrement.
+    readers: AtomicUsize,
+    writer: Mutex<WriterState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// SAFETY: the raw pointers in `map` and `graveyard` address heap maps of
+// `String → Arc<SynthesisReport>`, both `Send + Sync`; all mutation is
+// funneled through the writer mutex and the documented publish/retire
+// protocol, and readers only ever take shared references.
+unsafe impl Send for HotTier {}
+unsafe impl Sync for HotTier {}
+
+impl HotTier {
+    /// An empty tier retaining at most `capacity` reports (insertion
+    /// order out; a capacity of 0 disables the tier — every lookup
+    /// misses and every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        HotTier {
+            map: AtomicPtr::new(Box::into_raw(Box::new(Map::new()))),
+            readers: AtomicUsize::new(0),
+            writer: Mutex::new(WriterState {
+                order: Vec::new(),
+                graveyard: Vec::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a report by cache-key content hash. Lock-free: two
+    /// `SeqCst` counter updates and one pointer load, no mutex.
+    pub fn lookup(&self, hash: &str) -> Option<Arc<SynthesisReport>> {
+        // Increment BEFORE the pointer load: a writer that later observes
+        // readers == 0 is thereby guaranteed this load saw its new map.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let map = self.map.load(Ordering::SeqCst);
+        // SAFETY: `map` was published by a writer and cannot be freed
+        // while this reader is counted (see the module docs' quiescence
+        // argument).
+        let found = unsafe { &*map }.get(hash).cloned();
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Publish a report under its content hash, evicting the oldest
+    /// entries if the tier is over capacity. Writers serialize on a
+    /// mutex; readers are never blocked.
+    pub fn insert(&self, hash: String, report: Arc<SynthesisReport>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.writer.lock().expect("hot-tier writer lock");
+        // Clone-and-mutate: the published map is immutable by contract.
+        let current = self.map.load(Ordering::SeqCst);
+        // SAFETY: only writers retire maps, and this thread holds the
+        // writer lock, so `current` stays valid for the clone.
+        let mut next = unsafe { &*current }.clone();
+        if next.insert(hash.clone(), report).is_none() {
+            state.order.push(hash);
+        }
+        while next.len() > self.capacity {
+            // `order` tracks exactly the published keys, so it cannot run
+            // dry while the map is over capacity.
+            let victim = state.order.remove(0);
+            next.remove(&victim);
+        }
+        self.publish(Box::into_raw(Box::new(next)), &mut state);
+    }
+
+    /// Entries currently published.
+    pub fn len(&self) -> usize {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let map = self.map.load(Ordering::SeqCst);
+        // SAFETY: as in `lookup`.
+        let len = unsafe { &*map }.len();
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        len
+    }
+
+    /// `true` if no report is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters of this tier.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Swap `next` in as the published map and retire the old one,
+    /// freeing the graveyard if a quiescent point is observed. Callers
+    /// hold the writer lock (witnessed by `state`).
+    fn publish(&self, next: *mut Map, state: &mut WriterState) {
+        let old = self.map.swap(next, Ordering::SeqCst);
+        state.graveyard.push(old);
+        // The swap is SeqCst and so is this load: if it reads 0, every
+        // reader that could have seen any graveyard pointer has already
+        // decremented, so the retired maps are unreachable.
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            for retired in state.graveyard.drain(..) {
+                // SAFETY: unreachable per the quiescence argument; each
+                // pointer came from `Box::into_raw` and is freed once
+                // (drain removes it from the graveyard).
+                drop(unsafe { Box::from_raw(retired) });
+            }
+        }
+    }
+}
+
+impl Drop for HotTier {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers can exist during drop.
+        let state = self.writer.get_mut().expect("hot-tier writer lock");
+        for retired in state.graveyard.drain(..) {
+            // SAFETY: exclusively owned leaked boxes, freed exactly once.
+            drop(unsafe { Box::from_raw(retired) });
+        }
+        let current = *self.map.get_mut();
+        // SAFETY: the published map is a leaked box owned by `self`.
+        drop(unsafe { Box::from_raw(current) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_collectives::Collective;
+    use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+    use sccl_topology::builders;
+
+    fn report(chunks: usize) -> Arc<SynthesisReport> {
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: chunks,
+            ..Default::default()
+        };
+        Arc::new(
+            pareto_synthesize(&builders::ring(4, 1), Collective::Allgather, &config)
+                .expect("tiny synthesis"),
+        )
+    }
+
+    #[test]
+    fn lookup_returns_what_insert_published() {
+        let tier = HotTier::new(8);
+        assert!(tier.lookup("absent").is_none());
+        let r = report(1);
+        tier.insert("k1".to_string(), Arc::clone(&r));
+        let hit = tier.lookup("k1").expect("published entry");
+        assert!(Arc::ptr_eq(&hit, &r), "the tier must share, not clone");
+        assert_eq!(tier.stats(), (1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_in_insertion_order() {
+        let tier = HotTier::new(2);
+        let r = report(1);
+        for key in ["a", "b", "c"] {
+            tier.insert(key.to_string(), Arc::clone(&r));
+        }
+        assert_eq!(tier.len(), 2);
+        assert!(tier.lookup("a").is_none(), "oldest entry must be evicted");
+        assert!(tier.lookup("b").is_some());
+        assert!(tier.lookup("c").is_some());
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_duplicate_it() {
+        let tier = HotTier::new(2);
+        let r = report(1);
+        tier.insert("a".to_string(), Arc::clone(&r));
+        tier.insert("a".to_string(), Arc::clone(&r));
+        tier.insert("b".to_string(), Arc::clone(&r));
+        assert_eq!(tier.len(), 2);
+        // "a" was inserted once as far as the eviction queue is concerned;
+        // a third key evicts it, not a phantom duplicate.
+        tier.insert("c".to_string(), Arc::clone(&r));
+        assert!(tier.lookup("a").is_none());
+        assert_eq!(tier.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_tier() {
+        let tier = HotTier::new(0);
+        tier.insert("a".to_string(), report(1));
+        assert!(tier.lookup("a").is_none());
+        assert!(tier.is_empty());
+    }
+
+    /// Readers race writers across every interleaving the scheduler finds:
+    /// no crash, no torn read — every lookup returns either a miss or a
+    /// fully formed report.
+    #[test]
+    fn concurrent_readers_and_writers_are_memory_safe() {
+        let tier = Arc::new(HotTier::new(4));
+        let r = report(1);
+        let entries = r.entries.len();
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let tier = Arc::clone(&tier);
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        tier.insert(format!("w{w}-{}", i % 8), Arc::clone(&r));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let tier = Arc::clone(&tier);
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    for i in 0..2000 {
+                        for w in 0..2 {
+                            if let Some(report) = tier.lookup(&format!("w{w}-{}", i % 8)) {
+                                assert_eq!(report.entries.len(), entries);
+                                hits += 1;
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        let total_hits: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        assert!(total_hits > 0, "readers must observe published entries");
+        assert!(tier.len() <= 4);
+    }
+}

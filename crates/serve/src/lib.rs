@@ -1,0 +1,43 @@
+//! `sccl-serve`: the daemon serving layer over [`sccl_sched::Engine`].
+//!
+//! The engine answers one request at a time from whoever holds it; this
+//! crate turns it into a long-lived, multi-client service:
+//!
+//! * [`Server`] — the in-process core: a **bounded request queue** with
+//!   completion-handle [`Ticket`]s drained by a std-thread worker pool,
+//!   **admission control** (per-client in-flight quotas plus a global
+//!   cap on the estimated solver memory of everything admitted) and the
+//!   [`HotTier`], an in-memory cache of recently served frontiers in
+//!   front of the engine's on-disk store with a **lock-free read path**.
+//! * [`EngineMetrics`] — a lock-free metrics registry (cache hit rates,
+//!   p50/p99 solve latency, queue depth, warm-pool efficiency,
+//!   rejection counts) snapshottable as JSON.
+//! * [`Daemon`] — the socket shell: newline-delimited JSON over a Unix
+//!   domain socket, verbs `synthesize` / `metrics` / `shutdown` (see
+//!   [`wire`] for the exact protocol), one handler thread per
+//!   connection.
+//! * [`ServeClient`] — a minimal blocking client for that protocol.
+//!
+//! The `sccl serve` CLI subcommand is a thin flag-parser over
+//! [`Daemon::bind`]; the many-client load bench in `crates/bench` drives
+//! the daemon through [`ServeClient`] and records throughput next to the
+//! solver benches.
+
+mod client;
+mod daemon;
+mod hot;
+mod metrics;
+mod server;
+pub mod wire;
+
+pub use client::ServeClient;
+pub use daemon::Daemon;
+pub use hot::HotTier;
+pub use metrics::{
+    CacheCounters, EngineMetrics, Histogram, HotTierGauges, LatencyCounters, LatencySnapshot,
+    MetricsSnapshot, PoolCounters, QueueGauges, RegistryGauges, RejectionCounters, RequestCounters,
+};
+pub use server::{
+    solve_estimate_cells, Outcome, ServeConfig, ServeError, Served, ServedFrom, Server, Ticket,
+};
+pub use wire::{WireErrorKind, WireRequest, WireResponse, WireSynthesize, WireTimings};

@@ -1,0 +1,849 @@
+//! The serving core: a bounded request queue drained by a std-thread
+//! worker pool, fronted by admission control and the lock-free
+//! [`HotTier`]. The daemon's socket layer is a thin shell over this —
+//! everything testable lives here, in-process.
+//!
+//! # Admission
+//!
+//! A `synthesize` submission is either *served inline* (hot-tier hit),
+//! *admitted* (queued, returning a [`Ticket`] the caller blocks on) or
+//! *rejected immediately* with a typed [`ServeError`] — the queue never
+//! grows past its bound and a rejected caller is never left hanging:
+//!
+//! * **queue capacity** — at most `queue_capacity` jobs waiting;
+//! * **per-client quota** — at most `per_client_inflight` admitted jobs
+//!   per client identity (queued or solving), so one greedy load
+//!   generator cannot starve the fleet;
+//! * **global memory budget** — every admitted job reserves an estimate
+//!   of its solver footprint (encoder cells, the same unit the engine's
+//!   warm-pool registry is bounded in) against `memory_budget_cells`;
+//!   jobs that would push the reservation past the budget are rejected.
+//!   A job whose own estimate exceeds the whole budget is still admitted
+//!   when nothing else is running — the budget caps *concurrent* memory,
+//!   it must not make any single problem permanently unserveable.
+//!
+//! Workers drain the queue in FIFO order, solve through the shared
+//! [`Engine`] (one warm-pool registry and one on-disk cache across all
+//! workers), publish results into the hot tier and complete tickets.
+
+use crate::hot::HotTier;
+use crate::metrics::{EngineMetrics, HotTierGauges, MetricsSnapshot, RegistryGauges};
+use crate::wire::WireTimings;
+use sccl_collectives::Collective;
+use sccl_core::incremental::IncrementalStats;
+use sccl_core::pareto::{SynthesisConfig, SynthesisReport};
+use sccl_sched::{CacheKey, Engine, Error, Provenance, SolveMode, SynthesisRequest};
+use sccl_topology::Topology;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Knobs of the serving core (and daemon).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Most jobs allowed to wait in the queue (admitted-but-unstarted).
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue; `0` means one per available
+    /// core.
+    pub workers: usize,
+    /// Most admitted (queued or solving) jobs per client identity.
+    pub per_client_inflight: usize,
+    /// Global cap on the estimated solver memory (encoder cells) of all
+    /// admitted jobs together.
+    pub memory_budget_cells: usize,
+    /// Entries retained by the in-memory hot tier (`0` disables it).
+    pub hot_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            workers: 0,
+            per_client_inflight: 4,
+            memory_budget_cells: 64 << 20,
+            hot_capacity: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reject nonsense knob values with [`Error::Config`], mirroring
+    /// [`sccl_sched::EngineBuilder::build`]: a zero-slot queue or a
+    /// zero-job quota would reject every request, and a zero-cell budget
+    /// could never admit a solve.
+    fn validate(&self) -> Result<(), Error> {
+        if self.queue_capacity == 0 {
+            return Err(Error::Config {
+                field: "queue_capacity",
+                message: "a 0-slot queue rejects every request".to_string(),
+            });
+        }
+        if self.per_client_inflight == 0 {
+            return Err(Error::Config {
+                field: "per_client_inflight",
+                message: "a 0-job quota rejects every client".to_string(),
+            });
+        }
+        if self.memory_budget_cells == 0 {
+            return Err(Error::Config {
+                field: "memory_budget_cells",
+                message: "a 0-cell budget cannot admit any solve".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a submission was turned away. Every variant carries enough to
+/// tell the client what limit it hit and where it stood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full.
+    QueueFull { depth: usize, capacity: usize },
+    /// The client has too many admitted jobs already.
+    ClientQuota {
+        client: String,
+        inflight: usize,
+        limit: usize,
+    },
+    /// Admitting the job would exceed the global solver-memory budget.
+    MemoryBudget {
+        requested_cells: usize,
+        reserved_cells: usize,
+        budget_cells: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, capacity } => {
+                write!(f, "request queue full ({depth} of {capacity} slots)")
+            }
+            ServeError::ClientQuota {
+                client,
+                inflight,
+                limit,
+            } => write!(
+                f,
+                "client `{client}` has {inflight} jobs in flight (limit {limit})"
+            ),
+            ServeError::MemoryBudget {
+                requested_cells,
+                reserved_cells,
+                budget_cells,
+            } => write!(
+                f,
+                "solve needs ~{requested_cells} encoder cells but {reserved_cells} of \
+                 {budget_cells} are already reserved"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Rough solver-memory footprint of one synthesis problem, in encoder
+/// cells (variables + clauses, the warm-pool registry's unit). The SMT
+/// encoding is dominated by per-(chunk, node, step) send variables and
+/// their link constraints, so the estimate scales as
+/// `nodes² × max_chunks × max_steps`; the constant is calibrated so a
+/// 4-ring at chunks 4 / steps 6 lands in the tens of thousands, matching
+/// observed encoder sizes within an order of magnitude — all admission
+/// needs.
+pub fn solve_estimate_cells(topology: &Topology, config: &SynthesisConfig) -> usize {
+    let n = topology.num_nodes().max(2);
+    n * n * config.max_chunks.max(1) * config.max_steps.max(1) * 64
+}
+
+/// Where a served report came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// The in-memory hot tier (served inline, never queued).
+    HotTier,
+    /// The on-disk algorithm cache.
+    DiskCache,
+    /// Freshly solved in the given mode.
+    Solved(SolveMode),
+}
+
+/// A successfully served `synthesize` submission.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The frontier (shared with the hot tier).
+    pub report: Arc<SynthesisReport>,
+    /// Which tier answered.
+    pub from: ServedFrom,
+    /// Per-stage wall-clock, queue wait included.
+    pub timings: WireTimings,
+    /// Warm-sweep accounting (`None` for cache and hot-tier answers).
+    pub incremental: Option<IncrementalStats>,
+}
+
+/// The outcome a [`Ticket`] resolves to.
+pub type Outcome = Result<Served, Error>;
+
+struct TicketState {
+    outcome: Mutex<Option<Outcome>>,
+    done: Condvar,
+}
+
+/// A completion handle for one admitted job. [`Ticket::wait`] blocks
+/// until a worker resolves it.
+pub struct Ticket(Arc<TicketState>);
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let resolved = self
+            .0
+            .outcome
+            .lock()
+            .map(|slot| slot.is_some())
+            .unwrap_or(false);
+        f.debug_struct("Ticket")
+            .field("resolved", &resolved)
+            .finish()
+    }
+}
+
+impl Ticket {
+    fn pair() -> (Ticket, Arc<TicketState>) {
+        let state = Arc::new(TicketState {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        (Ticket(Arc::clone(&state)), state)
+    }
+
+    fn resolved(outcome: Outcome) -> Ticket {
+        let (ticket, state) = Ticket::pair();
+        state.complete(outcome);
+        ticket
+    }
+
+    /// Block until the job completes and take its outcome.
+    pub fn wait(self) -> Outcome {
+        let mut slot = self.0.outcome.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.0.done.wait(slot).expect("ticket wait");
+        }
+    }
+}
+
+impl TicketState {
+    fn complete(&self, outcome: Outcome) {
+        *self.outcome.lock().expect("ticket lock") = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// One admitted job, queued for a worker.
+struct Job {
+    request: SynthesisRequest,
+    key_hash: String,
+    client: String,
+    reserved_cells: usize,
+    submitted: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// State behind the queue lock.
+struct QueueState {
+    queue: VecDeque<Job>,
+    /// Admitted (queued or solving) jobs per client identity.
+    inflight: HashMap<String, usize>,
+    /// Estimated cells of all admitted jobs.
+    reserved_cells: usize,
+}
+
+/// The in-process serving core. Construct with [`Server::start`]; share
+/// via the returned `Arc` (worker threads hold clones).
+pub struct Server {
+    engine: Arc<Engine>,
+    hot: HotTier,
+    metrics: EngineMetrics,
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    shutting_down: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Validate the config, spawn the worker pool and return the shared
+    /// serving handle.
+    pub fn start(engine: Engine, config: ServeConfig) -> Result<Arc<Server>, Error> {
+        config.validate()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        } else {
+            config.workers
+        };
+        let server = Arc::new(Server {
+            engine: Arc::new(engine),
+            hot: HotTier::new(config.hot_capacity),
+            metrics: EngineMetrics::new(),
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                reserved_cells: 0,
+            }),
+            work_ready: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let server = Arc::clone(&server);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sccl-serve-{i}"))
+                    .spawn(move || server.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        *server.workers.lock().expect("workers lock") = handles;
+        Ok(server)
+    }
+
+    /// The shared engine behind the server.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The serving-layer metrics registry.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Snapshot every metric, folding in the hot tier's and the warm
+    /// registry's current occupancy.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            HotTierGauges {
+                len: self.hot.len() as u64,
+                capacity: self.hot.capacity() as u64,
+            },
+            RegistryGauges {
+                len: self.engine.warm_pool_len() as u64,
+                weight: self.engine.warm_pool_weight() as u64,
+            },
+        )
+    }
+
+    /// `true` once [`Server::shutdown`] has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Submit one synthesize job. `config` must already have the
+    /// engine's defaults folded in (it is used verbatim for the cache
+    /// key, the hot-tier key and the solve). Hot-tier hits are served
+    /// inline on the calling thread — the returned ticket is already
+    /// resolved; everything else is admitted or rejected per the module
+    /// docs.
+    pub fn submit(
+        &self,
+        topology: Topology,
+        collective: Collective,
+        config: SynthesisConfig,
+        mode: Option<SolveMode>,
+        client: &str,
+    ) -> Result<Ticket, ServeError> {
+        self.metrics.synthesize_request();
+        if self.is_shutting_down() {
+            self.metrics.rejected_shutdown();
+            return Err(ServeError::ShuttingDown);
+        }
+        let submitted = Instant::now();
+        let key_hash = CacheKey::new(&topology, collective, &config).content_hash();
+        if let Some(report) = self.hot.lookup(&key_hash) {
+            self.metrics.hot_hit();
+            let total = submitted.elapsed();
+            self.metrics.served(total);
+            return Ok(Ticket::resolved(Ok(Served {
+                report,
+                from: ServedFrom::HotTier,
+                timings: WireTimings {
+                    lookup_micros: total.as_micros() as u64,
+                    total_micros: total.as_micros() as u64,
+                    ..WireTimings::default()
+                },
+                incremental: None,
+            })));
+        }
+
+        let reserve = solve_estimate_cells(&topology, &config);
+        let (ticket, ticket_state) = Ticket::pair();
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            if state.queue.len() >= self.config.queue_capacity {
+                self.metrics.rejected_queue_full();
+                return Err(ServeError::QueueFull {
+                    depth: state.queue.len(),
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            let inflight = state.inflight.get(client).copied().unwrap_or(0);
+            if inflight >= self.config.per_client_inflight {
+                self.metrics.rejected_client_quota();
+                return Err(ServeError::ClientQuota {
+                    client: client.to_string(),
+                    inflight,
+                    limit: self.config.per_client_inflight,
+                });
+            }
+            // The budget caps *concurrent* reservations; a lone job may
+            // exceed it so no problem is permanently unserveable.
+            if state.reserved_cells > 0
+                && state.reserved_cells + reserve > self.config.memory_budget_cells
+            {
+                self.metrics.rejected_memory_budget();
+                return Err(ServeError::MemoryBudget {
+                    requested_cells: reserve,
+                    reserved_cells: state.reserved_cells,
+                    budget_cells: self.config.memory_budget_cells,
+                });
+            }
+            state.reserved_cells += reserve;
+            *state.inflight.entry(client.to_string()).or_insert(0) += 1;
+            let mut request = SynthesisRequest::new(&topology, collective).with_config(config);
+            if let Some(mode) = mode {
+                request = request.with_mode(mode);
+            }
+            state.queue.push_back(Job {
+                request,
+                key_hash,
+                client: client.to_string(),
+                reserved_cells: reserve,
+                submitted,
+                ticket: ticket_state,
+            });
+            self.metrics.queue_depth(state.queue.len());
+            self.work_ready.notify_one();
+        }
+        Ok(ticket)
+    }
+
+    /// Stop admitting, drain the queue (pending jobs are still served),
+    /// and join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.work_ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("queue lock");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        self.metrics.queue_depth(state.queue.len());
+                        break job;
+                    }
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                    state = self.work_ready.wait(state).expect("queue wait");
+                }
+            };
+            self.run(job);
+        }
+    }
+
+    /// Solve one admitted job, publish the report, release its admission
+    /// reservations and resolve its ticket.
+    fn run(&self, job: Job) {
+        let queue_wait = job.submitted.elapsed();
+        let result = self.engine.synthesize(job.request);
+        let outcome = match result {
+            Ok(response) => {
+                let from = match response.provenance {
+                    Provenance::CacheHit => {
+                        self.metrics.disk_hit();
+                        ServedFrom::DiskCache
+                    }
+                    Provenance::Solved(mode) => {
+                        self.metrics.solved(response.timings.solve);
+                        ServedFrom::Solved(mode)
+                    }
+                };
+                if let Some(stats) = &response.incremental {
+                    self.metrics.incremental(stats);
+                }
+                let report = Arc::new(response.report);
+                self.hot.insert(job.key_hash, Arc::clone(&report));
+                let total = job.submitted.elapsed();
+                Ok(Served {
+                    report,
+                    from,
+                    timings: WireTimings {
+                        queue_micros: queue_wait.as_micros() as u64,
+                        lookup_micros: response.timings.lookup.as_micros() as u64,
+                        encode_micros: response.timings.encode.as_micros() as u64,
+                        solve_micros: response.timings.solve.as_micros() as u64,
+                        store_micros: response.timings.store.as_micros() as u64,
+                        total_micros: total.as_micros() as u64,
+                    },
+                    incremental: response.incremental,
+                })
+            }
+            Err(error) => {
+                self.metrics.synthesis_error();
+                Err(error)
+            }
+        };
+        self.metrics.served(job.submitted.elapsed());
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            state.reserved_cells = state.reserved_cells.saturating_sub(job.reserved_cells);
+            if let Some(count) = state.inflight.get_mut(&job.client) {
+                *count -= 1;
+                if *count == 0 {
+                    state.inflight.remove(&job.client);
+                }
+            }
+        }
+        job.ticket.complete(outcome);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_topology::builders;
+
+    fn quick_config() -> SynthesisConfig {
+        SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        }
+    }
+
+    fn server(config: ServeConfig) -> Arc<Server> {
+        let engine = Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        Server::start(engine, config).expect("server")
+    }
+
+    #[test]
+    fn nonsense_serve_knobs_are_config_errors() {
+        let cases = [
+            (
+                ServeConfig {
+                    queue_capacity: 0,
+                    ..Default::default()
+                },
+                "queue_capacity",
+            ),
+            (
+                ServeConfig {
+                    per_client_inflight: 0,
+                    ..Default::default()
+                },
+                "per_client_inflight",
+            ),
+            (
+                ServeConfig {
+                    memory_budget_cells: 0,
+                    ..Default::default()
+                },
+                "memory_budget_cells",
+            ),
+        ];
+        for (config, expected) in cases {
+            let engine = Engine::builder().build().expect("engine");
+            match Server::start(engine, config) {
+                Err(Error::Config { field, .. }) => assert_eq!(field, expected),
+                Err(other) => panic!("expected a config error, got {other}"),
+                Ok(_) => panic!("nonsense knob {expected} must be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_submission_solves_then_the_hot_tier_serves_it() {
+        let server = server(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let first = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "t",
+            )
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert!(matches!(first.from, ServedFrom::Solved(_)));
+        assert!(first.incremental.is_some());
+
+        let second = server
+            .submit(ring, Collective::Allgather, quick_config(), None, "t")
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(second.from, ServedFrom::HotTier);
+        assert!(second.incremental.is_none());
+        assert_eq!(second.report, first.report, "tiers must agree");
+
+        let snap = server.snapshot();
+        assert_eq!(snap.cache.hot_hits, 1);
+        assert_eq!(snap.cache.solved, 1);
+        assert!(snap.cache.hit_rate > 0.0);
+        assert_eq!(snap.latency_micros.solve.count, 1);
+        assert_eq!(snap.latency_micros.total.count, 2);
+    }
+
+    #[test]
+    fn per_client_quota_rejects_the_overflowing_submission() {
+        // One worker, quota 1: while the worker is busy with the first
+        // submission, a second from the same client must bounce and a
+        // second from a different client must queue.
+        let server = server(ServeConfig {
+            workers: 1,
+            per_client_inflight: 1,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let big = SynthesisConfig {
+            max_steps: 8,
+            max_chunks: 8,
+            ..Default::default()
+        };
+        let first = server
+            .submit(ring.clone(), Collective::Allgather, big.clone(), None, "a")
+            .expect("first admitted");
+        let err = server
+            .submit(
+                ring.clone(),
+                Collective::Broadcast { root: 0 },
+                big.clone(),
+                None,
+                "a",
+            )
+            .expect_err("quota must reject");
+        assert_eq!(
+            err,
+            ServeError::ClientQuota {
+                client: "a".to_string(),
+                inflight: 1,
+                limit: 1,
+            }
+        );
+        let other = server
+            .submit(ring, Collective::Broadcast { root: 0 }, big, None, "b")
+            .expect("other client admitted");
+        assert!(first.wait().is_ok());
+        assert!(other.wait().is_ok());
+        assert_eq!(server.snapshot().rejections.client_quota, 1);
+    }
+
+    #[test]
+    fn memory_budget_rejects_concurrent_over_admission() {
+        let ring = builders::ring(4, 1);
+        let config = quick_config();
+        let estimate = solve_estimate_cells(&ring, &config);
+        // Budget fits one reservation but not two.
+        let server = server(ServeConfig {
+            workers: 1,
+            memory_budget_cells: estimate + estimate / 2,
+            ..Default::default()
+        });
+        let first = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                config.clone(),
+                None,
+                "a",
+            )
+            .expect("first admitted");
+        let err = server
+            .submit(
+                ring.clone(),
+                Collective::Broadcast { root: 0 },
+                config.clone(),
+                None,
+                "b",
+            )
+            .expect_err("budget must reject the second");
+        assert!(
+            matches!(err, ServeError::MemoryBudget { .. }),
+            "was: {err:?}"
+        );
+        assert!(first.wait().is_ok());
+        // Once the reservation is released, the same submission admits.
+        let retry = server
+            .submit(ring, Collective::Broadcast { root: 0 }, config, None, "b")
+            .expect("admits after release");
+        assert!(retry.wait().is_ok());
+        assert_eq!(server.snapshot().rejections.memory_budget, 1);
+    }
+
+    #[test]
+    fn queue_capacity_rejects_rather_than_queueing_unboundedly() {
+        // No workers draining (workers: 1 but stalled behind a first big
+        // job) — fill the queue to its bound and overflow it.
+        let server = server(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            per_client_inflight: 64,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let big = SynthesisConfig {
+            max_steps: 8,
+            max_chunks: 8,
+            ..Default::default()
+        };
+        // Worker picks this one up...
+        let mut tickets = vec![server
+            .submit(ring.clone(), Collective::Allgather, big.clone(), None, "a")
+            .expect("running job admitted")];
+        // ...eventually; give it a moment so the queue state is the two
+        // remaining slots. Robust either way: at most 3 admissions total
+        // can precede a rejection with capacity 2.
+        let mut rejected = None;
+        for collective in [
+            Collective::Broadcast { root: 0 },
+            Collective::ReduceScatter,
+            Collective::Gather { root: 0 },
+            Collective::Scatter { root: 0 },
+        ] {
+            match server.submit(ring.clone(), collective, big.clone(), None, "a") {
+                Ok(ticket) => tickets.push(ticket),
+                Err(err) => {
+                    rejected = Some(err);
+                    break;
+                }
+            }
+        }
+        let err = rejected.expect("the queue bound must reject an overflow");
+        assert!(
+            matches!(err, ServeError::QueueFull { capacity: 2, .. }),
+            "was: {err:?}"
+        );
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok(), "admitted jobs must still be served");
+        }
+        assert!(server.snapshot().rejections.queue_full >= 1);
+    }
+
+    #[test]
+    fn shutdown_serves_admitted_jobs_and_rejects_new_ones() {
+        let server = server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let admitted = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "a",
+            )
+            .expect("admitted before shutdown");
+        server.shutdown();
+        assert!(
+            admitted.wait().is_ok(),
+            "jobs admitted before shutdown must be drained"
+        );
+        let err = server
+            .submit(ring, Collective::Allgather, quick_config(), None, "a")
+            .expect_err("no admission after shutdown");
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    /// Serialize a report with its per-entry wall-clock zeroed: the one
+    /// field that legitimately differs between two solves of the same
+    /// problem (the repo-wide `same_frontier` equivalence excludes it
+    /// too). Everything else must survive the serving layer untouched.
+    fn timeless_json(report: &SynthesisReport) -> String {
+        let mut report = report.clone();
+        for entry in &mut report.entries {
+            entry.synthesis_time = std::time::Duration::ZERO;
+        }
+        serde_json::to_string(&report).expect("report serializes")
+    }
+
+    #[test]
+    fn served_reports_match_the_direct_engine_byte_for_byte() {
+        let server = server(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let served = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "t",
+            )
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        let direct = Engine::builder()
+            .sequential()
+            .build()
+            .expect("engine")
+            .synthesize(
+                SynthesisRequest::new(&ring, Collective::Allgather).with_config(quick_config()),
+            )
+            .expect("direct");
+        assert_eq!(
+            timeless_json(served.report.as_ref()),
+            timeless_json(&direct.report),
+            "daemon-served report must serialize identically to the in-process engine"
+        );
+        // And a hot-tier answer serves the *same* bytes again.
+        let hot = server
+            .submit(ring, Collective::Allgather, quick_config(), None, "t")
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(hot.from, ServedFrom::HotTier);
+        assert_eq!(
+            serde_json::to_string(hot.report.as_ref()).expect("hot json"),
+            serde_json::to_string(served.report.as_ref()).expect("served json"),
+        );
+    }
+}

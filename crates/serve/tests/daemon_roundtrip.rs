@@ -1,0 +1,241 @@
+//! End-to-end daemon tests over a real Unix socket: concurrent clients,
+//! wire-level error surfaces, the metrics verb and shutdown draining.
+
+use sccl_serve::{
+    Daemon, ServeClient, ServeConfig, Server, WireErrorKind, WireResponse, WireSynthesize,
+};
+use serde::Content;
+use std::path::PathBuf;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sccl-serve-test-{tag}-{}.sock", std::process::id()))
+}
+
+fn quick_engine() -> sccl_sched::Engine {
+    sccl_sched::Engine::builder()
+        .sequential()
+        .synthesis_defaults(sccl_core::pareto::SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 4,
+            ..Default::default()
+        })
+        .build()
+        .expect("engine")
+}
+
+fn metrics_field(snapshot: &Content, path: &[&str]) -> f64 {
+    let mut current = snapshot;
+    for key in path {
+        let Content::Map(fields) = current else {
+            panic!("expected a map at {key}, got {current:?}");
+        };
+        current = &fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("metrics missing field {key}"))
+            .1;
+    }
+    match current {
+        Content::U64(v) => *v as f64,
+        Content::I64(v) => *v as f64,
+        Content::F64(v) => *v,
+        other => panic!("expected a number at {path:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_share_the_daemon_and_its_tiers() {
+    let server = Server::start(
+        quick_engine(),
+        ServeConfig {
+            workers: 2,
+            per_client_inflight: 8,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("many"), server).expect("bind");
+    let path = daemon.socket_path().to_path_buf();
+
+    // Warm the problem through the wire first so the 8-way burst below
+    // hits the hot tier deterministically (a purely concurrent cold
+    // start could legitimately solve the problem more than once).
+    let warmup = ServeClient::connect(&path)
+        .expect("connect")
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_client("warmup"))
+        .expect("warmup roundtrip");
+    assert!(
+        matches!(&warmup, WireResponse::Report { provenance, .. } if provenance.starts_with("solved")),
+        "was: {warmup:?}"
+    );
+
+    // 8 clients, each synthesizing the same small problem — all served
+    // from the hot tier, byte-identically.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&path).expect("connect");
+                let response = client
+                    .synthesize(
+                        WireSynthesize::new("ring:4", "allgather").with_client(format!("c{i}")),
+                    )
+                    .expect("roundtrip");
+                match response {
+                    WireResponse::Report {
+                        report, provenance, ..
+                    } => {
+                        assert_eq!(provenance, "hot", "client {i} missed the warm tier");
+                        serde_json::to_string(&report).expect("report json")
+                    }
+                    other => panic!("client {i} got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let reports: Vec<String> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    // Every client saw the same frontier bytes (solved once, then served
+    // from the hot tier — tier answers share the stored report verbatim).
+    for report in &reports[1..] {
+        assert_eq!(report, &reports[0]);
+    }
+
+    let mut client = ServeClient::connect(&path).expect("connect");
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb must answer with a snapshot");
+    };
+    assert_eq!(metrics_field(&snapshot, &["requests", "synthesize"]), 9.0);
+    assert_eq!(metrics_field(&snapshot, &["cache", "solved"]), 1.0);
+    assert_eq!(metrics_field(&snapshot, &["cache", "hot_hits"]), 8.0);
+    assert!(metrics_field(&snapshot, &["cache", "hit_rate"]) > 0.8);
+    assert!(metrics_field(&snapshot, &["latency_micros", "solve", "p99_micros"]) > 0.0);
+
+    let WireResponse::Shutdown = client.shutdown().expect("shutdown") else {
+        panic!("shutdown must be acknowledged");
+    };
+    daemon.wait();
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}
+
+#[test]
+fn wire_errors_are_typed() {
+    let server = Server::start(quick_engine(), ServeConfig::default()).expect("server");
+    let daemon = Daemon::bind(socket_path("errors"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    // Unknown topology spec.
+    let response = client
+        .synthesize(WireSynthesize::new("pretzel:9", "allgather"))
+        .expect("roundtrip");
+    assert!(
+        matches!(
+            &response,
+            WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                ..
+            }
+        ),
+        "was: {response:?}"
+    );
+    // Degenerate size: the chain builder asserts on n < 2; the daemon
+    // must answer with a spec error, not kill the connection.
+    let response = client
+        .synthesize(WireSynthesize::new("chain:1", "allgather"))
+        .expect("roundtrip");
+    assert!(
+        matches!(
+            &response,
+            WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                ..
+            }
+        ),
+        "was: {response:?}"
+    );
+    // Synthesis failure: hypercube:0 builds a 1-node topology, which the
+    // engine rejects with TooFewNodes.
+    let response = client
+        .synthesize(WireSynthesize::new("hypercube:0", "allgather"))
+        .expect("roundtrip");
+    assert!(
+        matches!(
+            &response,
+            WireResponse::Error {
+                kind: WireErrorKind::Synthesis,
+                ..
+            }
+        ),
+        "was: {response:?}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn admission_rejections_reach_the_wire() {
+    // Tiny budget and quota: a burst of distinct problems from one client
+    // must produce typed rejections, not unbounded queueing.
+    let server = Server::start(
+        quick_engine(),
+        ServeConfig {
+            workers: 1,
+            per_client_inflight: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("reject"), server).expect("bind");
+    let path = daemon.socket_path().to_path_buf();
+
+    // Two concurrent connections sharing one client identity; with a
+    // quota of 1 and a single worker, at least one of the two big
+    // requests must bounce with client_quota... unless the first has
+    // already finished. Use slow (chunks 8) problems to keep the overlap.
+    let burst: Vec<_> = ["ring:5", "ring:6"]
+        .into_iter()
+        .map(|topo| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&path).expect("connect");
+                client
+                    .synthesize(
+                        WireSynthesize::new(topo, "allgather")
+                            .with_caps(8, 8)
+                            .with_client("greedy"),
+                    )
+                    .expect("roundtrip")
+            })
+        })
+        .collect();
+    let outcomes: Vec<WireResponse> = burst
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    let rejected = outcomes
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                WireResponse::Error {
+                    kind: WireErrorKind::ClientQuota,
+                    ..
+                }
+            )
+        })
+        .count();
+    let served = outcomes
+        .iter()
+        .filter(|r| matches!(r, WireResponse::Report { .. }))
+        .count();
+    assert!(
+        served >= 1,
+        "at least one of the burst must be served: {outcomes:?}"
+    );
+    // The race can fall either way (the first request may complete before
+    // the second arrives); when they do overlap, the rejection must be
+    // typed. Either way the daemon never queued beyond its quota.
+    assert_eq!(served + rejected, 2, "every request resolves: {outcomes:?}");
+    daemon.shutdown();
+}
