@@ -1,0 +1,249 @@
+//! Hierarchical composition consistency: composed 64-node schedules must
+//! pass the composition verifier, satisfy the flat `Algorithm::validate`
+//! machinery on the full topology, and be byte-stable across two
+//! independent engines (the CI determinism gate).
+
+use sccl_collectives::Collective;
+use sccl_core::pareto::SynthesisConfig;
+use sccl_hier::{CompositionError, GroupSpec, HierEngineExt, HierError, HierRequest, StageLevel};
+use sccl_sched::Engine;
+use sccl_topology::builders;
+
+fn engine() -> Engine {
+    Engine::builder()
+        .build()
+        .expect("a cacheless engine builds infallibly")
+}
+
+fn small_config() -> SynthesisConfig {
+    SynthesisConfig {
+        max_steps: 8,
+        ..Default::default()
+    }
+}
+
+/// The acceptance-criteria machine: 64 nodes as 8 rings of 8, composed
+/// hierarchically where flat synthesis is infeasible.
+#[test]
+fn allgather_64_nodes_composes_and_verifies() {
+    let topology = builders::ring_of_rings(8, 8, 2, 1);
+    let response = engine()
+        .synthesize_hier(HierRequest::new(&topology, Collective::Allgather))
+        .expect("64-node hierarchical allgather");
+
+    assert_eq!(response.partition.num_groups, 8);
+    assert_eq!(
+        response.partition.classes, 1,
+        "identical rings share one class"
+    );
+    let alg = &response.algorithm;
+    assert_eq!(alg.num_nodes, 64);
+    assert_eq!(alg.composed.num_chunks, 64);
+    assert_eq!(alg.stages.len(), 3);
+    assert_eq!(alg.stages[0].name, "intra-allgather");
+    assert_eq!(alg.stages[1].name, "leader-allgather");
+    assert_eq!(alg.stages[1].level, StageLevel::Leaders);
+    assert_eq!(alg.stages[2].name, "intra-broadcast");
+
+    // Structural classes dedupe the solves: three distinct stage problems.
+    assert_eq!(response.stats.stage_solves, 3);
+
+    // The stitched schedule is a plain flat algorithm: the core validation
+    // machinery must accept it against the full topology, independently of
+    // the composition verifier that already ran inside the planner.
+    let spec = Collective::Allgather.spec(64, 1);
+    alg.composed
+        .validate(&topology, &spec)
+        .expect("composed schedule passes flat validation");
+
+    // Composed cost is the sum of stage costs.
+    let steps: usize = alg.stages.iter().map(|s| s.steps).sum();
+    let rounds: u64 = alg.stages.iter().map(|s| s.rounds).sum();
+    let cost = alg.cost();
+    assert_eq!(cost.steps, steps as u64);
+    assert_eq!(cost.rounds, rounds);
+}
+
+/// Determinism gate: two independent engines must compose byte-identical
+/// schedules for the same request.
+#[test]
+fn composition_is_byte_stable_across_engines() {
+    let topology = builders::ring_of_rings(8, 8, 2, 1);
+    let runs: Vec<String> = (0..2)
+        .map(|_| {
+            let response = engine()
+                .synthesize_hier(HierRequest::new(&topology, Collective::Allgather))
+                .expect("hierarchical allgather");
+            serde_json::to_string(&response.algorithm).expect("serializable")
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "composition must be deterministic");
+}
+
+#[test]
+fn broadcast_from_non_leader_composes() {
+    let topology = builders::ring_of_rings(3, 4, 2, 1);
+    // Node 5 is a non-leader member of group 1: the plan needs the
+    // root-group seed stage before the leader broadcast.
+    let response = engine()
+        .synthesize_hier(
+            HierRequest::new(&topology, Collective::Broadcast { root: 5 })
+                .with_config(small_config()),
+        )
+        .expect("hierarchical broadcast");
+    let alg = &response.algorithm;
+    assert_eq!(alg.stages[0].name, "root-group-broadcast");
+    assert_eq!(alg.stages[1].name, "leader-broadcast");
+    assert_eq!(alg.stages[2].name, "intra-broadcast");
+    assert_eq!(
+        alg.stages[2].instances, 2,
+        "the root group needs no fan-out"
+    );
+    let spec = Collective::Broadcast { root: 5 }.spec(12, 1);
+    alg.composed
+        .validate(&topology, &spec)
+        .expect("flat validation");
+}
+
+#[test]
+fn gather_to_non_leader_composes() {
+    let topology = builders::ring_of_rings(3, 4, 2, 1);
+    let response = engine()
+        .synthesize_hier(
+            HierRequest::new(&topology, Collective::Gather { root: 6 }).with_config(small_config()),
+        )
+        .expect("hierarchical gather");
+    let alg = &response.algorithm;
+    // Node 6 is not group 1's leader, so the gathered buffer needs the
+    // final delivery stage.
+    assert!(alg.stages.iter().any(|s| s.name == "root-delivery"));
+    let spec = Collective::Gather { root: 6 }.spec(12, 1);
+    alg.composed
+        .validate(&topology, &spec)
+        .expect("flat validation");
+}
+
+#[test]
+fn scatter_from_non_leader_composes() {
+    let topology = builders::ring_of_rings(3, 4, 2, 1);
+    let response = engine()
+        .synthesize_hier(
+            HierRequest::new(&topology, Collective::Scatter { root: 6 })
+                .with_config(small_config()),
+        )
+        .expect("hierarchical scatter");
+    let alg = &response.algorithm;
+    assert!(alg.stages.iter().any(|s| s.name == "root-group-spread"));
+    let spec = Collective::Scatter { root: 6 }.spec(12, 1);
+    alg.composed
+        .validate(&topology, &spec)
+        .expect("flat validation");
+}
+
+#[test]
+fn scatter_from_leader_skips_the_spread_stage() {
+    let topology = builders::ring_of_rings(3, 4, 2, 1);
+    let leader = {
+        let partition = sccl_hier::Partition::new(&topology, &GroupSpec::Auto).expect("partition");
+        partition.leaders()[0]
+    };
+    let response = engine()
+        .synthesize_hier(
+            HierRequest::new(&topology, Collective::Scatter { root: leader })
+                .with_config(small_config()),
+        )
+        .expect("hierarchical scatter");
+    assert!(
+        !response
+            .algorithm
+            .stages
+            .iter()
+            .any(|s| s.name == "root-group-spread"),
+        "a leader root already holds the chunks for the leader scatter"
+    );
+}
+
+#[test]
+fn explicit_groups_override_auto_detection() {
+    let topology = builders::ring_of_rings(2, 4, 2, 1);
+    let response = engine()
+        .synthesize_hier(
+            HierRequest::new(&topology, Collective::Allgather)
+                .with_groups(GroupSpec::parse("uniform:4").expect("spec"))
+                .with_config(small_config()),
+        )
+        .expect("uniform groups");
+    assert_eq!(response.partition.group_sizes, vec![4, 4]);
+}
+
+#[test]
+fn alltoall_is_rejected_as_unsupported() {
+    let topology = builders::ring_of_rings(2, 4, 2, 1);
+    let err = engine()
+        .synthesize_hier(HierRequest::new(&topology, Collective::Alltoall))
+        .expect_err("no alltoall composition rule yet");
+    assert!(matches!(err, HierError::Unsupported { .. }), "{err}");
+}
+
+#[test]
+fn combining_collectives_are_rejected_as_unsupported() {
+    let topology = builders::ring_of_rings(2, 4, 2, 1);
+    for collective in [
+        Collective::Allreduce,
+        Collective::ReduceScatter,
+        Collective::Reduce { root: 0 },
+    ] {
+        let err = engine()
+            .synthesize_hier(HierRequest::new(&topology, collective))
+            .expect_err("combining collectives have no composition rule yet");
+        assert!(matches!(err, HierError::Unsupported { .. }), "{err}");
+    }
+}
+
+#[test]
+fn flat_topology_has_no_bandwidth_tiers() {
+    let topology = builders::ring(8, 1);
+    let err = engine()
+        .synthesize_hier(HierRequest::new(&topology, Collective::Allgather))
+        .expect_err("a flat ring has no tiers to auto-detect");
+    assert!(matches!(err, HierError::Partition(_)), "{err}");
+}
+
+#[test]
+fn too_small_step_cap_is_a_stage_infeasibility() {
+    let topology = builders::ring_of_rings(2, 8, 2, 1);
+    let config = SynthesisConfig {
+        max_steps: 2, // an 8-ring allgather needs 7 steps
+        ..Default::default()
+    };
+    let err = engine()
+        .synthesize_hier(HierRequest::new(&topology, Collective::Allgather).with_config(config))
+        .expect_err("the intra stage cannot fit in two steps");
+    assert!(matches!(err, HierError::StageInfeasible { .. }), "{err}");
+}
+
+/// A corrupted composition must be rejected by the verifier with a typed
+/// error, not silently accepted.
+#[test]
+fn verifier_rejects_a_tampered_composition() {
+    let topology = builders::ring_of_rings(2, 4, 2, 1);
+    let response = engine()
+        .synthesize_hier(
+            HierRequest::new(&topology, Collective::Allgather).with_config(small_config()),
+        )
+        .expect("hierarchical allgather");
+    let mut tampered = response.algorithm.clone();
+    // Drop the last send: some chunk no longer reaches some node, which
+    // must surface as a boundary or post-condition failure.
+    tampered.composed.sends.pop();
+    let err = sccl_hier::verify_composition(&tampered, &topology)
+        .expect_err("a dropped send breaks the composition");
+    assert!(
+        matches!(
+            err,
+            CompositionError::StageBoundary { .. }
+                | CompositionError::PostConditionUnsatisfied { .. }
+        ),
+        "{err}"
+    );
+}

@@ -115,6 +115,20 @@ const ENGINE_FLAGS: &[FlagSpec] = &[
     switch("sequential", "solve with the sequential loop"),
 ];
 
+/// Group selection and stage picking for hierarchical composition.
+const HIER_FLAGS: &[FlagSpec] = &[
+    val(
+        "groups",
+        "SPEC",
+        "process groups: auto | uniform:M | `0,1;2,3` (default auto)",
+    ),
+    val(
+        "pick",
+        "P",
+        "frontier entry per stage: latency | bandwidth (default latency)",
+    ),
+];
+
 /// Daemon admission control and socket placement (`sccl serve`).
 const SERVE_FLAGS: &[FlagSpec] = &[
     val(
@@ -189,6 +203,20 @@ const COMMANDS: &[CommandSpec] = &[
         ],
     },
     CommandSpec {
+        name: "hier",
+        summary: "compose a large-topology schedule from per-group stage syntheses",
+        flags: &[
+            PROBLEM_FLAGS,
+            HIER_FLAGS,
+            SEARCH_FLAGS,
+            ENGINE_FLAGS,
+            &[
+                switch("parallel", "solve stages with the work-queue scheduler"),
+                switch("json", "print the composition summary as JSON"),
+            ],
+        ],
+    },
+    CommandSpec {
         name: "batch",
         summary: "run a manifest of jobs through the engine",
         flags: &[
@@ -250,7 +278,8 @@ fn usage() -> ExitCode {
     }
     eprintln!(
         "\ntopologies: dgx1 | dgx1-single | amd | ring:N | uniring:N | chain:N |\n\
-         \x20           star:N | fc:N | hypercube:D | mesh:RxC | nvswitch:N\n\
+         \x20           star:N | fc:N | hypercube:D | mesh:RxC | nvswitch:N |\n\
+         \x20           rings:GxM | dgx-rack:N\n\
          collectives: allgather | broadcast | gather | scatter | alltoall |\n\
          \x20            reduce | reducescatter | allreduce (root defaults to 0)\n\
          \n\
@@ -484,6 +513,10 @@ fn run_command(command: &CommandSpec, args: &[String]) -> Result<ExitCode, Error
             let (topology, collective) = require_problem(&flags)?;
             cmd_pareto(&topology, collective, &flags)
         }
+        "hier" => {
+            let (topology, collective) = require_problem(&flags)?;
+            cmd_hier(&topology, collective, &flags)
+        }
         "batch" => cmd_batch(&flags, false),
         "warmup" => cmd_batch(&flags, true),
         "serve" => cmd_serve(&flags),
@@ -668,6 +701,91 @@ fn cmd_pareto(
             mode_label(mode)
         ),
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_hier(
+    topology: &Topology,
+    collective: Collective,
+    flags: &HashMap<String, String>,
+) -> Result<ExitCode, Error> {
+    let groups = match flags.get("groups") {
+        None => GroupSpec::Auto,
+        Some(spec) => GroupSpec::parse(spec).ok_or_else(|| Error::Flag {
+            flag: "groups".to_string(),
+            message: format!("invalid group spec `{spec}` (auto | uniform:M | `0,1;2,3`)"),
+        })?,
+    };
+    let pick = match flags.get("pick") {
+        None => sccl::hier::EntryPick::Latency,
+        Some(value) => sccl::hier::EntryPick::parse(value).ok_or_else(|| Error::Flag {
+            flag: "pick".to_string(),
+            message: format!("invalid pick `{value}` (latency | bandwidth)"),
+        })?,
+    };
+    let config = synthesis_config(flags, 120)?;
+    // Stage problems are small; the sequential loop is the predictable
+    // default, --parallel opts stage misses into the work-queue scheduler.
+    let engine = build_engine(flags, SolveMode::Sequential, None, None)?;
+    let mut request = HierRequest::new(topology, collective)
+        .with_groups(groups)
+        .with_config(config);
+    if pick == sccl::hier::EntryPick::Bandwidth {
+        request = request.pick_bandwidth();
+    }
+    let response = match engine.synthesize_hier(request) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    if flags.contains_key("json") {
+        let json = serde_json::to_string_pretty(&response.summary()).expect("summaries serialize");
+        println!("{json}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let alg = &response.algorithm;
+    println!(
+        "{} on {} ({} nodes): {} groups of {:?} ({} structural class{})",
+        alg.collective,
+        alg.topology_name,
+        alg.num_nodes,
+        response.partition.num_groups,
+        response.partition.group_sizes,
+        response.partition.classes,
+        if response.partition.classes == 1 {
+            ""
+        } else {
+            "es"
+        },
+    );
+    for stage in &alg.stages {
+        println!(
+            "  {:<20} {:<7} {:<12} x{:<3} lanes={:<4} steps {:>2}..{:<3} rounds {}",
+            stage.name,
+            stage.level.to_string(),
+            stage.collective.to_string(),
+            stage.instances,
+            stage.lanes,
+            stage.step_offset,
+            stage.step_offset + stage.steps,
+            stage.rounds,
+        );
+    }
+    let cost = alg.cost();
+    println!(
+        "composed: S={} R={} C={} over {} sends; verified against the {} pre/post relation",
+        cost.steps,
+        cost.rounds,
+        cost.chunks,
+        alg.composed.sends.len(),
+        alg.collective,
+    );
+    println!(
+        "{} stage solves ({} from cache) in {:.2?}",
+        response.stats.stage_solves, response.stats.cache_hits, response.elapsed,
+    );
     Ok(ExitCode::SUCCESS)
 }
 

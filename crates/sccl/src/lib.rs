@@ -23,6 +23,9 @@
 //! * [`baselines`] — NCCL/RCCL-style ring algorithms.
 //! * [`sched`] — the [`Engine`], parallel work-queue search, persistent
 //!   cache, batch manifests.
+//! * [`hier`] — hierarchical process-group synthesis: partition a large
+//!   topology into groups, compose per-level stage schedules through the
+//!   engine, verify the stitched result against the pre/post relation.
 //! * [`serve`] — the daemon serving layer: bounded queue, admission
 //!   control, hot cache tier, metrics, Unix-socket wire protocol.
 //!
@@ -52,6 +55,7 @@
 pub use sccl_baselines as baselines;
 pub use sccl_collectives as collectives;
 pub use sccl_core as core;
+pub use sccl_hier as hier;
 pub use sccl_program as program;
 pub use sccl_runtime as runtime;
 pub use sccl_sched as sched;
@@ -61,6 +65,9 @@ pub use sccl_topology as topology;
 
 pub use sccl_core::incremental::IncrementalStats;
 pub use sccl_core::pareto::{pareto_synthesize_warm, WarmPool, WarmSynthesis};
+pub use sccl_hier::{
+    GroupSpec, HierEngineExt, HierError, HierRequest, HierResponse, HierarchicalAlgorithm,
+};
 pub use sccl_sched::{
     Engine, EngineBuilder, Error, LibraryRequest, LibraryResponse, LoweredAlgorithm, Provenance,
     ResponseTimings, SolveMode, SynthesisRequest, SynthesisResponse,
@@ -72,6 +79,7 @@ pub mod prelude {
     pub use sccl_collectives::{ChunkRelation, Collective, CollectiveSpec};
     pub use sccl_core::pareto::{pareto_synthesize, SynthesisConfig, SynthesisReport};
     pub use sccl_core::{Algorithm, AlgorithmCost, CostModel, SendOp};
+    pub use sccl_hier::{GroupSpec, HierEngineExt, HierRequest};
     pub use sccl_program::{generate_cuda, lower, LoweringOptions};
     pub use sccl_runtime::{execute, simulate_time, ExecutionConfig, ExecutionMode};
     pub use sccl_sched::{

@@ -136,7 +136,22 @@ struct CacheState {
     index: HashMap<String, PathBuf>,
     /// hash → parsed report, for entries touched by this handle.
     memo: HashMap<String, SynthesisReport>,
+    /// hash → logical access time for entries touched by this handle.
+    /// Monotonic per handle; the primary LRU signal for pruning, since
+    /// filesystem mtimes can be quantized coarsely enough that entries
+    /// written in quick succession tie.
+    recency: HashMap<String, u64>,
+    /// Logical clock feeding `recency`.
+    clock: u64,
     stats: CacheStats,
+}
+
+impl CacheState {
+    /// Record an access to `hash` at the next logical tick.
+    fn touch(&mut self, hash: &str) {
+        self.clock += 1;
+        self.recency.insert(hash.to_string(), self.clock);
+    }
 }
 
 /// A persistent, content-addressed store of synthesis reports.
@@ -238,6 +253,7 @@ impl AlgorithmCache {
         let mut state = self.state.lock().expect("cache lock");
         if let Some(report) = state.memo.get(&hash).cloned() {
             state.stats.hits += 1;
+            state.touch(&hash);
             return Some(report);
         }
         let Some(path) = state.index.get(&hash).cloned() else {
@@ -247,6 +263,7 @@ impl AlgorithmCache {
         match Self::read_entry(&path, key) {
             Some(report) => {
                 state.stats.hits += 1;
+                state.touch(&hash);
                 state.memo.insert(hash, report.clone());
                 // Refresh the entry's mtime (best effort, outside the
                 // lock) so LRU pruning sees reads, not just writes, as
@@ -305,6 +322,7 @@ impl AlgorithmCache {
                 let _ = std::fs::remove_file(old);
             }
         }
+        state.touch(&hash);
         state.index.insert(hash.clone(), path);
         state.memo.insert(hash, report.clone());
         state.stats.stores += 1;
@@ -315,34 +333,44 @@ impl AlgorithmCache {
     /// best cross-process recency signal a shared store has) until at most
     /// `max_entries` remain. Eviction is advisory: an entry whose file has
     /// already vanished (e.g. pruned by a concurrent process) just drops
-    /// out of the index. Returns how many entries were removed.
+    /// out of the index. Returns the content hashes of the removed
+    /// entries, so a hot tier layered over this store can drop its copies
+    /// instead of replaying frontiers the disk no longer backs.
     ///
     /// The O(entries) metadata scan and the unlinks run *outside* the
     /// cache's state lock, so concurrent lookups and stores are only
     /// blocked for the two brief index passes.
-    pub fn prune(&self, max_entries: usize) -> io::Result<usize> {
-        // Pass 1 (locked): snapshot the index.
-        let snapshot: Vec<(String, PathBuf)> = {
+    pub fn prune(&self, max_entries: usize) -> io::Result<Vec<String>> {
+        // Pass 1 (locked): snapshot the index with each entry's logical
+        // access time. Entries this handle never touched (discovered on
+        // disk, or written by another process) carry tick 0 and are
+        // ordered among themselves by mtime below.
+        let snapshot: Vec<(u64, String, PathBuf)> = {
             let state = self.state.lock().expect("cache lock");
             if state.index.len() <= max_entries {
-                return Ok(0);
+                return Ok(Vec::new());
             }
             state
                 .index
                 .iter()
-                .map(|(hash, path)| (hash.clone(), path.clone()))
+                .map(|(hash, path)| {
+                    let tick = state.recency.get(hash).copied().unwrap_or(0);
+                    (tick, hash.clone(), path.clone())
+                })
                 .collect()
         };
-        // Unlocked: stat everything and pick the oldest entries. Hash as
-        // tiebreak for a deterministic order when a filesystem truncates
-        // mtimes.
-        let mut aged: Vec<(std::time::SystemTime, String, PathBuf)> = snapshot
+        // Unlocked: stat everything and pick the oldest entries. The
+        // in-process tick is the primary signal (mtimes can be quantized
+        // coarsely enough that entries written in quick succession tie);
+        // mtime orders entries from other handles, and hash is the final
+        // tiebreak for a deterministic order.
+        let mut aged: Vec<(u64, std::time::SystemTime, String, PathBuf)> = snapshot
             .into_iter()
-            .map(|(hash, path)| {
+            .map(|(tick, hash, path)| {
                 let mtime = std::fs::metadata(&path)
                     .and_then(|m| m.modified())
                     .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                (mtime, hash, path)
+                (tick, mtime, hash, path)
             })
             .collect();
         aged.sort();
@@ -350,21 +378,71 @@ impl AlgorithmCache {
         // Pass 2 (locked): drop victims from the index — but only if they
         // still point at the snapshotted file, so an entry re-stored by a
         // concurrent writer mid-prune survives.
-        let mut evicted: Vec<PathBuf> = Vec::with_capacity(excess);
+        let mut evicted: Vec<(String, PathBuf)> = Vec::with_capacity(excess);
         {
             let mut state = self.state.lock().expect("cache lock");
-            for (_, hash, path) in aged.into_iter().take(excess) {
+            for (_, _, hash, path) in aged.into_iter().take(excess) {
                 if state.index.get(&hash) == Some(&path) {
                     state.index.remove(&hash);
                     state.memo.remove(&hash);
-                    evicted.push(path);
+                    state.recency.remove(&hash);
+                    evicted.push((hash, path));
                 }
             }
         }
         // Unlocked: unlink the evicted files.
-        let removed = evicted.len();
-        for path in evicted {
+        let mut removed = Vec::with_capacity(evicted.len());
+        for (hash, path) in evicted {
             let _ = std::fs::remove_file(&path);
+            removed.push(hash);
+        }
+        Ok(removed)
+    }
+
+    /// Evict every entry written by a different encoder version. Stale
+    /// entries can never be looked up again — the current encoder version
+    /// is part of every [`CacheKey`], so their hashes are unreachable —
+    /// but they linger on disk occupying capacity, and a hot tier that
+    /// was populated before the bump may still hold copies keyed by the
+    /// old hashes. Returns the evicted content hashes so such tiers can
+    /// be notified.
+    pub fn sweep_stale(&self) -> io::Result<Vec<String>> {
+        let snapshot: Vec<(String, PathBuf)> = {
+            let state = self.state.lock().expect("cache lock");
+            state
+                .index
+                .iter()
+                .map(|(hash, path)| (hash.clone(), path.clone()))
+                .collect()
+        };
+        // Unlocked: read each entry's stored key. Unreadable entries count
+        // as stale — they can't serve a hit either.
+        let stale: Vec<(String, PathBuf)> = snapshot
+            .into_iter()
+            .filter(|(_, path)| {
+                let version = std::fs::read_to_string(path)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<CacheEntry>(&text).ok())
+                    .map(|entry| entry.key.encoder_version);
+                version != Some(sccl_core::encoding::ENCODER_VERSION)
+            })
+            .collect();
+        let mut evicted: Vec<(String, PathBuf)> = Vec::with_capacity(stale.len());
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            for (hash, path) in stale {
+                if state.index.get(&hash) == Some(&path) {
+                    state.index.remove(&hash);
+                    state.memo.remove(&hash);
+                    state.recency.remove(&hash);
+                    evicted.push((hash, path));
+                }
+            }
+        }
+        let mut removed = Vec::with_capacity(evicted.len());
+        for (hash, path) in evicted {
+            let _ = std::fs::remove_file(&path);
+            removed.push(hash);
         }
         Ok(removed)
     }
@@ -426,6 +504,40 @@ mod tests {
             cache.lookup(&newer).is_none(),
             "stale-encoder entry served after a version bump"
         );
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn sweep_stale_evicts_only_old_encoder_entries() {
+        use sccl_core::pareto::pareto_synthesize;
+
+        let cache = AlgorithmCache::open(tmp_dir("sweep")).expect("open");
+        let ring = builders::ring(4, 1);
+        let config = SynthesisConfig {
+            max_steps: 4,
+            max_chunks: 2,
+            ..Default::default()
+        };
+        let report = pareto_synthesize(&ring, Collective::Allgather, &config).expect("synthesis");
+        let current = CacheKey::new(&ring, Collective::Allgather, &config);
+        // An entry left behind by an older encoder: same problem, previous
+        // version. Unreachable through lookups, but it occupies capacity
+        // and a hot tier populated before the bump may still replay it.
+        let mut stale = current.clone();
+        stale.encoder_version -= 1;
+        cache.store(&current, &report).expect("store current");
+        cache.store(&stale, &report).expect("store stale");
+        assert_eq!(cache.len(), 2);
+
+        let evicted = cache.sweep_stale().expect("sweep");
+        assert_eq!(evicted, vec![stale.content_hash()]);
+        assert_eq!(cache.len(), 1);
+        assert!(
+            cache.lookup(&current).is_some(),
+            "current-version entry must survive the sweep"
+        );
+        // A second sweep finds nothing left to evict.
+        assert!(cache.sweep_stale().expect("re-sweep").is_empty());
         let _ = std::fs::remove_dir_all(cache.root());
     }
 
@@ -507,8 +619,11 @@ mod tests {
         cache.store(&new_key, &new_report).expect("store new");
         assert_eq!(cache.len(), 3);
 
-        assert_eq!(cache.prune(5).expect("no-op prune"), 0);
-        assert_eq!(cache.prune(1).expect("prune"), 2);
+        assert!(cache.prune(5).expect("no-op prune").is_empty());
+        let evicted = cache.prune(1).expect("prune");
+        assert_eq!(evicted.len(), 2);
+        assert!(evicted.contains(&old_key.content_hash()));
+        assert!(evicted.contains(&mid_key.content_hash()));
         assert_eq!(cache.len(), 1);
         // Only the most recent entry survives, on disk and in memory.
         assert_eq!(cache.lookup(&new_key), Some(new_report));

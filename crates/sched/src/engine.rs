@@ -61,6 +61,7 @@ use sccl_runtime::{simulate_time, CollectiveLibrary};
 use sccl_topology::Topology;
 use std::io;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -571,6 +572,7 @@ impl EngineBuilder {
             defaults: self.config,
             lowering: self.lowering,
             warm: WarmPoolRegistry::new(self.warm_pool_capacity),
+            pruned: Mutex::new(Vec::new()),
         })
     }
 }
@@ -611,6 +613,13 @@ pub struct Engine {
     /// Bounded by [`EngineBuilder::warm_pool_capacity`],
     /// least-recently-used first out.
     warm: WarmPoolRegistry,
+    /// Content hashes evicted from the disk cache (capacity prunes and
+    /// encoder-version sweeps) that no layer above has collected yet.
+    /// A serving tier that replicates cache entries drains this mailbox
+    /// via [`Engine::take_pruned_hashes`] to invalidate its copies —
+    /// without it, a hot tier could replay a frontier the disk cache no
+    /// longer backs.
+    pruned: Mutex<Vec<String>>,
 }
 
 impl Engine {
@@ -664,6 +673,43 @@ impl Engine {
     /// The engine's default search configuration.
     pub fn defaults(&self) -> &SynthesisConfig {
         &self.defaults
+    }
+
+    /// Drain the mailbox of content hashes evicted from the disk cache
+    /// since the last drain (capacity prunes and encoder-version sweeps).
+    /// A serving tier that replicates cache entries calls this after each
+    /// served job and invalidates its copies of the returned hashes.
+    pub fn take_pruned_hashes(&self) -> Vec<String> {
+        std::mem::take(&mut *self.pruned.lock().expect("pruned mailbox lock"))
+    }
+
+    /// Evict disk-cache entries written by a different encoder version
+    /// and record their hashes in the pruned mailbox (see
+    /// [`Engine::take_pruned_hashes`]). Stale entries can never serve a
+    /// hit — the encoder version is part of every cache key — but they
+    /// occupy capacity, and tiers populated before a version bump may
+    /// still replay them. Returns the evicted hashes. No-op without a
+    /// cache.
+    pub fn sweep_stale_cache(&self) -> Vec<String> {
+        let Some(cache) = self.cache.as_ref() else {
+            return Vec::new();
+        };
+        match cache.sweep_stale() {
+            Ok(evicted) => {
+                self.record_pruned(evicted.clone());
+                evicted
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn record_pruned(&self, evicted: Vec<String>) {
+        if !evicted.is_empty() {
+            self.pruned
+                .lock()
+                .expect("pruned mailbox lock")
+                .extend(evicted);
+        }
     }
 
     /// Serve one synthesis request: cache lookup, solve on miss (in the
@@ -779,7 +825,9 @@ impl Engine {
                     // the store stays within capacity + capacity/10.
                     if let Some(capacity) = self.cache_capacity {
                         if cache.len() > capacity + (capacity / 10).max(1) {
-                            let _ = cache.prune(capacity);
+                            if let Ok(evicted) = cache.prune(capacity) {
+                                self.record_pruned(evicted);
+                            }
                         }
                     }
                 }

@@ -110,7 +110,7 @@ fn concurrent_stores_and_prunes_on_one_shard_lose_nothing() {
         std::thread::spawn(move || {
             let mut pruned = 0usize;
             while !stop.load(Ordering::Relaxed) {
-                pruned += cache.prune(3).expect("prune under contention");
+                pruned += cache.prune(3).expect("prune under contention").len();
                 std::thread::yield_now();
             }
             pruned

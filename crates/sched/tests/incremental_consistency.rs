@@ -258,6 +258,31 @@ fn random_topology(n: usize, extra: &[(usize, usize)]) -> Topology {
     topo
 }
 
+/// A randomized "cloud-shape" machine: a ring-of-rings backbone with
+/// asymmetric local/cross bandwidths where some groups carry a second
+/// NIC — an extra cross link bridging member 1 of the group to member 1
+/// of the next group, with its own bandwidth. Second NICs attach to a
+/// *different* member than the primary (as on real multi-NIC hosts);
+/// stacking another constraint on the member-0 link would only tighten
+/// the existing one.
+fn cloud_topology(
+    groups: usize,
+    group_size: usize,
+    local_bandwidth: u64,
+    cross_bandwidth: u64,
+    second_nic_bandwidth: u64,
+    second_nics: &[usize],
+) -> Topology {
+    let mut topo = builders::ring_of_rings(groups, group_size, local_bandwidth, cross_bandwidth);
+    for &g in second_nics {
+        let g = g % groups;
+        let a = g * group_size + 1;
+        let b = ((g + 1) % groups) * group_size + 1;
+        topo.add_bidi_link(a, b, second_nic_bandwidth);
+    }
+    topo
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -294,5 +319,59 @@ proptest! {
         for (a, b) in warm.report.entries.iter().zip(&cold.entries) {
             prop_assert_eq!(&a.algorithm, &b.algorithm);
         }
+    }
+
+    /// Warm and parallel-warm frontiers equal cold frontiers on random
+    /// cloud-shape topologies: ring-of-rings backbones with asymmetric
+    /// local/cross bandwidths and a random subset of groups carrying a
+    /// second NIC. The named suites above all run on symmetric machines;
+    /// here bandwidth tiers and link multiplicity vary per instance, so
+    /// the encoder cannot lean on uniform per-link rounds.
+    #[test]
+    fn warm_matches_cold_on_cloud_shapes(
+        groups in 2usize..=3,
+        group_size in 2usize..=3,
+        local_bandwidth in 1u64..=3,
+        cross_bandwidth in 1u64..=2,
+        second_nic_bandwidth in 1u64..=2,
+        second_nics in prop::collection::vec(0usize..3, 0..3),
+        rooted in any::<bool>(),
+    ) {
+        let topo = cloud_topology(
+            groups,
+            group_size,
+            local_bandwidth,
+            cross_bandwidth,
+            second_nic_bandwidth,
+            &second_nics,
+        );
+        let collective = if rooted {
+            Collective::Broadcast { root: 0 }
+        } else {
+            Collective::Allgather
+        };
+        let cfg = config(4, 2, 0);
+        let cold = pareto_synthesize(&topo, collective, &cfg).expect("cold");
+        let warm = pareto_synthesize_warm(&topo, collective, &cfg).expect("warm");
+        prop_assert!(
+            warm.report.same_frontier(&cold),
+            "warm diverged from cold for {collective} on {} (nics {:?})",
+            topo.name(),
+            second_nics
+        );
+        let engine = Engine::builder().threads(2).build().expect("engine");
+        let parallel = engine
+            .synthesize(
+                SynthesisRequest::new(&topo, collective)
+                    .with_config(cfg)
+                    .parallel(),
+            )
+            .expect("parallel-warm");
+        prop_assert!(
+            parallel.report.same_frontier(&cold),
+            "parallel-warm diverged from cold for {collective} on {} (nics {:?})",
+            topo.name(),
+            second_nics
+        );
     }
 }

@@ -195,6 +195,9 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
     if let Some(k) = request.k {
         config.k = k;
     }
+    if request.groups.is_some() {
+        return serve_hier(server, &request, topology, collective, config);
+    }
     match server.submit(topology, collective, config, request.mode, &request.client) {
         Err(reject) => WireResponse::Error {
             kind: reject_kind(&reject),
@@ -207,6 +210,67 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
                 error: error.to_string(),
             },
         },
+    }
+}
+
+/// Serve a hierarchical request inline: the composition itself is cheap
+/// (milliseconds of stitching); the expensive parts — the per-group stage
+/// solves — run through the daemon's engine, so its hot tier and disk
+/// cache apply per group exactly as they do for flat requests.
+fn serve_hier(
+    server: &Arc<Server>,
+    request: &crate::wire::WireSynthesize,
+    topology: sccl_topology::Topology,
+    collective: sccl_collectives::Collective,
+    config: SynthesisConfig,
+) -> WireResponse {
+    let spec = request.groups.as_deref().expect("caller checked presence");
+    let Some(groups) = sccl_hier::GroupSpec::parse(spec) else {
+        server.metrics().bad_request();
+        return WireResponse::Error {
+            kind: WireErrorKind::BadRequest,
+            error: format!("invalid group spec `{spec}` (auto | uniform:M | `0,1;2,3`)"),
+        };
+    };
+    let pick = match request.pick.as_deref() {
+        None => sccl_hier::EntryPick::Latency,
+        Some(value) => match sccl_hier::EntryPick::parse(value) {
+            Some(pick) => pick,
+            None => {
+                server.metrics().bad_request();
+                return WireResponse::Error {
+                    kind: WireErrorKind::BadRequest,
+                    error: format!("invalid pick `{value}` (latency | bandwidth)"),
+                };
+            }
+        },
+    };
+    let mut hier_request = sccl_hier::HierRequest::new(&topology, collective)
+        .with_groups(groups)
+        .with_config(config);
+    if let Some(mode) = request.mode {
+        hier_request = hier_request.with_mode(mode);
+    }
+    if pick == sccl_hier::EntryPick::Bandwidth {
+        hier_request = hier_request.pick_bandwidth();
+    }
+    match sccl_hier::synthesize_hier(server.engine(), &hier_request) {
+        Err(error) => WireResponse::Error {
+            kind: WireErrorKind::Synthesis,
+            error: error.to_string(),
+        },
+        Ok(response) => {
+            let total = response.elapsed.as_micros() as u64;
+            WireResponse::Report {
+                provenance: "hier".to_string(),
+                timings: crate::wire::WireTimings {
+                    solve_micros: total,
+                    total_micros: total,
+                    ..Default::default()
+                },
+                report: serde::to_content(&response.summary()),
+            }
+        }
     }
 }
 

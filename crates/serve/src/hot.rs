@@ -135,6 +135,32 @@ impl HotTier {
         self.publish(Box::into_raw(Box::new(next)), &mut state);
     }
 
+    /// Drop the entry published under `hash`, if any. Returns whether an
+    /// entry was removed.
+    ///
+    /// This is the invalidation hook for the disk cache underneath: when
+    /// the engine prunes an entry (capacity eviction or encoder-version
+    /// sweep), the server forwards the pruned hashes here so the tier
+    /// cannot keep replaying a frontier the durable store no longer
+    /// backs. Same clone-and-publish discipline as [`HotTier::insert`];
+    /// readers are never blocked.
+    pub fn invalidate(&self, hash: &str) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut state = self.writer.lock().expect("hot-tier writer lock");
+        let current = self.map.load(Ordering::SeqCst);
+        // SAFETY: only writers retire maps, and this thread holds the
+        // writer lock, so `current` stays valid for the clone.
+        let mut next = unsafe { &*current }.clone();
+        if next.remove(hash).is_none() {
+            return false;
+        }
+        state.order.retain(|key| key != hash);
+        self.publish(Box::into_raw(Box::new(next)), &mut state);
+        true
+    }
+
     /// Entries currently published.
     pub fn len(&self) -> usize {
         self.readers.fetch_add(1, Ordering::SeqCst);
@@ -248,6 +274,25 @@ mod tests {
         tier.insert("c".to_string(), Arc::clone(&r));
         assert!(tier.lookup("a").is_none());
         assert_eq!(tier.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_the_entry_and_its_eviction_slot() {
+        let tier = HotTier::new(2);
+        let r = report(1);
+        tier.insert("a".to_string(), Arc::clone(&r));
+        tier.insert("b".to_string(), Arc::clone(&r));
+        assert!(tier.invalidate("a"));
+        assert!(!tier.invalidate("a"), "already gone");
+        assert!(tier.lookup("a").is_none());
+        assert_eq!(tier.len(), 1);
+        // "a" must also have left the eviction queue: two more inserts
+        // evict "b" (now the oldest), not a phantom "a".
+        tier.insert("c".to_string(), Arc::clone(&r));
+        tier.insert("d".to_string(), Arc::clone(&r));
+        assert!(tier.lookup("b").is_none());
+        assert!(tier.lookup("c").is_some());
+        assert!(tier.lookup("d").is_some());
     }
 
     #[test]

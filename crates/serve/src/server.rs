@@ -471,6 +471,31 @@ impl Server {
         }
     }
 
+    /// Forward disk-cache evictions (capacity prunes, encoder-version
+    /// sweeps) to the hot tier: every hash the engine reports as pruned
+    /// is invalidated so the tier never replays a frontier the durable
+    /// store no longer backs.
+    pub fn drain_pruned(&self) -> usize {
+        let mut invalidated = 0;
+        for hash in self.engine.take_pruned_hashes() {
+            if self.hot.invalidate(&hash) {
+                invalidated += 1;
+            }
+        }
+        invalidated
+    }
+
+    /// Evict disk-cache entries written by a different encoder version
+    /// and invalidate the hot tier's copies. Call after a deploy that
+    /// bumped [`sccl_core::encoding::ENCODER_VERSION`] while the daemon
+    /// kept running; returns how many stale entries the disk cache
+    /// dropped.
+    pub fn sweep_stale(&self) -> usize {
+        let swept = self.engine.sweep_stale_cache().len();
+        self.drain_pruned();
+        swept
+    }
+
     /// Solve one admitted job, publish the report, release its admission
     /// reservations and resolve its ticket.
     fn run(&self, job: Job) {
@@ -493,6 +518,11 @@ impl Server {
                 }
                 let report = Arc::new(response.report);
                 self.hot.insert(job.key_hash, Arc::clone(&report));
+                // The store above may have pushed the disk cache over
+                // capacity and pruned entries this tier still holds;
+                // drain the engine's pruned-hash mailbox so a hash the
+                // durable store evicted can't keep being replayed hot.
+                self.drain_pruned();
                 let total = job.submitted.elapsed();
                 Ok(Served {
                     report,
@@ -630,6 +660,76 @@ mod tests {
     }
 
     #[test]
+    fn disk_cache_prunes_invalidate_the_hot_tier() {
+        let dir =
+            std::env::temp_dir().join(format!("sccl-serve-prune-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::builder()
+            .sequential()
+            .cache_dir(&dir)
+            .cache_capacity(1)
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine");
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .expect("server");
+        let ring = builders::ring(4, 1);
+        // Three distinct problems through a capacity-1 store: the third
+        // store trips the slack bound and prunes the two oldest entries,
+        // whose hashes the worker drains into hot-tier invalidations.
+        for collective in [
+            Collective::Allgather,
+            Collective::Broadcast { root: 0 },
+            Collective::Gather { root: 0 },
+        ] {
+            server
+                .submit(ring.clone(), collective, quick_config(), None, "t")
+                .expect("admitted")
+                .wait()
+                .expect("served");
+        }
+        // The pruned problem must be re-solved — its hot copy was
+        // invalidated alongside the disk eviction, so the tier cannot
+        // replay a frontier the durable store no longer backs.
+        let evicted = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "t",
+            )
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert!(
+            matches!(evicted.from, ServedFrom::Solved(_)),
+            "pruned entry replayed from {:?}",
+            evicted.from
+        );
+        // The surviving (most recent) entry still serves hot.
+        let kept = server
+            .submit(
+                ring,
+                Collective::Gather { root: 0 },
+                quick_config(),
+                None,
+                "t",
+            )
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(kept.from, ServedFrom::HotTier);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn per_client_quota_rejects_the_overflowing_submission() {
         // One worker, quota 1: while the worker is busy with the first
         // submission, a second from the same client must bounce and a
@@ -677,21 +777,26 @@ mod tests {
     fn memory_budget_rejects_concurrent_over_admission() {
         let ring = builders::ring(4, 1);
         let config = quick_config();
+        // The first job is deliberately slow (a bigger problem at higher
+        // caps) so its reservation is still held when the second
+        // submission arrives — a quick first job can finish within the
+        // scheduling gap between the two submits on a loaded box.
+        let slow_ring = builders::ring(6, 1);
+        let slow_config = SynthesisConfig {
+            max_steps: 8,
+            max_chunks: 8,
+            ..Default::default()
+        };
         let estimate = solve_estimate_cells(&ring, &config);
-        // Budget fits one reservation but not two.
+        let slow_estimate = solve_estimate_cells(&slow_ring, &slow_config);
+        // Budget fits the slow reservation but not a second one.
         let server = server(ServeConfig {
             workers: 1,
-            memory_budget_cells: estimate + estimate / 2,
+            memory_budget_cells: slow_estimate + estimate / 2,
             ..Default::default()
         });
         let first = server
-            .submit(
-                ring.clone(),
-                Collective::Allgather,
-                config.clone(),
-                None,
-                "a",
-            )
+            .submit(slow_ring, Collective::Allgather, slow_config, None, "a")
             .expect("first admitted");
         let err = server
             .submit(

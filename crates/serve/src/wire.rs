@@ -25,6 +25,14 @@
 //! mode. `client` names the requester for per-client admission quotas
 //! (connections that don't identify share the `"anonymous"` quota).
 //!
+//! A `groups` field (`"auto"`, `"uniform:M"` or an explicit `"0,1;2,3"`
+//! partition) routes the request through the hierarchical planner: the
+//! stage solves run through the daemon's engine (hot tier and disk cache
+//! apply per group) and the success response carries `"provenance":
+//! "hier"` with a composition summary as its report payload. `pick`
+//! (`"latency"` | `"bandwidth"`) chooses the frontier entry each stage
+//! uses and is rejected without `groups`.
+//!
 //! # Responses
 //!
 //! Success responses carry `"ok": true` plus verb-specific payload; every
@@ -64,6 +72,14 @@ pub struct WireSynthesize {
     pub k: Option<u64>,
     /// Solve-mode override (`"sequential"` / `"parallel"`).
     pub mode: Option<SolveMode>,
+    /// Hierarchical composition: a group spec (`auto`, `uniform:M` or an
+    /// explicit `0,1;2,3` partition). Presence routes the request through
+    /// the hierarchical planner; the response carries a composition
+    /// summary instead of a frontier report.
+    pub groups: Option<String>,
+    /// Frontier entry each hierarchical stage uses (`"latency"` /
+    /// `"bandwidth"`); only meaningful with `groups`.
+    pub pick: Option<String>,
     /// Admission-quota identity (default `"anonymous"`).
     pub client: String,
 }
@@ -80,8 +96,17 @@ impl WireSynthesize {
             max_chunks: None,
             k: None,
             mode: None,
+            groups: None,
+            pick: None,
             client: "anonymous".to_string(),
         }
+    }
+
+    /// Route the request through the hierarchical planner with `groups`
+    /// (`auto`, `uniform:M` or an explicit `0,1;2,3` partition).
+    pub fn with_groups(mut self, groups: impl Into<String>) -> Self {
+        self.groups = Some(groups.into());
+        self
     }
 
     /// Name the requesting client for admission accounting.
@@ -166,6 +191,12 @@ impl Serialize for WireRequest {
                 if let Some(mode) = s.mode {
                     push(&mut fields, "mode", Content::Str(mode_name(mode).into()));
                 }
+                if let Some(groups) = &s.groups {
+                    push(&mut fields, "groups", Content::Str(groups.clone()));
+                }
+                if let Some(pick) = &s.pick {
+                    push(&mut fields, "pick", Content::Str(pick.clone()));
+                }
                 if s.client != "anonymous" {
                     push(&mut fields, "client", Content::Str(s.client.clone()));
                 }
@@ -206,6 +237,13 @@ impl<'de> Deserialize<'de> for WireRequest {
                 let mode = optional::<String, D::Error>(&mut fields, "mode")?
                     .map(|name| parse_mode(&name).map_err(D::Error::custom))
                     .transpose()?;
+                let groups = optional::<String, D::Error>(&mut fields, "groups")?;
+                let pick = optional::<String, D::Error>(&mut fields, "pick")?;
+                if pick.is_some() && groups.is_none() {
+                    return Err(D::Error::custom(
+                        "`pick` is only meaningful with `groups` (hierarchical requests)",
+                    ));
+                }
                 let client = optional::<String, D::Error>(&mut fields, "client")?
                     .unwrap_or_else(|| "anonymous".to_string());
                 WireRequest::Synthesize(WireSynthesize {
@@ -216,6 +254,8 @@ impl<'de> Deserialize<'de> for WireRequest {
                     max_chunks,
                     k,
                     mode,
+                    groups,
+                    pick,
                     client,
                 })
             }
@@ -344,6 +384,17 @@ impl WireResponse {
         }
     }
 
+    /// Decode the carried payload of a hierarchical response (provenance
+    /// `"hier"`) into a typed composition summary. Errors on non-report
+    /// responses and on flat frontier payloads.
+    pub fn hier_summary(&self) -> Result<sccl_hier::HierSummary, String> {
+        match self.report_json() {
+            Some(json) => serde_json::from_str(&json)
+                .map_err(|e| format!("undecodable composition summary: {e}")),
+            None => Err(format!("not a report response: {self:?}")),
+        }
+    }
+
     /// The carried report re-serialized to JSON — byte-identical to the
     /// server's serialization of the same report (both sides render the
     /// same `Content` tree).
@@ -432,6 +483,8 @@ mod tests {
             max_chunks: Some(4),
             k: Some(1),
             mode: Some(SolveMode::Parallel),
+            groups: Some("uniform:4".to_string()),
+            pick: Some("bandwidth".to_string()),
             client: "loadgen-7".to_string(),
         });
         let line = serde_json::to_string(&request).expect("serialize");
@@ -468,6 +521,21 @@ mod tests {
         )
         .is_err());
         assert!(serde_json::from_str::<WireRequest>(r#"{"verb":"metrics","extra":1}"#).is_err());
+    }
+
+    #[test]
+    fn hierarchical_fields_round_trip_and_pick_requires_groups() {
+        let request = WireRequest::Synthesize(
+            WireSynthesize::new("rings:4x4", "allgather").with_groups("auto"),
+        );
+        let line = serde_json::to_string(&request).expect("serialize");
+        assert!(line.contains(r#""groups":"auto""#));
+        let back: WireRequest = serde_json::from_str(&line).expect("deserialize");
+        assert_eq!(back, request);
+        assert!(serde_json::from_str::<WireRequest>(
+            r#"{"verb":"synthesize","topology":"ring:4","collective":"allgather","pick":"latency"}"#
+        )
+        .is_err());
     }
 
     #[test]

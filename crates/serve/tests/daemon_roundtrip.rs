@@ -174,6 +174,57 @@ fn wire_errors_are_typed() {
 }
 
 #[test]
+fn hierarchical_requests_compose_through_the_wire() {
+    let server = Server::start(quick_engine(), ServeConfig::default()).expect("server");
+    let daemon = Daemon::bind(socket_path("hier"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    let response = client
+        .synthesize(WireSynthesize::new("rings:4x4", "allgather").with_groups("auto"))
+        .expect("roundtrip");
+    match &response {
+        WireResponse::Report { provenance, .. } => assert_eq!(provenance, "hier"),
+        other => panic!("expected a composition report, got {other:?}"),
+    }
+    let summary = response.hier_summary().expect("typed summary");
+    assert_eq!(summary.num_nodes, 16);
+    assert_eq!(summary.num_groups, 4);
+    assert_eq!(summary.stages.len(), 3);
+    assert_eq!(summary.composed_cost.chunks, 1);
+
+    // A bad group spec is a typed bad_request, not a dead connection.
+    let response = client
+        .synthesize(WireSynthesize::new("rings:4x4", "allgather").with_groups("uniform:"))
+        .expect("roundtrip");
+    assert!(
+        matches!(
+            &response,
+            WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                ..
+            }
+        ),
+        "was: {response:?}"
+    );
+    // A collective without a composition rule surfaces as a synthesis
+    // error.
+    let response = client
+        .synthesize(WireSynthesize::new("rings:4x4", "alltoall").with_groups("auto"))
+        .expect("roundtrip");
+    assert!(
+        matches!(
+            &response,
+            WireResponse::Error {
+                kind: WireErrorKind::Synthesis,
+                ..
+            }
+        ),
+        "was: {response:?}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
 fn admission_rejections_reach_the_wire() {
     // Tiny budget and quota: a burst of distinct problems from one client
     // must produce typed rejections, not unbounded queueing.

@@ -198,6 +198,77 @@ pub fn dual_dgx1(cross_links: usize, cross_bandwidth: u64) -> Topology {
     t
 }
 
+/// A ring of rings: `groups` local rings of `group_size` nodes each, with
+/// the first node of every group forming an outer ring at a (typically
+/// lower) cross bandwidth.
+///
+/// This is the canonical hierarchical benchmark machine: a rack of
+/// NVLink-class boxes whose node 0s are bridged by a network ring. Intra
+/// links get `local_bandwidth` chunks per round, the outer ring
+/// `cross_bandwidth`. Node `g * group_size + j` is member `j` of group `g`.
+pub fn ring_of_rings(
+    groups: usize,
+    group_size: usize,
+    local_bandwidth: u64,
+    cross_bandwidth: u64,
+) -> Topology {
+    assert!(groups >= 2, "need at least two groups");
+    assert!(group_size >= 2, "need at least two nodes per group");
+    let n = groups * group_size;
+    let mut t = Topology::new(format!("rings-{groups}x{group_size}"), n);
+    for g in 0..groups {
+        let base = g * group_size;
+        if group_size == 2 {
+            t.add_bidi_link(base, base + 1, local_bandwidth);
+        } else {
+            for j in 0..group_size {
+                t.add_bidi_link(base + j, base + (j + 1) % group_size, local_bandwidth);
+            }
+        }
+    }
+    for g in 0..groups {
+        let a = g * group_size;
+        let b = ((g + 1) % groups) * group_size;
+        if groups == 2 && g == 1 {
+            break; // a 2-group outer "ring" is a single bidi link
+        }
+        t.add_bidi_link(a, b, cross_bandwidth);
+        t.set_transport(a, b, "network");
+        t.set_transport(b, a, "network");
+    }
+    t
+}
+
+/// A rack of DGX-1 boxes: `boxes` full [`dgx1`] machines whose GPU 0s are
+/// bridged by a bidirectional InfiniBand ring with `cross_bandwidth` chunks
+/// per round. GPU `b * 8 + i` is GPU `i` of box `b`.
+pub fn dgx_rack(boxes: usize, cross_bandwidth: u64) -> Topology {
+    assert!(boxes >= 2, "a rack needs at least two boxes");
+    let single = dgx1();
+    let mut t = Topology::new(format!("dgx-rack-{boxes}"), boxes * 8);
+    for box_id in 0..boxes {
+        let offset = box_id * 8;
+        for &(src, dst) in &single.links() {
+            let bw = single.link_bandwidth(src, dst).expect("link exists");
+            t.add_link(src + offset, dst + offset, bw);
+            if let Some(transport) = single.transport(src, dst) {
+                t.set_transport(src + offset, dst + offset, transport);
+            }
+        }
+    }
+    for box_id in 0..boxes {
+        let a = box_id * 8;
+        let b = ((box_id + 1) % boxes) * 8;
+        if boxes == 2 && box_id == 1 {
+            break; // two boxes: one bidi bridge, not a doubled "ring"
+        }
+        t.add_bidi_link(a, b, cross_bandwidth);
+        t.set_transport(a, b, "infiniband");
+        t.set_transport(b, a, "infiniband");
+    }
+    t
+}
+
 /// A DGX-1 whose inter-GPU links are all reduced to a single NVLink, used
 /// in ablation experiments on how link multiplicity changes the frontier.
 pub fn dgx1_single_links() -> Topology {
@@ -218,12 +289,20 @@ pub fn dgx1_single_links() -> Topology {
 /// * named machines — `dgx1`, `dgx1-single`, `amd` (aka `amd-z52`, `z52`)
 /// * parameterized families — `ring:N`, `uniring:N`, `chain:N`, `star:N`,
 ///   `fc:N`, `hypercube:D`, `mesh:RxC`, `nvswitch:N`
+/// * hierarchical machines — `rings:GxM` (`G` local rings of `M` nodes,
+///   local bandwidth 2, leader ring bandwidth 1), `dgx-rack:N` (`N` DGX-1
+///   boxes bridged by an InfiniBand ring on GPU 0s)
 ///
 /// Returns `None` for anything unrecognised.
 pub fn parse_spec(spec: &str) -> Option<Topology> {
     if let Some((kind, arg)) = spec.split_once(':') {
         let parse_n = || arg.parse::<usize>().ok();
         return match kind {
+            "rings" => {
+                let (g, m) = arg.split_once('x')?;
+                Some(ring_of_rings(g.parse().ok()?, m.parse().ok()?, 2, 1))
+            }
+            "dgx-rack" => Some(dgx_rack(parse_n()?, 1)),
             "ring" => Some(ring(parse_n()?, 1)),
             "uniring" => Some(ring_unidirectional(parse_n()?, 1)),
             "chain" => Some(chain(parse_n()?, 1)),
@@ -388,6 +467,52 @@ mod tests {
     #[should_panic]
     fn dual_dgx1_requires_at_least_one_cross_link() {
         dual_dgx1(0, 1);
+    }
+
+    #[test]
+    fn ring_of_rings_structure() {
+        let t = ring_of_rings(4, 4, 2, 1);
+        assert_eq!(t.num_nodes(), 16);
+        // Local ring hops at local bandwidth.
+        assert_eq!(t.link_bandwidth(0, 1), Some(2));
+        assert_eq!(t.link_bandwidth(5, 6), Some(2));
+        // Leader ring at cross bandwidth, on nodes 0, 4, 8, 12.
+        assert_eq!(t.link_bandwidth(0, 4), Some(1));
+        assert_eq!(t.link_bandwidth(12, 0), Some(1));
+        assert_eq!(t.transport(0, 4), Some("network"));
+        // No shortcuts between non-leader members of different groups.
+        assert!(!t.has_link(1, 5));
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn two_group_ring_of_rings_has_single_bridge() {
+        let t = ring_of_rings(2, 2, 2, 1);
+        assert_eq!(t.num_nodes(), 4);
+        // Exactly one bidi bridge 0<->2, not a doubled pair.
+        assert_eq!(t.link_bandwidth(0, 2), Some(1));
+        assert_eq!(t.link_bandwidth(2, 0), Some(1));
+        assert_eq!(
+            t.constraints()
+                .iter()
+                .filter(|c| c.edges.contains(&(0, 2)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn dgx_rack_structure() {
+        let t = dgx_rack(3, 1);
+        assert_eq!(t.num_nodes(), 24);
+        // Intra-box NVLink structure preserved per box.
+        assert_eq!(t.link_bandwidth(8, 9), Some(2));
+        assert_eq!(t.transport(16, 18), Some("nvlink-x1"));
+        // InfiniBand ring over GPU 0s.
+        assert!(t.has_link(0, 8));
+        assert!(t.has_link(16, 0));
+        assert_eq!(t.transport(0, 8), Some("infiniband"));
+        assert!(t.is_strongly_connected());
     }
 }
 
