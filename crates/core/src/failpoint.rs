@@ -1,0 +1,216 @@
+//! A tiny fault-injection harness for chaos testing the serving pipeline.
+//!
+//! Failpoints are *named call sites* compiled into production code paths
+//! (`pool.solve`, `cache.read`, `conn.write`, …). Each site costs one
+//! relaxed atomic load while the harness is idle; when armed, a site can
+//! panic, sleep, or signal the caller to take a site-specific fault branch
+//! (e.g. "treat this cache read as corrupt", "drop this connection").
+//!
+//! Two ways to arm a site:
+//!
+//! * **Environment** — `SCCL_FAILPOINTS="pool.solve=panic;cache.read=trigger*1"`
+//!   parsed once on first use. The box this runs on is offline, so an env
+//!   var is an acceptable control plane: nothing external can reach it, and
+//!   it lets the CI chaos job inject faults into an unmodified daemon
+//!   binary. Values are `panic`, `sleep:<ms>`, or `trigger`, optionally
+//!   suffixed `*<n>` to auto-disarm after `n` firings.
+//! * **Programmatic** — [`arm`]/[`arm_times`]/[`disarm`]/[`reset`] from
+//!   tests. The registry is process-global, so tests that arm the same
+//!   site must serialize themselves (the chaos suite holds a shared lock).
+//!
+//! Unknown action strings are ignored rather than rejected: an operator
+//! typo must never take down the daemon it was meant to probe.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when its site fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic at the site with a recognizable message.
+    Panic,
+    /// Sleep for the given duration, then continue normally.
+    Sleep(Duration),
+    /// Tell the caller to take its site-specific fault branch.
+    Trigger,
+}
+
+struct Armed {
+    action: FailAction,
+    /// Remaining firings; `None` means unlimited.
+    remaining: Option<u64>,
+}
+
+struct Registry {
+    sites: Mutex<HashMap<String, Armed>>,
+    /// Cheap idle gate: number of currently armed sites. Sites check this
+    /// with one relaxed load before touching the mutex.
+    armed: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let registry = Registry {
+            sites: Mutex::new(HashMap::new()),
+            armed: AtomicU64::new(0),
+        };
+        if let Ok(spec) = std::env::var("SCCL_FAILPOINTS") {
+            let mut sites = registry.sites.lock().expect("failpoint registry");
+            for (name, armed) in parse_spec(&spec) {
+                sites.insert(name, armed);
+            }
+            registry.armed.store(sites.len() as u64, Ordering::SeqCst);
+        }
+        registry
+    })
+}
+
+fn parse_spec(spec: &str) -> Vec<(String, Armed)> {
+    spec.split(';')
+        .filter_map(|clause| {
+            let clause = clause.trim();
+            let (name, value) = clause.split_once('=')?;
+            if name.is_empty() {
+                return None;
+            }
+            let (value, remaining) = match value.split_once('*') {
+                Some((v, n)) => (v, Some(n.parse().ok()?)),
+                None => (value, None),
+            };
+            let action = match value {
+                "panic" => FailAction::Panic,
+                "trigger" => FailAction::Trigger,
+                _ => {
+                    let ms: u64 = value.strip_prefix("sleep:")?.parse().ok()?;
+                    FailAction::Sleep(Duration::from_millis(ms))
+                }
+            };
+            Some((name.to_string(), Armed { action, remaining }))
+        })
+        .collect()
+}
+
+/// Arm `site` with `action` until [`disarm`]ed.
+pub fn arm(site: &str, action: FailAction) {
+    arm_inner(site, action, None);
+}
+
+/// Arm `site` for exactly `times` firings, then auto-disarm.
+pub fn arm_times(site: &str, action: FailAction, times: u64) {
+    arm_inner(site, action, Some(times));
+}
+
+fn arm_inner(site: &str, action: FailAction, remaining: Option<u64>) {
+    let registry = registry();
+    let mut sites = registry.sites.lock().expect("failpoint registry");
+    sites.insert(site.to_string(), Armed { action, remaining });
+    registry.armed.store(sites.len() as u64, Ordering::SeqCst);
+}
+
+/// Disarm `site` if armed.
+pub fn disarm(site: &str) {
+    let registry = registry();
+    let mut sites = registry.sites.lock().expect("failpoint registry");
+    sites.remove(site);
+    registry.armed.store(sites.len() as u64, Ordering::SeqCst);
+}
+
+/// Disarm every site (chaos tests call this between scenarios).
+pub fn reset() {
+    let registry = registry();
+    let mut sites = registry.sites.lock().expect("failpoint registry");
+    sites.clear();
+    registry.armed.store(0, Ordering::SeqCst);
+}
+
+/// The call-site hook. Returns `true` iff the caller should take its
+/// fault branch (`Trigger`); `Panic` panics here, `Sleep` sleeps here.
+///
+/// Cost when nothing is armed anywhere: one relaxed atomic load.
+pub fn fire(site: &str) -> bool {
+    let registry = registry();
+    if registry.armed.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    let action = {
+        let mut sites = registry.sites.lock().expect("failpoint registry");
+        match sites.get_mut(site) {
+            None => return false,
+            Some(armed) => {
+                let action = armed.action;
+                if let Some(left) = armed.remaining.as_mut() {
+                    *left = left.saturating_sub(1);
+                    if *left == 0 {
+                        sites.remove(site);
+                        registry.armed.store(sites.len() as u64, Ordering::SeqCst);
+                    }
+                }
+                action
+            }
+        }
+    };
+    match action {
+        FailAction::Panic => panic!("failpoint {site}: injected panic"),
+        FailAction::Sleep(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        FailAction::Trigger => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share the process-global registry with nothing else in
+    // this crate, but still use distinct site names per test so they can
+    // run in parallel.
+
+    #[test]
+    fn unarmed_site_never_fires() {
+        assert!(!fire("test.unarmed"));
+    }
+
+    #[test]
+    fn trigger_fires_until_disarmed() {
+        arm("test.trigger", FailAction::Trigger);
+        assert!(fire("test.trigger"));
+        assert!(fire("test.trigger"));
+        disarm("test.trigger");
+        assert!(!fire("test.trigger"));
+    }
+
+    #[test]
+    fn counted_arm_auto_disarms() {
+        arm_times("test.counted", FailAction::Trigger, 2);
+        assert!(fire("test.counted"));
+        assert!(fire("test.counted"));
+        assert!(!fire("test.counted"));
+    }
+
+    #[test]
+    fn panic_action_panics_at_site() {
+        arm_times("test.panic", FailAction::Panic, 1);
+        let caught = std::panic::catch_unwind(|| fire("test.panic"));
+        assert!(caught.is_err());
+        assert!(!fire("test.panic"));
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let parsed = parse_spec("a=panic;b=sleep:25;c=trigger*3; d=bogus ;=panic");
+        let names: Vec<&str> = parsed.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(parsed[0].1.action, FailAction::Panic);
+        assert_eq!(
+            parsed[1].1.action,
+            FailAction::Sleep(Duration::from_millis(25))
+        );
+        assert_eq!(parsed[2].1.action, FailAction::Trigger);
+        assert_eq!(parsed[2].1.remaining, Some(3));
+    }
+}

@@ -38,6 +38,7 @@ pub mod canonical;
 pub mod combining;
 pub mod cost;
 pub mod encoding;
+pub mod failpoint;
 pub mod incremental;
 pub mod pareto;
 

@@ -199,6 +199,11 @@ const COMMANDS: &[CommandSpec] = &[
             &[
                 switch("parallel", "solve with the work-queue parallel scheduler"),
                 switch("json", "print the report as JSON"),
+                val(
+                    "deadline-ms",
+                    "MS",
+                    "whole-request deadline; on expiry print the partial frontier",
+                ),
             ],
         ],
     },
@@ -655,8 +660,17 @@ fn cmd_pareto(
     // Single-shot requests default to the sequential loop (historic CLI
     // behavior); --parallel opts into the work-queue scheduler.
     let engine = build_engine(flags, SolveMode::Sequential, None, None)?;
-    let response =
-        engine.synthesize(SynthesisRequest::new(topology, collective).with_config(config))?;
+    let mut request = SynthesisRequest::new(topology, collective).with_config(config);
+    let deadline_ms = get_usize(flags, "deadline-ms", 0)?;
+    if deadline_ms > 0 {
+        request = request.with_deadline(Duration::from_millis(deadline_ms as u64));
+    }
+    let response = engine.synthesize(request)?;
+    if response.degraded {
+        // Keep stdout clean for --json consumers; the degradation notice
+        // is diagnostic, not part of the report.
+        eprintln!("deadline of {deadline_ms}ms expired: partial frontier (degraded)");
+    }
     if flags.contains_key("json") {
         // An in-memory report always serializes (the cache round-trips the
         // same type); a failure here is a bug, not a user error.

@@ -128,6 +128,23 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub stores: u64,
+    /// Entries found corrupt (unparseable JSON or a stored key that does
+    /// not match its content address) and moved to the `quarantine/`
+    /// subdirectory instead of being served.
+    pub quarantined: u64,
+}
+
+/// What a disk read of an indexed entry produced.
+enum ReadOutcome {
+    /// A well-formed entry whose stored key matches the lookup key.
+    Report(SynthesisReport),
+    /// The file is gone or unreadable (e.g. pruned by a concurrent
+    /// process): drop it from the index, nothing to quarantine.
+    Missing,
+    /// The file exists but is not a valid entry for this address:
+    /// truncated/garbled JSON, or a stored key that does not hash to the
+    /// file's address (bit rot, a misplaced file, or a collision).
+    Corrupt(&'static str),
 }
 
 #[derive(Default)]
@@ -143,6 +160,10 @@ struct CacheState {
     recency: HashMap<String, u64>,
     /// Logical clock feeding `recency`.
     clock: u64,
+    /// Content hashes quarantined since the last [`AlgorithmCache::take_quarantined`]
+    /// drain — the mailbox a hot tier layered over this store polls so it
+    /// stops replaying entries the disk no longer backs.
+    quarantined: Vec<String>,
     stats: CacheStats,
 }
 
@@ -260,8 +281,8 @@ impl AlgorithmCache {
             state.stats.misses += 1;
             return None;
         };
-        match Self::read_entry(&path, key) {
-            Some(report) => {
+        match self.read_entry(&path, key) {
+            ReadOutcome::Report(report) => {
                 state.stats.hits += 1;
                 state.touch(&hash);
                 state.memo.insert(hash, report.clone());
@@ -277,20 +298,101 @@ impl AlgorithmCache {
                 }
                 Some(report)
             }
-            None => {
-                // Unreadable, corrupt or (astronomically unlikely) colliding
-                // entry: treat as a miss; a subsequent store overwrites it.
+            ReadOutcome::Missing => {
+                // The file vanished (e.g. pruned by a concurrent process)
+                // or a transient read error: treat as a miss; a subsequent
+                // store re-creates it.
                 state.stats.misses += 1;
                 state.index.remove(&hash);
+                None
+            }
+            ReadOutcome::Corrupt(reason) => {
+                // A torn, garbled or misaddressed entry must never be
+                // served — and must not be silently deleted either, so an
+                // operator can inspect what went wrong. Move it aside and
+                // report the address so layered tiers drop their copies;
+                // the caller re-solves transparently.
+                state.stats.misses += 1;
+                state.stats.quarantined += 1;
+                state.index.remove(&hash);
+                state.memo.remove(&hash);
+                state.recency.remove(&hash);
+                state.quarantined.push(hash.clone());
+                drop(state);
+                self.quarantine_file(&hash, &path, reason);
                 None
             }
         }
     }
 
-    fn read_entry(path: &Path, key: &CacheKey) -> Option<SynthesisReport> {
-        let text = std::fs::read_to_string(path).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
-        (entry.key == *key).then_some(entry.report)
+    /// Move a condemned entry file into `<root>/quarantine/<hash>.json`
+    /// with a `<hash>.reason` sidecar naming what failed (best effort — if
+    /// the rename fails the file is unlinked instead, so a corrupt blob can
+    /// never be re-indexed by a fresh handle). The quarantine directory is
+    /// never indexed by [`AlgorithmCache::open`], which only descends into
+    /// two-hex-digit shard directories.
+    fn quarantine_file(&self, hash: &str, path: &Path, reason: &str) {
+        let dir = self.root.join("quarantine");
+        let moved = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::rename(path, dir.join(format!("{hash}.json"))));
+        if moved.is_err() {
+            let _ = std::fs::remove_file(path);
+        } else {
+            let _ = std::fs::write(dir.join(format!("{hash}.reason")), reason);
+        }
+    }
+
+    /// Drain the content hashes quarantined since the last call. The
+    /// serving layer folds these into its pruned-hash feed so the hot tier
+    /// drops any copy it still holds.
+    pub fn take_quarantined(&self) -> Vec<String> {
+        std::mem::take(&mut self.state.lock().expect("cache lock").quarantined)
+    }
+
+    /// Forcibly quarantine the indexed entry at `hash` — the escalation a
+    /// caller uses when an entry *parsed* fine but failed a deeper check
+    /// (decode-time verification). Same mechanics as the corrupt-read
+    /// path: the file moves to `quarantine/` with a reason sidecar, the
+    /// entry leaves the index and memo, and the hash is reported via
+    /// [`AlgorithmCache::take_quarantined`]. Returns `true` if an entry
+    /// was present.
+    pub fn quarantine(&self, hash: &str, reason: &str) -> bool {
+        let path = {
+            let mut state = self.state.lock().expect("cache lock");
+            let Some(path) = state.index.remove(hash) else {
+                return false;
+            };
+            state.memo.remove(hash);
+            state.recency.remove(hash);
+            state.stats.quarantined += 1;
+            state.quarantined.push(hash.to_string());
+            path
+        };
+        self.quarantine_file(hash, &path, reason);
+        true
+    }
+
+    /// Read and validate one indexed entry: the JSON must parse as a
+    /// [`CacheEntry`] and the stored key must equal the lookup key — which
+    /// is exactly the statement that the content hashes to the file's
+    /// address (the index maps `key.content_hash()` to this path), so key
+    /// equality doubles as the content-hash integrity check.
+    fn read_entry(&self, path: &Path, key: &CacheKey) -> ReadOutcome {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return ReadOutcome::Missing,
+            Err(_) => return ReadOutcome::Missing,
+        };
+        if sccl_core::failpoint::fire("cache.read") {
+            return ReadOutcome::Corrupt("failpoint cache.read");
+        }
+        let Ok(entry) = serde_json::from_str::<CacheEntry>(&text) else {
+            return ReadOutcome::Corrupt("malformed entry JSON");
+        };
+        if entry.key != *key {
+            return ReadOutcome::Corrupt("stored key does not match content address");
+        }
+        ReadOutcome::Report(entry.report)
     }
 
     /// Persist a report (always into the sharded layout). The write is
@@ -633,6 +735,72 @@ mod tests {
         let reopened = AlgorithmCache::open(cache.root()).expect("reopen");
         assert_eq!(reopened.len(), 1);
         let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_restorable() {
+        let dir = tmp_dir("quarantine");
+        let (key, report) = tiny_report(2);
+        let hash = key.content_hash();
+        let path = {
+            let cache = AlgorithmCache::open(&dir).expect("open");
+            cache.store(&key, &report).expect("store");
+            cache
+                .root()
+                .join(&hash[..2])
+                .join(format!("{}.json", &hash[2..]))
+        };
+        std::fs::write(&path, "{\"key\": {\"truncated").expect("corrupt the entry");
+        // A fresh handle (no memo) must refuse to serve the torn blob…
+        let cache = AlgorithmCache::open(&dir).expect("reopen");
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(cache.stats().misses, 1);
+        // …move it aside for inspection…
+        assert!(!path.exists());
+        assert!(dir
+            .join("quarantine")
+            .join(format!("{hash}.json"))
+            .is_file());
+        // …and report the address exactly once so layered tiers drop it.
+        assert_eq!(cache.take_quarantined(), vec![hash.clone()]);
+        assert!(cache.take_quarantined().is_empty());
+        // A re-store (the transparent re-solve's write) serves again.
+        cache.store(&key, &report).expect("restore");
+        assert_eq!(cache.lookup(&key), Some(report));
+        // The quarantine directory is never indexed as entries.
+        let reopened = AlgorithmCache::open(&dir).expect("reindex");
+        assert_eq!(reopened.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misaddressed_entry_is_quarantined() {
+        let dir = tmp_dir("misaddr");
+        let (key_a, report_a) = tiny_report(1);
+        let (key_b, _) = tiny_report(2);
+        let hash_b = key_b.content_hash();
+        {
+            let cache = AlgorithmCache::open(&dir).expect("open");
+            cache.store(&key_a, &report_a).expect("store");
+            // Plant a *valid* entry for key A at key B's address: the JSON
+            // shape check passes, the content-hash (key equality) check
+            // must not.
+            let hash_a = key_a.content_hash();
+            let from = dir
+                .join(&hash_a[..2])
+                .join(format!("{}.json", &hash_a[2..]));
+            let to_dir = dir.join(&hash_b[..2]);
+            std::fs::create_dir_all(&to_dir).expect("shard dir");
+            std::fs::copy(&from, to_dir.join(format!("{}.json", &hash_b[2..]))).expect("misplace");
+        }
+        let cache = AlgorithmCache::open(&dir).expect("reopen");
+        assert!(cache.lookup(&key_b).is_none());
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(cache.take_quarantined(), vec![hash_b]);
+        // The correctly addressed entry still serves.
+        assert_eq!(cache.lookup(&key_a), Some(report_a));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

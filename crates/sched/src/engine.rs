@@ -61,7 +61,7 @@ use sccl_runtime::{simulate_time, CollectiveLibrary};
 use sccl_topology::Topology;
 use std::io;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -184,6 +184,14 @@ pub struct SynthesisRequest {
     pub config: Option<SynthesisConfig>,
     /// How to solve on a cache miss; `None` uses the engine's default mode.
     pub mode: Option<SolveMode>,
+    /// Wall-clock budget for the whole request. On expiry a watchdog
+    /// raises the cooperative deadline flag
+    /// ([`sccl_solver::Limits::deadline`]); whatever part of the frontier
+    /// is already solved comes back with
+    /// [`SynthesisResponse::degraded`] set, and the partial report is never
+    /// persisted. Deadlines are not part of the cache key: an expired
+    /// request that *was* fully cached still hits.
+    pub deadline: Option<Duration>,
 }
 
 impl SynthesisRequest {
@@ -194,7 +202,14 @@ impl SynthesisRequest {
             collective,
             config: None,
             mode: None,
+            deadline: None,
         }
+    }
+
+    /// Bound the request to `deadline` of wall-clock time (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Override the search configuration for this request.
@@ -217,6 +232,73 @@ impl SynthesisRequest {
     /// Solve cache misses with the work-queue parallel scheduler.
     pub fn parallel(self) -> Self {
         self.with_mode(SolveMode::Parallel)
+    }
+}
+
+/// A one-shot watchdog backing [`SynthesisRequest::deadline`]: a thread
+/// that raises a cooperative stop flag once the deadline elapses, unless
+/// disarmed (dropped) first. Solvers poll the flag at their budget checks,
+/// so expiry aborts in-flight solves within a poll interval instead of
+/// killing anything.
+struct DeadlineWatchdog {
+    expired: Arc<std::sync::atomic::AtomicBool>,
+    done: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlineWatchdog {
+    fn arm(deadline: Duration) -> Self {
+        let expired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let handle = {
+            let expired = Arc::clone(&expired);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let due = Instant::now() + deadline;
+                let (finished, wake) = &*done;
+                let mut finished = finished.lock().expect("watchdog lock");
+                loop {
+                    if *finished {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= due {
+                        expired.store(true, std::sync::atomic::Ordering::SeqCst);
+                        return;
+                    }
+                    finished = wake
+                        .wait_timeout(finished, due - now)
+                        .expect("watchdog lock")
+                        .0;
+                }
+            })
+        };
+        DeadlineWatchdog {
+            expired,
+            done,
+            handle: Some(handle),
+        }
+    }
+
+    /// The flag the watchdog raises; attach via
+    /// [`sccl_solver::Limits::with_deadline_flag`].
+    fn flag(&self) -> Arc<std::sync::atomic::AtomicBool> {
+        Arc::clone(&self.expired)
+    }
+
+    /// `true` once the deadline fired.
+    fn expired(&self) -> bool {
+        self.expired.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl Drop for DeadlineWatchdog {
+    fn drop(&mut self) {
+        *self.done.0.lock().expect("watchdog lock") = true;
+        self.done.1.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -263,6 +345,10 @@ pub struct SynthesisResponse {
     /// Warm-sweep accounting of the solve (clause reuse, base-encoding
     /// count, warm-vs-confirm solve split). `None` on a cache hit.
     pub incremental: Option<IncrementalStats>,
+    /// `true` when the request's deadline expired mid-solve and the report
+    /// is the partial frontier found before the cut — graceful degradation
+    /// rather than an error. Degraded reports are never persisted.
+    pub degraded: bool,
     /// The topology the request was posed on (kept for the fluent
     /// lowering/simulation stage).
     topology: Topology,
@@ -660,6 +746,26 @@ impl Engine {
         self.warm.weight()
     }
 
+    /// Warm pools quarantined (dropped instead of checked in because their
+    /// solve panicked) over the engine's lifetime.
+    pub fn warm_pools_quarantined(&self) -> u64 {
+        self.warm.quarantined()
+    }
+
+    /// Forcibly quarantine the persisted cache entry at `hash` (e.g. after
+    /// it failed decode-time verification): the entry file moves to the
+    /// cache's `quarantine/` subdirectory and the hash lands in the pruned
+    /// mailbox so serving tiers invalidate their copies. Returns `true` if
+    /// an indexed entry was quarantined. No-op without a cache.
+    pub fn quarantine_cached(&self, hash: &str, reason: &str) -> bool {
+        let Some(cache) = self.cache.as_ref() else {
+            return false;
+        };
+        let quarantined = cache.quarantine(hash, reason);
+        self.record_pruned(cache.take_quarantined());
+        quarantined
+    }
+
     /// The engine's (α, β) cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost_model
@@ -713,10 +819,29 @@ impl Engine {
     }
 
     /// Serve one synthesis request: cache lookup, solve on miss (in the
-    /// request's or engine's mode), persist, respond.
+    /// request's or engine's mode), persist, respond. A request deadline
+    /// arms a watchdog that raises the cooperative deadline flag on
+    /// expiry; the response then carries the partial frontier with
+    /// [`SynthesisResponse::degraded`] set (see [`SynthesisRequest::deadline`]).
     pub fn synthesize(&self, request: SynthesisRequest) -> Result<SynthesisResponse, Error> {
-        let config = request.config.as_ref().unwrap_or(&self.defaults);
         let mode = request.mode.unwrap_or(self.mode);
+        let watchdog = request.deadline.map(DeadlineWatchdog::arm);
+        let mut owned;
+        let config = match (&watchdog, request.config.as_ref()) {
+            (None, Some(config)) => config,
+            (None, None) => &self.defaults,
+            (Some(watchdog), config) => {
+                // The deadline flag rides in the per-instance limits but is
+                // deliberately not part of the cache key (it changes whether
+                // a run completes, never its result).
+                owned = config.cloned().unwrap_or_else(|| self.defaults.clone());
+                owned.per_instance_limits = owned
+                    .per_instance_limits
+                    .clone()
+                    .with_deadline_flag(watchdog.flag());
+                &owned
+            }
+        };
         let response = self.serve(
             self.cache.as_ref(),
             &request.topology,
@@ -724,7 +849,11 @@ impl Engine {
             config,
             MissPolicy::Solve(mode),
         )?;
-        Ok(response.expect("a solving policy always produces a response"))
+        let mut response = response.expect("a solving policy always produces a response");
+        if let Some(watchdog) = watchdog {
+            response.degraded = watchdog.expired() && response.report.budget_exhausted;
+        }
+        Ok(response)
     }
 
     /// Run a batch of jobs through the same request path, one
@@ -761,6 +890,10 @@ impl Engine {
             let lookup_start = Instant::now();
             let hit = cache.lookup(key);
             timings.lookup = lookup_start.elapsed();
+            // A lookup that found a torn or misaddressed entry quarantined
+            // it; surface the address through the pruned mailbox so a hot
+            // tier layered on this engine drops its copy too.
+            self.record_pruned(cache.take_quarantined());
             if let Some(report) = hit {
                 timings.total = start.elapsed();
                 return Ok(Some(SynthesisResponse {
@@ -768,6 +901,7 @@ impl Engine {
                     provenance: Provenance::CacheHit,
                     timings,
                     incremental: None,
+                    degraded: false,
                     topology: topology.clone(),
                     cost_model: self.cost_model,
                 }));
@@ -841,6 +975,7 @@ impl Engine {
             provenance: Provenance::Solved(mode),
             timings,
             incremental: Some(incremental),
+            degraded: false,
             topology: topology.clone(),
             cost_model: self.cost_model,
         }))

@@ -88,6 +88,8 @@ pub struct WarmPoolRegistry {
     weight: AtomicUsize,
     /// Monotonic recency tick, stamped on every check-in.
     tick: AtomicU64,
+    /// Pools dropped instead of checked in because their solve panicked.
+    quarantined: AtomicU64,
 }
 
 impl WarmPoolRegistry {
@@ -102,7 +104,14 @@ impl WarmPoolRegistry {
             len: AtomicUsize::new(0),
             weight: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
+    }
+
+    /// Pools quarantined (dropped on a panicking solve) since the registry
+    /// was built.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Pools currently stored (approximate under concurrent check-outs).
@@ -271,15 +280,28 @@ impl PoolSession<'_> {
     /// taken from the registry (or freshly built on a registry miss),
     /// solved on outside any lock, and checked back in afterwards; its
     /// stat delta is folded into the session. If the solve panics, the
-    /// pool is dropped rather than checked in — a half-updated solver
-    /// must not serve later candidates.
+    /// pool is **quarantined**: dropped rather than checked in — a
+    /// half-updated solver must not serve later candidates — counted in
+    /// [`WarmPoolRegistry::quarantined`], and the panic is re-raised for
+    /// the serving layer's isolation wrapper to catch.
     pub fn solve(&self, job: &CandidateJob, limits: Limits) -> SynthesisRun {
         let mut pool = self
             .registry
             .check_out(&self.key, job.chunks)
             .unwrap_or_else(|| ChunkPool::new(&self.base, &self.config, job.chunks));
         let before = pool.stats();
-        let run = pool.solve(job, limits);
+        let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sccl_core::failpoint::fire("pool.solve");
+            pool.solve(job, limits)
+        })) {
+            Ok(run) => run,
+            Err(payload) => {
+                // `pool` stays owned here and is dropped by the unwind:
+                // the quarantine is the *absence* of the check-in below.
+                self.registry.quarantined.fetch_add(1, Ordering::Relaxed);
+                std::panic::resume_unwind(payload);
+            }
+        };
         let mut delta = pool.stats().delta_since(&before);
         delta.pool_checkins = 1;
         self.registry

@@ -1,40 +1,137 @@
 //! A minimal blocking client for the daemon's NDJSON socket protocol —
 //! used by the load bench, the integration tests and anyone scripting
 //! the daemon from Rust.
+//!
+//! The client survives a daemon restart or a dropped connection: when a
+//! roundtrip fails with a transient transport error it reconnects under
+//! a jittered exponential backoff ([`RetryPolicy`]) and replays the
+//! request. Replay is safe because the protocol is idempotent — a
+//! `synthesize` re-sent after a drop is answered from the daemon's
+//! caches (or re-solved to the same frontier), and `metrics`/`shutdown`
+//! tolerate repetition.
 
 use crate::wire::{WireRequest, WireResponse, WireSynthesize};
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Reconnect behaviour on transient transport errors.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per roundtrip before giving up (`0` disables
+    /// reconnection entirely).
+    pub attempts: u32,
+    /// Backoff before the first reconnect; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never reconnect: any transport error surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Conn {
+    fn open(socket_path: &Path) -> io::Result<Conn> {
+        let stream = UnixStream::connect(socket_path)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
 
 /// One connection to a running daemon. Requests are strictly
 /// request/response in order (the protocol has no pipelining), so the
 /// client is `&mut self` throughout.
 pub struct ServeClient {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    socket_path: PathBuf,
+    retry: RetryPolicy,
+    /// xorshift64 state for backoff jitter; seeded per client from the
+    /// std hasher's process randomness so concurrent clients desynchronize
+    /// their retry storms.
+    jitter: u64,
+    conn: Option<Conn>,
 }
 
 impl ServeClient {
-    /// Connect to the daemon listening on `socket_path`.
+    /// Connect to the daemon listening on `socket_path` with the default
+    /// [`RetryPolicy`].
     pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<ServeClient> {
-        let stream = UnixStream::connect(socket_path)?;
-        let writer = stream.try_clone()?;
+        let socket_path = socket_path.as_ref().to_path_buf();
+        let conn = Conn::open(&socket_path)?;
         Ok(ServeClient {
-            reader: BufReader::new(stream),
-            writer,
+            socket_path,
+            retry: RetryPolicy::default(),
+            jitter: RandomState::new().build_hasher().finish() | 1,
+            conn: Some(conn),
         })
     }
 
-    /// Send one request line and read the matching response line.
+    /// Replace the reconnect policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Send one request line and read the matching response line,
+    /// reconnecting (with jittered exponential backoff) on transient
+    /// transport errors up to the policy's attempt budget.
     pub fn roundtrip(&mut self, request: &WireRequest) -> io::Result<WireResponse> {
         let mut line = serde_json::to_string(request)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
+        let mut attempt = 0u32;
+        loop {
+            match self.try_roundtrip(&line) {
+                Ok(response) => return Ok(response),
+                Err(error) => {
+                    // The connection is suspect after any failure.
+                    self.conn = None;
+                    if attempt >= self.retry.attempts || !transient(&error) {
+                        return Err(error);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    fn try_roundtrip(&mut self, line: &str) -> io::Result<WireResponse> {
+        let conn = match self.conn.as_mut() {
+            Some(conn) => conn,
+            None => self.conn.insert(Conn::open(&self.socket_path)?),
+        };
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.flush()?;
         let mut response = String::new();
-        if self.reader.read_line(&mut response)? == 0 {
+        if conn.reader.read_line(&mut response)? == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "daemon closed the connection without responding",
@@ -42,6 +139,32 @@ impl ServeClient {
         }
         serde_json::from_str(&response)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The delay before reconnect `attempt` (1-based): exponential from
+    /// `base_delay`, capped at `max_delay`, jittered uniformly into
+    /// `[delay/2, delay]` so a fleet of clients cut off together does not
+    /// reconnect in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let delay = self
+            .retry
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.retry.max_delay);
+        let nanos = delay.as_nanos().min(u64::MAX as u128) as u64;
+        let half = nanos / 2;
+        Duration::from_nanos(half + self.next_jitter() % (nanos - half + 1).max(1))
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        // xorshift64: tiny, seedable, no global state.
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        x
     }
 
     /// Serve one synthesis request.
@@ -58,5 +181,87 @@ impl ServeClient {
     /// accepting).
     pub fn shutdown(&mut self) -> io::Result<WireResponse> {
         self.roundtrip(&WireRequest::Shutdown)
+    }
+}
+
+/// Errors worth a reconnect: the transport died or the daemon was briefly
+/// away. `InvalidData` (a protocol bug) is deliberately not transient.
+fn transient(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WriteZero
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_stays_jittered_within_bounds() {
+        let mut client = ServeClient {
+            socket_path: PathBuf::from("/nonexistent"),
+            retry: RetryPolicy {
+                attempts: 5,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(100),
+            },
+            jitter: 0x9e3779b97f4a7c15,
+            conn: None,
+        };
+        for attempt in 1..=8 {
+            let expected = Duration::from_millis(10)
+                .saturating_mul(1 << (attempt - 1))
+                .min(Duration::from_millis(100));
+            for _ in 0..16 {
+                let delay = client.backoff(attempt);
+                assert!(
+                    delay >= expected / 2 && delay <= expected,
+                    "attempt {attempt}: {delay:?} outside [{:?}, {expected:?}]",
+                    expected / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_varies_between_draws() {
+        let mut client = ServeClient {
+            socket_path: PathBuf::from("/nonexistent"),
+            retry: RetryPolicy::default(),
+            jitter: 1,
+            conn: None,
+        };
+        let a = client.next_jitter();
+        let b = client.next_jitter();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reconnect_gives_up_after_the_attempt_budget() {
+        // No daemon behind the path: every connect refuses, which is
+        // transient, so the client burns its budget and then surfaces
+        // the error instead of spinning forever.
+        let mut client = ServeClient {
+            socket_path: PathBuf::from("/tmp/sccl-serve-no-such-socket"),
+            retry: RetryPolicy {
+                attempts: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            },
+            jitter: 7,
+            conn: None,
+        };
+        let error = client.metrics().expect_err("no daemon to answer");
+        assert!(transient(&error), "give-up error is the transport error");
     }
 }

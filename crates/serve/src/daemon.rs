@@ -196,17 +196,33 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
         config.k = k;
     }
     if request.groups.is_some() {
+        if request.deadline_ms.is_some() {
+            server.metrics().bad_request();
+            return WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                error: "`deadline_ms` is not supported with `groups` (hierarchical requests)"
+                    .to_string(),
+            };
+        }
         return serve_hier(server, &request, topology, collective, config);
     }
-    match server.submit(topology, collective, config, request.mode, &request.client) {
+    let deadline = request.deadline_ms.map(Duration::from_millis);
+    match server.submit_with_deadline(
+        topology,
+        collective,
+        config,
+        request.mode,
+        &request.client,
+        deadline,
+    ) {
         Err(reject) => WireResponse::Error {
-            kind: reject_kind(&reject),
+            kind: error_kind(&reject),
             error: reject.to_string(),
         },
         Ok(ticket) => match ticket.wait() {
             Ok(served) => report_response(served),
             Err(error) => WireResponse::Error {
-                kind: WireErrorKind::Synthesis,
+                kind: error_kind(&error),
                 error: error.to_string(),
             },
         },
@@ -274,31 +290,51 @@ fn serve_hier(
     }
 }
 
-fn reject_kind(reject: &ServeError) -> WireErrorKind {
-    match reject {
+/// Map any [`ServeError`] — admission reject or serving failure — to its
+/// machine-matchable wire kind.
+fn error_kind(error: &ServeError) -> WireErrorKind {
+    match error {
         ServeError::QueueFull { .. } => WireErrorKind::QueueFull,
         ServeError::ClientQuota { .. } => WireErrorKind::ClientQuota,
         ServeError::MemoryBudget { .. } => WireErrorKind::MemoryBudget,
         ServeError::ShuttingDown => WireErrorKind::Shutdown,
+        ServeError::Deadline { .. } => WireErrorKind::Deadline,
+        ServeError::WorkerLost | ServeError::Synthesis { .. } | ServeError::VerifyFailed { .. } => {
+            WireErrorKind::Synthesis
+        }
     }
 }
 
 fn report_response(served: Served) -> WireResponse {
-    WireResponse::Report {
-        provenance: match served.from {
-            crate::server::ServedFrom::HotTier => "hot".to_string(),
-            crate::server::ServedFrom::DiskCache => "cache".to_string(),
-            crate::server::ServedFrom::Solved(mode) => match mode {
-                sccl_sched::SolveMode::Sequential => "solved:sequential".to_string(),
-                sccl_sched::SolveMode::Parallel => "solved:parallel".to_string(),
-            },
+    let mut provenance = match served.from {
+        crate::server::ServedFrom::HotTier => "hot".to_string(),
+        crate::server::ServedFrom::DiskCache => "cache".to_string(),
+        crate::server::ServedFrom::Solved(mode) => match mode {
+            sccl_sched::SolveMode::Sequential => "solved:sequential".to_string(),
+            sccl_sched::SolveMode::Parallel => "solved:parallel".to_string(),
         },
+    };
+    if served.degraded {
+        provenance.push_str(":degraded");
+    }
+    WireResponse::Report {
+        provenance,
         timings: served.timings,
         report: serde::to_content(served.report.as_ref()),
     }
 }
 
 fn write_line(writer: &mut UnixStream, response: &WireResponse) -> io::Result<()> {
+    // Chaos hook: simulate the peer vanishing mid-response. The handler
+    // treats the error like any broken pipe — it gives up on this
+    // connection without touching daemon-wide state.
+    if sccl_core::failpoint::fire("conn.write") {
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "failpoint conn.write: injected connection drop",
+        ));
+    }
     let mut line = serde_json::to_string(response)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     line.push('\n');

@@ -346,4 +346,64 @@ mod tests {
         assert!(total_hits > 0, "readers must observe published entries");
         assert!(tier.len() <= 4);
     }
+
+    /// Invalidation racing concurrent readers: a reader overlapping the
+    /// retirement of the map it is probing must still see either a miss
+    /// or the *full* retired report — never a freed map or a torn entry.
+    /// This is the quarantine path's contract: when a corrupt disk entry
+    /// is quarantined, the server invalidates the hot tier while hot
+    /// lookups for the same hash are in flight.
+    #[test]
+    fn invalidation_racing_readers_never_serves_a_freed_report() {
+        let tier = Arc::new(HotTier::new(4));
+        let r = report(1);
+        let entries = r.entries.len();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let observed = Arc::new(AtomicU64::new(0));
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let tier = Arc::clone(&tier);
+                let stop = Arc::clone(&stop);
+                let observed = Arc::clone(&observed);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(report) = tier.lookup("contested") {
+                            // Walk the whole report: a use-after-free here
+                            // would read freed entry vectors.
+                            assert_eq!(report.entries.len(), entries);
+                            for entry in &report.entries {
+                                assert!(!entry.algorithm.sends.is_empty());
+                            }
+                            observed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // The writer flips the contested key between published and
+        // invalidated, retiring a map generation per flip, until the
+        // readers have provably raced live hits against invalidations
+        // (bounded so a pathological scheduler cannot hang the test).
+        let mut flips = 0u64;
+        while observed.load(Ordering::Relaxed) < 100 && flips < 2_000_000 {
+            tier.insert("contested".to_string(), Arc::clone(&r));
+            tier.invalidate("contested");
+            flips += 1;
+        }
+        // Leave it invalidated; a lookup that starts after this point
+        // must miss (readers may still be draining earlier hits).
+        assert!(tier.lookup("contested").is_none());
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader");
+        }
+        assert!(
+            observed.load(Ordering::Relaxed) >= 100,
+            "the race must actually interleave hits with invalidations \
+             ({flips} flips)"
+        );
+        assert_eq!(tier.len(), 0);
+    }
 }

@@ -28,14 +28,16 @@ mod daemon;
 mod hot;
 mod metrics;
 mod server;
+pub mod verify;
 pub mod wire;
 
-pub use client::ServeClient;
+pub use client::{RetryPolicy, ServeClient};
 pub use daemon::Daemon;
 pub use hot::HotTier;
 pub use metrics::{
-    CacheCounters, EngineMetrics, Histogram, HotTierGauges, LatencyCounters, LatencySnapshot,
-    MetricsSnapshot, PoolCounters, QueueGauges, RegistryGauges, RejectionCounters, RequestCounters,
+    CacheCounters, EngineMetrics, FaultCounters, FaultGauges, Histogram, HotTierGauges,
+    LatencyCounters, LatencySnapshot, MetricsSnapshot, PoolCounters, QueueGauges, RegistryGauges,
+    RejectionCounters, RequestCounters,
 };
 pub use server::{
     solve_estimate_cells, Outcome, ServeConfig, ServeError, Served, ServedFrom, Server, Ticket,

@@ -136,6 +136,12 @@ pub struct EngineMetrics {
     memo_hits: AtomicU64,
     warm_candidates: AtomicU64,
     pool_checkins: AtomicU64,
+    // Fault containment.
+    panics_caught: AtomicU64,
+    worker_respawns: AtomicU64,
+    deadline_expired: AtomicU64,
+    deadline_degraded: AtomicU64,
+    verify_failures: AtomicU64,
     // Latency histograms.
     solve_latency: Histogram,
     total_latency: Histogram,
@@ -212,6 +218,33 @@ impl EngineMetrics {
             .fetch_add(stats.pool_checkins, Ordering::Relaxed);
     }
 
+    /// Count one worker panic contained by the serving layer's unwind
+    /// boundary (the request got a typed error, the daemon kept running).
+    pub fn panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one worker thread respawned after dying to a panic.
+    pub fn worker_respawned(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request whose deadline expired with nothing solved.
+    pub fn deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request answered with a degraded (partial) frontier
+    /// because its deadline cut synthesis short.
+    pub fn deadline_degraded(&self) {
+        self.deadline_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one report that failed decode-time verification.
+    pub fn verify_failure(&self) {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Track the queue depth gauge (called with the depth after a
     /// push/pop).
     pub fn queue_depth(&self, depth: usize) {
@@ -220,10 +253,16 @@ impl EngineMetrics {
         self.queue_peak_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Snapshot every counter into a serializable report. `hot` and
-    /// `registry` describe the current hot-tier and warm-pool-registry
-    /// state (the metrics registry itself holds no references to either).
-    pub fn snapshot(&self, hot: HotTierGauges, registry: RegistryGauges) -> MetricsSnapshot {
+    /// Snapshot every counter into a serializable report. `hot`,
+    /// `registry` and `faults` describe current hot-tier, warm-pool
+    /// registry and quarantine state (the metrics registry itself holds
+    /// no references to any of them).
+    pub fn snapshot(
+        &self,
+        hot: HotTierGauges,
+        registry: RegistryGauges,
+        faults: FaultGauges,
+    ) -> MetricsSnapshot {
         let hot_hits = self.hot_hits.load(Ordering::Relaxed);
         let disk_hits = self.disk_hits.load(Ordering::Relaxed);
         let solved = self.solved.load(Ordering::Relaxed);
@@ -273,6 +312,15 @@ impl EngineMetrics {
                 registry_len: registry.len,
                 registry_weight: registry.weight,
             },
+            faults: FaultCounters {
+                panics_caught: self.panics_caught.load(Ordering::Relaxed),
+                worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+                deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+                deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
+                verify_failures: self.verify_failures.load(Ordering::Relaxed),
+                pools_quarantined: faults.pools_quarantined,
+                cache_quarantined: faults.cache_quarantined,
+            },
             latency_micros: LatencyCounters {
                 solve: self.solve_latency.snapshot(),
                 total: self.total_latency.snapshot(),
@@ -295,6 +343,14 @@ pub struct RegistryGauges {
     pub weight: u64,
 }
 
+/// Quarantine gauges owned by the engine (warm-pool registry and on-disk
+/// cache), supplied at snapshot time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultGauges {
+    pub pools_quarantined: u64,
+    pub cache_quarantined: u64,
+}
+
 /// One consistent-enough view of every metric, serializable to JSON.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct MetricsSnapshot {
@@ -303,6 +359,7 @@ pub struct MetricsSnapshot {
     pub cache: CacheCounters,
     pub queue: QueueGauges,
     pub pool: PoolCounters,
+    pub faults: FaultCounters,
     pub latency_micros: LatencyCounters,
 }
 
@@ -374,6 +431,29 @@ pub struct PoolCounters {
     pub registry_weight: u64,
 }
 
+/// Fault-containment accounting: panics caught, quarantines, deadline
+/// outcomes and verification failures. All zero on a healthy daemon
+/// except possibly the deadline counters.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct FaultCounters {
+    /// Worker panics contained by the unwind boundary.
+    pub panics_caught: u64,
+    /// Worker threads respawned after dying to a panic.
+    pub worker_respawns: u64,
+    /// Requests whose deadline expired with nothing solved.
+    pub deadline_expired: u64,
+    /// Requests answered with a degraded partial frontier.
+    pub deadline_degraded: u64,
+    /// Reports that failed decode-time verification.
+    pub verify_failures: u64,
+    /// Warm pools dropped because a solve panicked inside them (gauge,
+    /// from the engine's registry).
+    pub pools_quarantined: u64,
+    /// Cache entries moved to `quarantine/` (gauge, from the engine's
+    /// cache stats).
+    pub cache_quarantined: u64,
+}
+
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct LatencyCounters {
     /// Solver wall-clock of freshly solved requests.
@@ -428,7 +508,11 @@ mod tests {
         m.hot_hit();
         m.disk_hit();
         m.solved(Duration::from_micros(100));
-        let snap = m.snapshot(HotTierGauges::default(), RegistryGauges::default());
+        let snap = m.snapshot(
+            HotTierGauges::default(),
+            RegistryGauges::default(),
+            FaultGauges::default(),
+        );
         assert_eq!(snap.cache.hot_hits, 2);
         assert_eq!(snap.cache.disk_hits, 1);
         assert_eq!(snap.cache.solved, 1);
@@ -452,9 +536,15 @@ mod tests {
                 len: 1,
                 weight: 12345,
             },
+            FaultGauges {
+                pools_quarantined: 1,
+                cache_quarantined: 2,
+            },
         );
         assert_eq!(snap.queue.depth, 1);
         assert_eq!(snap.queue.peak_depth, 3);
+        assert_eq!(snap.faults.pools_quarantined, 1);
+        assert_eq!(snap.faults.cache_quarantined, 2);
         let json = serde_json::to_string(&snap).expect("snapshot serializes");
         for field in [
             "\"hit_rate\"",
@@ -463,6 +553,10 @@ mod tests {
             "\"queue_full\"",
             "\"registry_weight\"",
             "\"hot_capacity\"",
+            "\"panics_caught\"",
+            "\"verify_failures\"",
+            "\"deadline_degraded\"",
+            "\"cache_quarantined\"",
         ] {
             assert!(
                 json.contains(field),

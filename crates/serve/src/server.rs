@@ -27,7 +27,7 @@
 //! workers), publish results into the hot tier and complete tickets.
 
 use crate::hot::HotTier;
-use crate::metrics::{EngineMetrics, HotTierGauges, MetricsSnapshot, RegistryGauges};
+use crate::metrics::{EngineMetrics, FaultGauges, HotTierGauges, MetricsSnapshot, RegistryGauges};
 use crate::wire::WireTimings;
 use sccl_collectives::Collective;
 use sccl_core::incremental::IncrementalStats;
@@ -96,8 +96,8 @@ impl ServeConfig {
     }
 }
 
-/// Why a submission was turned away. Every variant carries enough to
-/// tell the client what limit it hit and where it stood.
+/// Why a submission was turned away or failed. Every variant carries
+/// enough to tell the client what limit it hit and where it stood.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// The bounded queue is full.
@@ -116,6 +116,22 @@ pub enum ServeError {
     },
     /// The server is shutting down.
     ShuttingDown,
+    /// The request's deadline expired before *anything* was solved. (A
+    /// deadline that cuts a partially solved frontier is not an error:
+    /// the partial report is served with [`Served::degraded`] set.)
+    Deadline { deadline_ms: u64 },
+    /// The job's solve panicked; the worker caught the panic, quarantined
+    /// the warm pool it was using and kept serving. Nothing about the
+    /// request itself is known to be wrong — a retry may succeed.
+    WorkerLost,
+    /// The engine failed to synthesize (the underlying
+    /// [`sccl_sched::Error`], stringified — admission errors are the
+    /// typed variants above).
+    Synthesis { message: String },
+    /// A frontier entry failed decode-time verification against the
+    /// collective's pre/post relation. The offending cache entry (if the
+    /// report came from disk) has been quarantined.
+    VerifyFailed { message: String },
 }
 
 impl std::fmt::Display for ServeError {
@@ -142,6 +158,22 @@ impl std::fmt::Display for ServeError {
                  {budget_cells} are already reserved"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Deadline { deadline_ms } => {
+                write!(
+                    f,
+                    "deadline of {deadline_ms}ms expired before anything was solved"
+                )
+            }
+            ServeError::WorkerLost => {
+                write!(
+                    f,
+                    "the worker solving this job panicked; the job was abandoned"
+                )
+            }
+            ServeError::Synthesis { message } => write!(f, "{message}"),
+            ServeError::VerifyFailed { message } => {
+                write!(f, "decode-time verification failed: {message}")
+            }
         }
     }
 }
@@ -156,9 +188,17 @@ impl std::error::Error for ServeError {}
 /// 4-ring at chunks 4 / steps 6 lands in the tens of thousands, matching
 /// observed encoder sizes within an order of magnitude — all admission
 /// needs.
+/// The product saturates at `usize::MAX` instead of silently wrapping on
+/// huge (e.g. hierarchical) topologies: a wrapped estimate could admit an
+/// enormous solve as nearly free. A saturated estimate is over budget next
+/// to anything else but still admissible alone, per the lone-job rule.
 pub fn solve_estimate_cells(topology: &Topology, config: &SynthesisConfig) -> usize {
     let n = topology.num_nodes().max(2);
-    n * n * config.max_chunks.max(1) * config.max_steps.max(1) * 64
+    n.checked_mul(n)
+        .and_then(|cells| cells.checked_mul(config.max_chunks.max(1)))
+        .and_then(|cells| cells.checked_mul(config.max_steps.max(1)))
+        .and_then(|cells| cells.checked_mul(64))
+        .unwrap_or(usize::MAX)
 }
 
 /// Where a served report came from.
@@ -183,10 +223,14 @@ pub struct Served {
     pub timings: WireTimings,
     /// Warm-sweep accounting (`None` for cache and hot-tier answers).
     pub incremental: Option<IncrementalStats>,
+    /// `true` when the request's deadline expired mid-solve and `report`
+    /// is the partial frontier found before the cut. Degraded reports are
+    /// never persisted or hot-tier cached — a later request re-solves.
+    pub degraded: bool,
 }
 
 /// The outcome a [`Ticket`] resolves to.
-pub type Outcome = Result<Served, Error>;
+pub type Outcome = Result<Served, ServeError>;
 
 struct TicketState {
     outcome: Mutex<Option<Outcome>>,
@@ -236,6 +280,31 @@ impl Ticket {
             slot = self.0.done.wait(slot).expect("ticket wait");
         }
     }
+
+    /// Block until the job completes or `timeout` elapses. Returns `None`
+    /// on timeout, leaving the ticket usable — call again or [`Ticket::wait`]
+    /// to keep waiting. A belt-and-braces bound for callers that cannot
+    /// afford to trust worker liveness (workers already complete tickets
+    /// with [`ServeError::WorkerLost`] when a solve panics).
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.0.outcome.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            slot = self
+                .0
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket wait")
+                .0;
+        }
+    }
 }
 
 impl TicketState {
@@ -252,6 +321,9 @@ struct Job {
     client: String,
     reserved_cells: usize,
     submitted: Instant,
+    /// Wall-clock budget measured from `submitted` — queue wait counts
+    /// against it. `None` means unbounded.
+    deadline: Option<std::time::Duration>,
     ticket: Arc<TicketState>,
 }
 
@@ -305,16 +377,29 @@ impl Server {
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let server = Arc::clone(&server);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("sccl-serve-{i}"))
-                    .spawn(move || server.worker_loop())
-                    .expect("spawn worker"),
-            );
+            handles.push(Self::spawn_worker(&server, i));
         }
         *server.workers.lock().expect("workers lock") = handles;
         Ok(server)
+    }
+
+    /// Spawn one worker thread. The thread holds a [`RespawnGuard`]: if it
+    /// ever dies by panic (solver panics are caught *inside*
+    /// [`Server::run`], so this is the backstop for panics outside that
+    /// window — a poisoned lock, a metrics bug), the guard spawns a
+    /// replacement so the pool never shrinks silently.
+    fn spawn_worker(server: &Arc<Server>, index: usize) -> std::thread::JoinHandle<()> {
+        let worker = Arc::clone(server);
+        std::thread::Builder::new()
+            .name(format!("sccl-serve-{index}"))
+            .spawn(move || {
+                let _guard = RespawnGuard {
+                    server: Arc::clone(&worker),
+                    index,
+                };
+                worker.worker_loop();
+            })
+            .expect("spawn worker")
     }
 
     /// The shared engine behind the server.
@@ -333,7 +418,7 @@ impl Server {
     }
 
     /// Snapshot every metric, folding in the hot tier's and the warm
-    /// registry's current occupancy.
+    /// registry's current occupancy plus the engine's quarantine gauges.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot(
             HotTierGauges {
@@ -343,6 +428,10 @@ impl Server {
             RegistryGauges {
                 len: self.engine.warm_pool_len() as u64,
                 weight: self.engine.warm_pool_weight() as u64,
+            },
+            FaultGauges {
+                pools_quarantined: self.engine.warm_pools_quarantined(),
+                cache_quarantined: self.engine.cache_stats().map_or(0, |s| s.quarantined),
             },
         )
     }
@@ -366,6 +455,25 @@ impl Server {
         mode: Option<SolveMode>,
         client: &str,
     ) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(topology, collective, config, mode, client, None)
+    }
+
+    /// [`Server::submit`] with a wall-clock deadline measured from this
+    /// call — queue wait counts against it. On expiry the job degrades
+    /// gracefully: whatever part of the frontier was solved in time is
+    /// served with [`Served::degraded`] set; only a deadline that expires
+    /// with *nothing* solved resolves the ticket to
+    /// [`ServeError::Deadline`]. Hot-tier and disk-cache hits always
+    /// serve complete reports, deadline notwithstanding.
+    pub fn submit_with_deadline(
+        &self,
+        topology: Topology,
+        collective: Collective,
+        config: SynthesisConfig,
+        mode: Option<SolveMode>,
+        client: &str,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Ticket, ServeError> {
         self.metrics.synthesize_request();
         if self.is_shutting_down() {
             self.metrics.rejected_shutdown();
@@ -386,6 +494,7 @@ impl Server {
                     ..WireTimings::default()
                 },
                 incremental: None,
+                degraded: false,
             })));
         }
 
@@ -412,7 +521,7 @@ impl Server {
             // The budget caps *concurrent* reservations; a lone job may
             // exceed it so no problem is permanently unserveable.
             if state.reserved_cells > 0
-                && state.reserved_cells + reserve > self.config.memory_budget_cells
+                && state.reserved_cells.saturating_add(reserve) > self.config.memory_budget_cells
             {
                 self.metrics.rejected_memory_budget();
                 return Err(ServeError::MemoryBudget {
@@ -421,7 +530,9 @@ impl Server {
                     budget_cells: self.config.memory_budget_cells,
                 });
             }
-            state.reserved_cells += reserve;
+            // Saturating: a lone saturated estimate (huge topology) must
+            // not wrap the global reservation around zero.
+            state.reserved_cells = state.reserved_cells.saturating_add(reserve);
             *state.inflight.entry(client.to_string()).or_insert(0) += 1;
             let mut request = SynthesisRequest::new(&topology, collective).with_config(config);
             if let Some(mode) = mode {
@@ -433,6 +544,7 @@ impl Server {
                 client: client.to_string(),
                 reserved_cells: reserve,
                 submitted,
+                deadline,
                 ticket: ticket_state,
             });
             self.metrics.queue_depth(state.queue.len());
@@ -498,69 +610,199 @@ impl Server {
 
     /// Solve one admitted job, publish the report, release its admission
     /// reservations and resolve its ticket.
+    ///
+    /// The solve-and-publish stage runs inside `catch_unwind`: a panicking
+    /// solver (whose warm pool the registry has already quarantined) must
+    /// not take the reservation accounting or the waiter's ticket down
+    /// with it. On a caught panic the ticket resolves to
+    /// [`ServeError::WorkerLost`] and the worker keeps draining the queue.
     fn run(&self, job: Job) {
-        let queue_wait = job.submitted.elapsed();
-        let result = self.engine.synthesize(job.request);
-        let outcome = match result {
-            Ok(response) => {
-                let from = match response.provenance {
-                    Provenance::CacheHit => {
-                        self.metrics.disk_hit();
-                        ServedFrom::DiskCache
-                    }
-                    Provenance::Solved(mode) => {
-                        self.metrics.solved(response.timings.solve);
-                        ServedFrom::Solved(mode)
-                    }
-                };
-                if let Some(stats) = &response.incremental {
-                    self.metrics.incremental(stats);
-                }
-                let report = Arc::new(response.report);
-                self.hot.insert(job.key_hash, Arc::clone(&report));
-                // The store above may have pushed the disk cache over
-                // capacity and pruned entries this tier still holds;
-                // drain the engine's pruned-hash mailbox so a hash the
-                // durable store evicted can't keep being replayed hot.
-                self.drain_pruned();
-                let total = job.submitted.elapsed();
-                Ok(Served {
-                    report,
-                    from,
-                    timings: WireTimings {
-                        queue_micros: queue_wait.as_micros() as u64,
-                        lookup_micros: response.timings.lookup.as_micros() as u64,
-                        encode_micros: response.timings.encode.as_micros() as u64,
-                        solve_micros: response.timings.solve.as_micros() as u64,
-                        store_micros: response.timings.store.as_micros() as u64,
-                        total_micros: total.as_micros() as u64,
-                    },
-                    incremental: response.incremental,
-                })
-            }
-            Err(error) => {
-                self.metrics.synthesis_error();
-                Err(error)
-            }
-        };
-        self.metrics.served(job.submitted.elapsed());
+        let Job {
+            request,
+            key_hash,
+            client,
+            reserved_cells,
+            submitted,
+            deadline,
+            ticket,
+        } = job;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute(request, &key_hash, submitted, deadline)
+        }))
+        .unwrap_or_else(|_panic| {
+            self.metrics.panic_caught();
+            Err(ServeError::WorkerLost)
+        });
+        self.metrics.served(submitted.elapsed());
         {
             let mut state = self.state.lock().expect("queue lock");
-            state.reserved_cells = state.reserved_cells.saturating_sub(job.reserved_cells);
-            if let Some(count) = state.inflight.get_mut(&job.client) {
+            state.reserved_cells = state.reserved_cells.saturating_sub(reserved_cells);
+            if let Some(count) = state.inflight.get_mut(&client) {
                 *count -= 1;
                 if *count == 0 {
-                    state.inflight.remove(&job.client);
+                    state.inflight.remove(&client);
                 }
             }
         }
-        job.ticket.complete(outcome);
+        ticket.complete(outcome);
+    }
+
+    /// The panic-isolated stage of [`Server::run`]: deadline bookkeeping,
+    /// the engine solve, decode-time verification and hot-tier publish.
+    fn execute(
+        &self,
+        mut request: SynthesisRequest,
+        key_hash: &str,
+        submitted: Instant,
+        deadline: Option<std::time::Duration>,
+    ) -> Outcome {
+        let queue_wait = submitted.elapsed();
+        if let Some(deadline) = deadline {
+            // The deadline is measured from submission; hand the engine
+            // only what the queue left over. Expiry while queued degrades
+            // to a typed error — nothing was solved, nothing to serve.
+            match deadline.checked_sub(queue_wait) {
+                Some(remaining) => request = request.with_deadline(remaining),
+                None => {
+                    self.metrics.deadline_expired();
+                    return Err(ServeError::Deadline {
+                        deadline_ms: deadline.as_millis() as u64,
+                    });
+                }
+            }
+        }
+        let topology = request.topology.clone();
+        let collective = request.collective;
+        // Kept for the one-shot re-solve after a verification quarantine:
+        // the retry must pose the *same* problem (same cache key).
+        let retry_template = SynthesisRequest {
+            topology: topology.clone(),
+            collective,
+            config: request.config.clone(),
+            mode: request.mode,
+            deadline: None,
+        };
+        let mut response = match self.engine.synthesize(request) {
+            Ok(response) => response,
+            Err(error) => {
+                self.metrics.synthesis_error();
+                return Err(ServeError::Synthesis {
+                    message: error.to_string(),
+                });
+            }
+        };
+        // Decode-time verification: replay every frontier algorithm
+        // against the collective's pre/post relation before it can enter
+        // the hot tier. A disk-backed report that fails is quarantined and
+        // re-solved once, transparently; a freshly solved failure is a
+        // solver bug surfaced as a typed error (and quarantined too — the
+        // engine just persisted it).
+        if let Err(message) = crate::verify::verify_report(&topology, collective, &response.report)
+        {
+            self.metrics.verify_failure();
+            self.engine
+                .quarantine_cached(key_hash, &format!("decode-time verification: {message}"));
+            self.drain_pruned();
+            let was_cache_hit = response.provenance == Provenance::CacheHit;
+            let retry = was_cache_hit
+                .then(|| self.engine.synthesize(retry_template).ok())
+                .flatten();
+            match retry {
+                Some(resolved)
+                    if crate::verify::verify_report(&topology, collective, &resolved.report)
+                        .is_ok() =>
+                {
+                    response = resolved;
+                }
+                _ => {
+                    return Err(ServeError::VerifyFailed { message });
+                }
+            }
+        }
+        let from = match response.provenance {
+            Provenance::CacheHit => {
+                self.metrics.disk_hit();
+                ServedFrom::DiskCache
+            }
+            Provenance::Solved(mode) => {
+                self.metrics.solved(response.timings.solve);
+                ServedFrom::Solved(mode)
+            }
+        };
+        if let Some(stats) = &response.incremental {
+            self.metrics.incremental(stats);
+        }
+        if response.degraded {
+            if response.report.entries.is_empty() {
+                // The deadline cut before any candidate was decided:
+                // nothing to degrade to. Counted as an expiry, not a
+                // degradation — exactly one deadline outcome per request.
+                self.metrics.deadline_expired();
+                return Err(ServeError::Deadline {
+                    deadline_ms: deadline.map(|d| d.as_millis() as u64).unwrap_or_default(),
+                });
+            }
+            self.metrics.deadline_degraded();
+        }
+        let report = Arc::new(response.report);
+        if !response.degraded {
+            // Only complete reports enter the hot tier: a degraded
+            // frontier is timing-dependent and must not be replayed
+            // forever (the engine refuses to persist it for the same
+            // reason).
+            self.hot.insert(key_hash.to_string(), Arc::clone(&report));
+        }
+        // The store above may have pushed the disk cache over capacity and
+        // pruned entries this tier still holds; drain the engine's
+        // pruned-hash mailbox so a hash the durable store evicted can't
+        // keep being replayed hot.
+        self.drain_pruned();
+        let total = submitted.elapsed();
+        Ok(Served {
+            report,
+            from,
+            timings: WireTimings {
+                queue_micros: queue_wait.as_micros() as u64,
+                lookup_micros: response.timings.lookup.as_micros() as u64,
+                encode_micros: response.timings.encode.as_micros() as u64,
+                solve_micros: response.timings.solve.as_micros() as u64,
+                store_micros: response.timings.store.as_micros() as u64,
+                total_micros: total.as_micros() as u64,
+            },
+            incremental: response.incremental,
+            degraded: response.degraded,
+        })
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Dropped by a worker thread on its way out. If the thread is unwinding
+/// (a panic escaped [`Server::run`]'s isolation window) and the server is
+/// not shutting down, a replacement worker is spawned and its handle is
+/// parked in the workers list for [`Server::shutdown`] to join. A
+/// replacement spawned in the narrow race after shutdown's handle-take is
+/// never joined, but it observes `shutting_down` and exits immediately.
+struct RespawnGuard {
+    server: Arc<Server>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.server.is_shutting_down() {
+            self.server.metrics.worker_respawned();
+            let handle = Server::spawn_worker(&self.server, self.index);
+            self.server
+                .workers
+                .lock()
+                .expect("workers lock")
+                .push(handle);
+        }
     }
 }
 
@@ -584,6 +826,30 @@ mod tests {
             .build()
             .expect("engine");
         Server::start(engine, config).expect("server")
+    }
+
+    #[test]
+    fn solve_estimate_saturates_instead_of_wrapping() {
+        // A sane problem produces a sane estimate…
+        let ring = builders::ring(4, 1);
+        let small = solve_estimate_cells(&ring, &quick_config());
+        assert!(small > 0 && small < 1 << 30, "was: {small}");
+
+        // …while a huge (hierarchical-scale) topology overflows the
+        // nodes² × chunks × steps product. Wrapping would make the job
+        // look nearly free and admit it alongside everything else;
+        // saturation makes it over budget next to anything but still
+        // admissible alone under the lone-job rule.
+        let huge = Topology::new("huge", 1 << 20);
+        let mut config = quick_config();
+        config.max_chunks = 1 << 12;
+        config.max_steps = 1 << 12;
+        assert_eq!(solve_estimate_cells(&huge, &config), usize::MAX);
+
+        // The estimate is monotone at the saturation boundary: more nodes
+        // never shrinks it.
+        let big = Topology::new("big", 1 << 10);
+        assert!(solve_estimate_cells(&big, &config) <= solve_estimate_cells(&huge, &config));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Decode-time verification for the flat serve path: every frontier
+//! algorithm is independently re-checked against its collective's pre/post
+//! relation (and the topology's links and bandwidth constraints) before it
+//! can enter the hot tier — the same trust posture as the hierarchical
+//! path's composition verifier (`sccl_hier::verify_composition`): nothing
+//! a solver or a disk read produced is replayed to clients unchecked.
+//!
+//! Non-combining collectives replay through [`sccl_core::Algorithm::validate`]
+//! against the Table-2 spec from `sccl_collectives::relations`; combining
+//! collectives (whose correctness is a statement about reduction
+//! *contribution sets*, not placements) go through
+//! [`sccl_core::combining::validate_combining`] with the collective's
+//! required end-state.
+
+use sccl_collectives::Collective;
+use sccl_core::combining::{
+    allreduce_required, reduce_required, reducescatter_required, validate_combining,
+};
+use sccl_core::pareto::SynthesisReport;
+use sccl_topology::Topology;
+
+/// Re-check every entry of `report` for `collective` on `topology`.
+///
+/// Returns `Err` with a human-readable description naming the offending
+/// frontier entry and the first check that failed. The serving layer
+/// treats any error as grounds to quarantine the backing cache entry.
+pub fn verify_report(
+    topology: &Topology,
+    collective: Collective,
+    report: &SynthesisReport,
+) -> Result<(), String> {
+    for (index, entry) in report.entries.iter().enumerate() {
+        let algorithm = &entry.algorithm;
+        let label = || {
+            format!(
+                "frontier entry {index} (chunks {}, steps {}, rounds {})",
+                entry.chunks, entry.steps, entry.rounds
+            )
+        };
+        let result: Result<(), String> = match collective {
+            Collective::Reduce { root } => validate_combining(
+                algorithm,
+                topology,
+                &reduce_required(algorithm.num_chunks, root),
+            )
+            .map_err(|e| e.to_string()),
+            Collective::ReduceScatter => validate_combining(
+                algorithm,
+                topology,
+                &reducescatter_required(algorithm.num_chunks, algorithm.num_nodes),
+            )
+            .map_err(|e| e.to_string()),
+            Collective::Allreduce => validate_combining(
+                algorithm,
+                topology,
+                &allreduce_required(algorithm.num_chunks, algorithm.num_nodes),
+            )
+            .map_err(|e| e.to_string()),
+            _ => {
+                let spec = collective.spec(algorithm.num_nodes, algorithm.per_node_chunks);
+                algorithm
+                    .validate(topology, &spec)
+                    .map_err(|e| e.to_string())
+            }
+        };
+        if let Err(error) = result {
+            return Err(format!("{}: {error}", label()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+    use sccl_topology::builders;
+
+    fn quick_config() -> SynthesisConfig {
+        SynthesisConfig {
+            max_steps: 6,
+            max_chunks: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_frontiers_verify_for_every_collective_class() {
+        let ring = builders::ring(4, 1);
+        for collective in [
+            Collective::Allgather,
+            Collective::Broadcast { root: 0 },
+            Collective::Reduce { root: 0 },
+            Collective::ReduceScatter,
+            Collective::Allreduce,
+        ] {
+            let report = pareto_synthesize(&ring, collective, &quick_config()).expect("synthesis");
+            assert!(
+                verify_report(&ring, collective, &report).is_ok(),
+                "freshly solved {collective} frontier must verify"
+            );
+        }
+    }
+
+    #[test]
+    fn a_tampered_send_fails_verification() {
+        let ring = builders::ring(4, 1);
+        let mut report =
+            pareto_synthesize(&ring, Collective::Allgather, &quick_config()).expect("synthesis");
+        // Rewire one send across a link the ring does not have — exactly
+        // the kind of silent corruption a bit-flipped cache entry or a
+        // decoder bug would produce.
+        let algorithm = &mut report.entries[0].algorithm;
+        let send = algorithm.sends.first_mut().expect("nonempty schedule");
+        send.dst = (send.src + 2) % algorithm.num_nodes;
+        let error = verify_report(&ring, Collective::Allgather, &report)
+            .expect_err("tampered schedule must fail");
+        assert!(
+            error.contains("frontier entry 0"),
+            "error names the entry: {error}"
+        );
+    }
+
+    #[test]
+    fn a_dropped_chunk_fails_the_post_condition() {
+        let ring = builders::ring(4, 1);
+        let mut report =
+            pareto_synthesize(&ring, Collective::Allgather, &quick_config()).expect("synthesis");
+        let algorithm = &mut report.entries[0].algorithm;
+        algorithm.sends.pop();
+        assert!(
+            verify_report(&ring, Collective::Allgather, &report).is_err(),
+            "a schedule missing a send must fail verification"
+        );
+    }
+}

@@ -24,6 +24,10 @@
 //! defaults; `mode` (`"sequential"` | `"parallel"`) overrides its solve
 //! mode. `client` names the requester for per-client admission quotas
 //! (connections that don't identify share the `"anonymous"` quota).
+//! `deadline_ms` bounds the request's wall clock from admission: on
+//! expiry the daemon answers with whatever partial frontier was already
+//! solved (provenance suffixed `:degraded`), or a `"deadline"` error if
+//! nothing was.
 //!
 //! A `groups` field (`"auto"`, `"uniform:M"` or an explicit `"0,1;2,3"`
 //! partition) routes the request through the hierarchical planner: the
@@ -38,11 +42,12 @@
 //! Success responses carry `"ok": true` plus verb-specific payload; every
 //! failure is `{"ok": false, "kind": ..., "error": ...}` where `kind` is a
 //! machine-matchable cause (`"queue_full"`, `"client_quota"`,
-//! `"memory_budget"`, `"shutdown"`, `"bad_request"`, `"synthesis"`). A
-//! `synthesize` success carries the report (bytes identical to what the
-//! in-process `Engine::synthesize` would have serialized), its
-//! provenance (`"hot"`, `"cache"`, `"solved:sequential"`,
-//! `"solved:parallel"`) and per-stage timings in microseconds.
+//! `"memory_budget"`, `"shutdown"`, `"bad_request"`, `"synthesis"`,
+//! `"deadline"`). A `synthesize` success carries the report (bytes
+//! identical to what the in-process `Engine::synthesize` would have
+//! serialized), its provenance (`"hot"`, `"cache"`, `"solved:sequential"`,
+//! `"solved:parallel"`, each suffixed `:degraded` when a deadline cut the
+//! frontier short) and per-stage timings in microseconds.
 
 use sccl_collectives::Collective;
 use sccl_sched::SolveMode;
@@ -82,6 +87,10 @@ pub struct WireSynthesize {
     pub pick: Option<String>,
     /// Admission-quota identity (default `"anonymous"`).
     pub client: String,
+    /// Wall-clock budget in milliseconds, measured from admission (queue
+    /// wait counts). Expiry degrades the answer to the partial frontier
+    /// rather than cancelling it; flat requests only.
+    pub deadline_ms: Option<u64>,
 }
 
 impl WireSynthesize {
@@ -99,7 +108,14 @@ impl WireSynthesize {
             groups: None,
             pick: None,
             client: "anonymous".to_string(),
+            deadline_ms: None,
         }
+    }
+
+    /// Bound the request's wall clock (milliseconds from admission).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 
     /// Route the request through the hierarchical planner with `groups`
@@ -200,6 +216,9 @@ impl Serialize for WireRequest {
                 if s.client != "anonymous" {
                     push(&mut fields, "client", Content::Str(s.client.clone()));
                 }
+                if let Some(deadline_ms) = s.deadline_ms {
+                    push(&mut fields, "deadline_ms", Content::U64(deadline_ms));
+                }
             }
         }
         serializer.serialize_content(Content::Map(fields))
@@ -246,6 +265,7 @@ impl<'de> Deserialize<'de> for WireRequest {
                 }
                 let client = optional::<String, D::Error>(&mut fields, "client")?
                     .unwrap_or_else(|| "anonymous".to_string());
+                let deadline_ms = optional::<u64, D::Error>(&mut fields, "deadline_ms")?;
                 WireRequest::Synthesize(WireSynthesize {
                     topology,
                     collective,
@@ -257,6 +277,7 @@ impl<'de> Deserialize<'de> for WireRequest {
                     groups,
                     pick,
                     client,
+                    deadline_ms,
                 })
             }
             other => {
@@ -290,8 +311,12 @@ pub enum WireErrorKind {
     Shutdown,
     /// The request line did not parse or referenced unknown specs.
     BadRequest,
-    /// Synthesis itself failed (e.g. a disconnected topology).
+    /// Synthesis itself failed (e.g. a disconnected topology, a worker
+    /// lost to a contained panic, or a report failing decode-time
+    /// verification with no clean re-solve).
     Synthesis,
+    /// The request's deadline expired before anything was solved.
+    Deadline,
 }
 
 impl WireErrorKind {
@@ -303,6 +328,7 @@ impl WireErrorKind {
             WireErrorKind::Shutdown => "shutdown",
             WireErrorKind::BadRequest => "bad_request",
             WireErrorKind::Synthesis => "synthesis",
+            WireErrorKind::Deadline => "deadline",
         }
     }
 
@@ -314,6 +340,7 @@ impl WireErrorKind {
             "shutdown" => WireErrorKind::Shutdown,
             "bad_request" => WireErrorKind::BadRequest,
             "synthesis" => WireErrorKind::Synthesis,
+            "deadline" => WireErrorKind::Deadline,
             _ => return None,
         })
     }
@@ -486,6 +513,7 @@ mod tests {
             groups: Some("uniform:4".to_string()),
             pick: Some("bandwidth".to_string()),
             client: "loadgen-7".to_string(),
+            deadline_ms: Some(2_500),
         });
         let line = serde_json::to_string(&request).expect("serialize");
         let back: WireRequest = serde_json::from_str(&line).expect("deserialize");

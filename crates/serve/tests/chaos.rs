@@ -1,0 +1,459 @@
+//! Chaos suite: inject faults into a live daemon through
+//! `sccl_core::failpoint` and assert the containment contract — every
+//! injected failure yields a *typed* wire error (or a degraded report),
+//! the daemon keeps serving subsequent requests byte-identically, and
+//! quarantined state heals by re-solving.
+//!
+//! The failpoint registry is process-global, so every test that arms a
+//! site holds [`CHAOS`] for its whole body (and resets the registry on
+//! drop, panic included) — the tests serialize instead of tripping each
+//! other's faults.
+
+use sccl_core::failpoint::{self, FailAction};
+use sccl_serve::{
+    Daemon, RetryPolicy, ServeClient, ServeConfig, ServeError, Served, Server, WireErrorKind,
+    WireResponse, WireSynthesize,
+};
+use serde::Content;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// Hold the chaos lock and guarantee a clean failpoint registry on both
+/// entry and exit (even when the test body panics).
+struct ChaosGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ChaosGuard {
+    fn lock() -> ChaosGuard {
+        let guard = CHAOS
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        failpoint::reset();
+        ChaosGuard(guard)
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        failpoint::reset();
+    }
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sccl-chaos-{tag}-{}.sock", std::process::id()))
+}
+
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sccl-chaos-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_defaults() -> sccl_core::pareto::SynthesisConfig {
+    sccl_core::pareto::SynthesisConfig {
+        max_steps: 6,
+        max_chunks: 2,
+        ..Default::default()
+    }
+}
+
+fn engine_with_cache(dir: &PathBuf) -> sccl_sched::Engine {
+    sccl_sched::Engine::builder()
+        .sequential()
+        .synthesis_defaults(quick_defaults())
+        .cache_dir(dir)
+        .build()
+        .expect("engine")
+}
+
+fn report_json(response: &WireResponse) -> String {
+    match response {
+        WireResponse::Report { .. } => response.report_json().expect("report json"),
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+fn provenance(response: &WireResponse) -> &str {
+    match response {
+        WireResponse::Report { provenance, .. } => provenance,
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+fn fault_field(snapshot: &Content, field: &str) -> u64 {
+    let Content::Map(top) = snapshot else {
+        panic!("metrics snapshot is not a map");
+    };
+    let faults = &top
+        .iter()
+        .find(|(k, _)| k == "faults")
+        .expect("snapshot has a faults section")
+        .1;
+    let Content::Map(fields) = faults else {
+        panic!("faults is not a map");
+    };
+    match fields.iter().find(|(k, _)| k == field) {
+        Some((_, Content::U64(v))) => *v,
+        Some((_, Content::I64(v))) => *v as u64,
+        other => panic!("faults.{field} missing or non-numeric: {other:?}"),
+    }
+}
+
+#[test]
+fn a_solver_panic_is_contained_and_the_daemon_keeps_serving() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("panic");
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("panic"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    // A clean solve first, as the byte-identity baseline.
+    let baseline = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather"))
+        .expect("baseline roundtrip");
+    let baseline_json = report_json(&baseline);
+
+    // Inject one panic into the next solver run (a different problem, so
+    // it cannot be answered from a tier).
+    failpoint::arm_times("pool.solve", FailAction::Panic, 1);
+    let response = client
+        .synthesize(WireSynthesize::new("ring:5", "allgather"))
+        .expect("the connection survives the worker panic");
+    match &response {
+        WireResponse::Error { kind, error } => {
+            assert_eq!(*kind, WireErrorKind::Synthesis, "was: {response:?}");
+            assert!(error.contains("worker"), "names the lost worker: {error}");
+        }
+        other => panic!("a panicked solve must surface a typed error, got {other:?}"),
+    }
+
+    // The same problem solves cleanly now that the failpoint is spent —
+    // the panicked attempt poisoned nothing.
+    let healed = client
+        .synthesize(WireSynthesize::new("ring:5", "allgather"))
+        .expect("roundtrip");
+    assert!(provenance(&healed).starts_with("solved"), "was: {healed:?}");
+
+    // And the baseline problem is still served byte-identically.
+    let repeat = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather"))
+        .expect("roundtrip");
+    assert_eq!(report_json(&repeat), baseline_json);
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb");
+    };
+    assert_eq!(fault_field(&snapshot, "panics_caught"), 1);
+    assert_eq!(
+        fault_field(&snapshot, "pools_quarantined"),
+        1,
+        "the warm pool the panic unwound through must be dropped, not checked in"
+    );
+    assert_eq!(fault_field(&snapshot, "verify_failures"), 0);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_corrupt_cache_read_quarantines_resolves_and_recovers() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("corrupt");
+    let request = || WireSynthesize::new("ring:4", "allgather");
+
+    // Populate the on-disk cache through a first daemon, then retire it.
+    let clean = {
+        let server =
+            Server::start(engine_with_cache(&dir), ServeConfig::default()).expect("server");
+        let daemon = Daemon::bind(socket_path("corrupt-seed"), server).expect("bind");
+        let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+        let first = client.synthesize(request()).expect("solve roundtrip");
+        assert!(provenance(&first).starts_with("solved"), "was: {first:?}");
+        let report = first.report().expect("typed report");
+        daemon.shutdown();
+        report
+    };
+
+    // A fresh daemon on the same cache dir: its first lookup is a real
+    // disk read (no hot tier, no warm memo), which the failpoint turns
+    // into a corrupt entry.
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 1,
+            hot_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("corrupt"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    failpoint::arm_times("cache.read", FailAction::Trigger, 1);
+    let healed = client.synthesize(request()).expect("roundtrip");
+    assert!(
+        provenance(&healed).starts_with("solved"),
+        "a corrupt hit must fall through to a re-solve, was: {healed:?}"
+    );
+    // The re-solved frontier matches the original algorithm-for-algorithm
+    // (per-entry solver wall-clock differs between independent runs, so
+    // byte identity is checked on the schedules, not the whole report).
+    let healed_report = healed.report().expect("typed report");
+    assert_eq!(healed_report.entries.len(), clean.entries.len());
+    for (fresh, original) in healed_report.entries.iter().zip(&clean.entries) {
+        assert_eq!(fresh.chunks, original.chunks);
+        assert_eq!(fresh.steps, original.steps);
+        assert_eq!(fresh.rounds, original.rounds);
+        assert_eq!(fresh.algorithm, original.algorithm);
+    }
+
+    // The poisoned entry moved to quarantine/ with a reason sidecar...
+    let quarantine = dir.join("quarantine");
+    let quarantined: Vec<_> = std::fs::read_dir(&quarantine)
+        .expect("quarantine dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert_eq!(quarantined.len(), 2, "entry + reason: {quarantined:?}");
+    assert!(quarantined
+        .iter()
+        .any(|p| p.extension() == Some("json".as_ref())));
+    assert!(quarantined
+        .iter()
+        .any(|p| p.extension() == Some("reason".as_ref())));
+
+    // ...and the re-solve re-stored a clean entry: hits resume.
+    let recovered = client.synthesize(request()).expect("roundtrip");
+    assert_eq!(provenance(&recovered), "cache", "hit rate must recover");
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb");
+    };
+    assert_eq!(fault_field(&snapshot, "cache_quarantined"), 1);
+    assert_eq!(fault_field(&snapshot, "verify_failures"), 0);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_expired_deadline_yields_a_typed_or_degraded_answer() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("deadline");
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("deadline"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    // The first solver run stalls well past the deadline; by the time it
+    // wakes the watchdog has raised the cooperative flag, so the sweep
+    // winds down with whatever it had (here: nothing).
+    failpoint::arm_times(
+        "pool.solve",
+        FailAction::Sleep(Duration::from_millis(400)),
+        1,
+    );
+    let response = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_deadline_ms(60))
+        .expect("the connection survives the expiry");
+    match &response {
+        WireResponse::Error { kind, .. } => {
+            assert_eq!(*kind, WireErrorKind::Deadline, "was: {response:?}");
+        }
+        WireResponse::Report { provenance, .. } => {
+            // A partial frontier beat the cut: acceptable, but it must be
+            // marked degraded.
+            assert!(
+                provenance.ends_with(":degraded"),
+                "an expired deadline cannot serve an unmarked report: {response:?}"
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb");
+    };
+    assert_eq!(
+        fault_field(&snapshot, "deadline_expired") + fault_field(&snapshot, "deadline_degraded"),
+        1,
+        "exactly one deadline outcome is recorded: {snapshot:?}"
+    );
+
+    // Degraded results are never cached: the same request without a
+    // deadline now solves fully and is served cleanly.
+    let clean = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather"))
+        .expect("roundtrip");
+    assert!(
+        provenance(&clean).starts_with("solved"),
+        "nothing usable may have been cached by the degraded run: {clean:?}"
+    );
+    // A generous deadline is simply met.
+    let met = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_deadline_ms(60_000))
+        .expect("roundtrip");
+    assert_eq!(provenance(&met), "hot");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_process_tickets_surface_worker_loss_and_bound_their_wait() {
+    let _chaos = ChaosGuard::lock();
+    let engine = sccl_sched::Engine::builder()
+        .sequential()
+        .synthesis_defaults(quick_defaults())
+        .build()
+        .expect("engine");
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+
+    // A ticket whose worker panics resolves to WorkerLost instead of
+    // hanging its waiter forever.
+    failpoint::arm_times("pool.solve", FailAction::Panic, 1);
+    let ticket = server
+        .submit(
+            sccl_topology::builders::ring(4, 1),
+            sccl_collectives::Collective::Allgather,
+            quick_defaults(),
+            None,
+            "chaos",
+        )
+        .expect("admitted");
+    match ticket.wait() {
+        Err(ServeError::WorkerLost) => {}
+        other => panic!("expected WorkerLost, got {other:?}"),
+    }
+
+    // wait_timeout bounds the wait while the solve stalls, then the same
+    // ticket still delivers the (clean) outcome.
+    failpoint::arm_times(
+        "pool.solve",
+        FailAction::Sleep(Duration::from_millis(300)),
+        1,
+    );
+    let ticket = server
+        .submit(
+            sccl_topology::builders::ring(5, 1),
+            sccl_collectives::Collective::Allgather,
+            quick_defaults(),
+            None,
+            "chaos",
+        )
+        .expect("admitted");
+    assert!(
+        ticket.wait_timeout(Duration::from_millis(20)).is_none(),
+        "a stalled solve must time the bounded wait out"
+    );
+    let outcome: Served = ticket.wait().expect("eventually served");
+    assert!(!outcome.degraded);
+    server.shutdown();
+}
+
+#[test]
+fn a_dropped_connection_is_survived_by_reconnect_and_replay() {
+    let _chaos = ChaosGuard::lock();
+    let server = Server::start(
+        sccl_sched::Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_defaults())
+            .build()
+            .expect("engine"),
+        ServeConfig::default(),
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("drop"), server).expect("bind");
+
+    // Without retries the injected drop surfaces as an I/O error.
+    failpoint::arm_times("conn.write", FailAction::Trigger, 1);
+    let mut brittle = ServeClient::connect(daemon.socket_path())
+        .expect("connect")
+        .with_retry(RetryPolicy::none());
+    brittle
+        .metrics()
+        .expect_err("the daemon dropped the connection mid-response");
+
+    // With the default policy the client reconnects under backoff and
+    // replays; the daemon (whose failpoint fires once more) answers the
+    // replay on the fresh connection.
+    failpoint::arm_times("conn.write", FailAction::Trigger, 1);
+    let mut resilient = ServeClient::connect(daemon.socket_path()).expect("connect");
+    let response = resilient.metrics().expect("reconnect and replay");
+    assert!(
+        matches!(response, WireResponse::Metrics(_)),
+        "was: {response:?}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_request_lines_get_typed_errors_without_killing_the_connection() {
+    // No failpoints: this is the daemon's own input hardening.
+    let server = Server::start(
+        sccl_sched::Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_defaults())
+            .build()
+            .expect("engine"),
+        ServeConfig::default(),
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("malformed"), server.clone()).expect("bind");
+
+    let stream = std::os::unix::net::UnixStream::connect(daemon.socket_path()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        assert!(!response.is_empty(), "connection died after `{line}`");
+        response
+    };
+
+    for garbage in [
+        "this is not json",
+        "{\"verb\":\"frobnicate\"}",
+        "{\"verb\":\"synthesize\"}",
+        "{\"verb\":\"synthesize\",\"topology\":\"ring:4\",\"collective\":\"allgather\",\"bogus\":1}",
+        "[1,2,3]",
+    ] {
+        let response = roundtrip(garbage);
+        assert!(
+            response.contains("\"kind\":\"bad_request\""),
+            "`{garbage}` must get a typed bad_request, got: {response}"
+        );
+    }
+
+    // The same connection still serves a well-formed request afterwards.
+    let response =
+        roundtrip("{\"verb\":\"synthesize\",\"topology\":\"ring:4\",\"collective\":\"allgather\"}");
+    assert!(
+        response.contains("\"ok\":true"),
+        "the connection must still serve real work: {response}"
+    );
+    assert_eq!(server.snapshot().requests.bad, 5);
+    daemon.shutdown();
+}

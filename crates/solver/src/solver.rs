@@ -83,6 +83,12 @@ pub struct Limits {
     /// of the CDCL restart loop. Used by the parallel Pareto scheduler to
     /// stop in-flight solves whose instances have become dominated.
     pub stop: Option<Arc<AtomicBool>>,
+    /// A second cooperative stop flag with identical semantics, reserved
+    /// for request deadlines. Kept separate from `stop` because the
+    /// parallel Pareto scheduler overwrites `stop` with its own
+    /// per-candidate cancel flag ([`Limits::with_stop`] replaces); a
+    /// deadline raised by the serving layer must survive that.
+    pub deadline: Option<Arc<AtomicBool>>,
 }
 
 impl Limits {
@@ -113,6 +119,13 @@ impl Limits {
         self
     }
 
+    /// Attach a deadline stop flag (builder style). Checked alongside the
+    /// ordinary stop flag; raising either aborts the search.
+    pub fn with_deadline_flag(mut self, deadline: Arc<AtomicBool>) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The budget left after part of it was spent: a limit set derived from
     /// `self` with `elapsed` wall clock and `conflicts` deducted
     /// (saturating at zero — a zero remainder means the very next budget
@@ -124,14 +137,19 @@ impl Limits {
             max_conflicts: self.max_conflicts.map(|c| c.saturating_sub(conflicts)),
             max_time: self.max_time.map(|t| t.saturating_sub(elapsed)),
             stop: self.stop.clone(),
+            deadline: self.deadline.clone(),
         }
     }
 
-    /// `true` once the attached stop flag (if any) has been raised.
+    /// `true` once either attached stop flag (if any) has been raised.
     pub fn stop_requested(&self) -> bool {
         self.stop
             .as_ref()
             .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            || self
+                .deadline
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 }
 
