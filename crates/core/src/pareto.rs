@@ -413,6 +413,43 @@ pub enum MergeAction {
     Done,
 }
 
+/// Version stamp of the [`SweepCheckpoint`] wire format. A checkpoint
+/// written by a different version is rejected at resume time rather than
+/// misinterpreted.
+pub const SWEEP_CHECKPOINT_VERSION: u32 = 1;
+
+/// A serializable snapshot of a [`ParetoMerge`] mid-sweep: everything the
+/// decision procedure has settled so far — the partial frontier, the best
+/// bandwidth, the settled step — without the plan itself, which is
+/// re-enumerated deterministically at resume time from the same request.
+///
+/// Resuming from a checkpoint is *provably* equivalent to never having
+/// been interrupted: candidate outcomes are deterministic (warm Sat/Unsat
+/// answers decode canonically, and warm `Unknown`s fall back to a cold
+/// solve under the caller's limits), `supply` is strictly cursor-ordered,
+/// and the skip rules depend only on `(cursor, best_bw, settled_step)` —
+/// all captured here. So replaying the remaining candidates from `cursor`
+/// reaches the byte-identical frontier (the property the resume
+/// proptest asserts via [`SynthesisReport::same_frontier`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Format version ([`SWEEP_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Number of jobs in the plan the checkpoint was taken from — a guard
+    /// against resuming onto a plan enumerated under different caps.
+    pub plan_len: usize,
+    /// Next candidate index the sweep will consider.
+    pub cursor: usize,
+    /// Cheapest bandwidth reported so far.
+    pub best_bw: Option<Rational>,
+    /// Step count whose remaining candidates are dominated.
+    pub settled_step: Option<usize>,
+    /// The partial frontier.
+    pub entries: Vec<FrontierEntry>,
+    /// Whether some decided probe had exhausted its budget.
+    pub budget_exhausted: bool,
+}
+
 /// Replays the sequential Algorithm 1 decision order over candidate
 /// outcomes, wherever those outcomes come from (an inline solver call or a
 /// pool of worker threads). Feeding it the deterministic solver's outcomes
@@ -451,6 +488,75 @@ impl ParetoMerge {
     /// The plan being merged.
     pub fn plan(&self) -> &CandidatePlan {
         &self.plan
+    }
+
+    /// Snapshot the merge's decided state for durable storage. Valid at
+    /// any point of the sweep; pair with [`ParetoMerge::resume`] against a
+    /// plan re-enumerated from the same request.
+    pub fn checkpoint(&self) -> SweepCheckpoint {
+        SweepCheckpoint {
+            version: SWEEP_CHECKPOINT_VERSION,
+            plan_len: self.plan.jobs.len(),
+            cursor: self.cursor,
+            best_bw: self.best_bw,
+            settled_step: self.settled_step,
+            entries: self.entries.clone(),
+            budget_exhausted: self.budget_exhausted,
+        }
+    }
+
+    /// Reconstruct a merge from a checkpoint taken over the same plan.
+    /// The plan is *not* serialized with the checkpoint — it is
+    /// re-enumerated deterministically from the request — so the resume
+    /// validates the version and the plan length and rejects a mismatch
+    /// (a checkpoint from different search caps must not silently decide
+    /// the wrong candidates).
+    pub fn resume(
+        plan: CandidatePlan,
+        checkpoint: &SweepCheckpoint,
+    ) -> Result<ParetoMerge, String> {
+        if checkpoint.version != SWEEP_CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} does not match {}",
+                checkpoint.version, SWEEP_CHECKPOINT_VERSION
+            ));
+        }
+        if checkpoint.plan_len != plan.jobs.len() {
+            return Err(format!(
+                "checkpoint was taken over a {}-candidate plan, resuming over {} candidates",
+                checkpoint.plan_len,
+                plan.jobs.len()
+            ));
+        }
+        if checkpoint.cursor > plan.jobs.len() {
+            return Err(format!(
+                "checkpoint cursor {} is past the {}-candidate plan",
+                checkpoint.cursor,
+                plan.jobs.len()
+            ));
+        }
+        // Re-derive the terminal states `supply` would have set: a trivial
+        // plan and a frontier that already reached the bandwidth bound are
+        // both done; everything else re-enters the sweep at the cursor
+        // (an exhausted cursor re-classifies through `exhausted_reason`
+        // on the first `next()`).
+        let termination = if plan.trivial {
+            Some(TerminationReason::Trivial)
+        } else if checkpoint.best_bw == Some(plan.bandwidth_lower_bound) {
+            Some(TerminationReason::BandwidthOptimal)
+        } else {
+            None
+        };
+        Ok(ParetoMerge {
+            plan,
+            cursor: checkpoint.cursor,
+            best_bw: checkpoint.best_bw,
+            settled_step: checkpoint.settled_step,
+            entries: checkpoint.entries.clone(),
+            budget_exhausted: checkpoint.budget_exhausted,
+            termination,
+            skipped: Vec::new(),
+        })
     }
 
     /// Would the sequential loop skip this job given the current state?
@@ -841,12 +947,7 @@ impl ChunkPool {
             ));
         }
         let encoder = self.encoder.as_mut().expect("encoder built above");
-        let mut warm_limits = limits.clone();
-        warm_limits.max_conflicts = Some(
-            warm_limits
-                .max_conflicts
-                .map_or(warm_budget, |user| user.min(warm_budget)),
-        );
+        let warm_limits = limits.clone().cap_conflicts(warm_budget);
         let conflicts_before = encoder.solver_stats().conflicts;
         let warm = encoder.solve_candidate(steps, rounds, warm_limits);
         let probe_conflicts = encoder.solver_stats().conflicts - conflicts_before;
@@ -983,16 +1084,48 @@ pub fn warm_frontier(
     topology: &Topology,
     collective: Collective,
     config: &SynthesisConfig,
+    solve: impl FnMut(&CandidateJob) -> SynthesisRun,
+) -> Result<SynthesisReport, SynthesisError> {
+    warm_frontier_resumable(base, topology, collective, config, None, |_| {}, solve)
+}
+
+/// [`warm_frontier`] with crash-recovery hooks: an optional
+/// [`SweepCheckpoint`] to resume the sweep from (already-decided
+/// candidates are not re-solved — the merge re-enters at the checkpoint's
+/// cursor with its partial frontier intact), and an `on_progress` callback
+/// invoked with the merge after every supplied candidate (the caller
+/// calls [`ParetoMerge::checkpoint`] as often as it wants to persist one,
+/// so progress that is never persisted costs nothing). A resumed sweep
+/// reaches the byte-identical frontier an uninterrupted one would — see
+/// [`SweepCheckpoint`] for the argument. A checkpoint that fails
+/// validation (wrong version, different caps) is discarded and the sweep
+/// restarts cold: a stale checkpoint must degrade to extra work, never to
+/// a wrong frontier.
+pub fn warm_frontier_resumable(
+    base: &BaseProblem,
+    topology: &Topology,
+    collective: Collective,
+    config: &SynthesisConfig,
+    resume_from: Option<&SweepCheckpoint>,
+    mut on_progress: impl FnMut(&ParetoMerge),
     mut solve: impl FnMut(&CandidateJob) -> SynthesisRun,
 ) -> Result<SynthesisReport, SynthesisError> {
     if topology.num_nodes() < 2 {
         return Err(SynthesisError::TooFewNodes);
     }
     let plan = enumerate_candidates(&base.topology, base.collective, config)?;
-    let mut merge = ParetoMerge::new(plan);
+    let mut merge = match resume_from {
+        // An invalid checkpoint (version skew, different caps) must not
+        // poison the solve: fall back to a cold start of the sweep.
+        Some(checkpoint) => {
+            ParetoMerge::resume(plan.clone(), checkpoint).unwrap_or_else(|_| ParetoMerge::new(plan))
+        }
+        None => ParetoMerge::new(plan),
+    };
     while let MergeAction::Need(index) = merge.next() {
         let job = merge.plan().jobs[index].clone();
         merge.supply(index, solve(&job));
+        on_progress(&merge);
     }
     Ok(finalize_report(topology, collective, merge.into_report()))
 }

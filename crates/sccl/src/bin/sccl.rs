@@ -12,7 +12,8 @@
 //! cargo run --release --bin sccl -- codegen --topology ring:4 --collective allgather --chunks 1 --steps 3 --rounds 3
 //! cargo run --release --bin sccl -- batch --manifest jobs.txt --threads 8 --cache .sccl-cache
 //! cargo run --release --bin sccl -- warmup --manifest jobs.txt
-//! cargo run --release --bin sccl -- serve --socket /tmp/sccl.sock --cache .sccl-cache
+//! cargo run --release --bin sccl -- serve --socket /tmp/sccl.sock --cache .sccl-cache --journal .sccl-journal
+//! cargo run --release --bin sccl -- client --socket /tmp/sccl.sock --verb health
 //! ```
 //!
 //! Each subcommand's flags are described by a declarative spec table
@@ -20,7 +21,8 @@
 //! usage text are all derived from it.
 
 use sccl::prelude::*;
-use sccl::{Daemon, ServeConfig, Server};
+use sccl::serve::{RetryPolicy, WireResponse, WireSynthesize};
+use sccl::{Daemon, ServeClient, ServeConfig, Server};
 use sccl_core::bounds::{bandwidth_lower_bound, latency_lower_bound};
 use sccl_core::encoding::{synthesize, EncodingOptions, SynCollInstance, SynthesisOutcome};
 use sccl_core::pareto::TerminationReason;
@@ -157,6 +159,59 @@ const SERVE_FLAGS: &[FlagSpec] = &[
         "N",
         "serving worker threads, 0 = one per core (default 0)",
     ),
+    val(
+        "journal",
+        "DIR",
+        "crash-recovery journal: checkpoint sweeps, replay killed requests",
+    ),
+    val(
+        "rate-limit",
+        "RPS",
+        "per-client token-bucket refill rate, 0 disables (default 0)",
+    ),
+    val(
+        "rate-burst",
+        "N",
+        "token-bucket burst allowance per client (default 8)",
+    ),
+    val(
+        "brownout-deadline-ms",
+        "MS",
+        "effective deadline under brownout, 0 = report only (default 2000)",
+    ),
+];
+
+/// Daemon client flags (`sccl client`): which daemon, which verb, and the
+/// reconnect policy (flags override the `SCCL_RETRY` env var, which
+/// overrides the built-in default).
+const CLIENT_FLAGS: &[FlagSpec] = &[
+    val(
+        "socket",
+        "PATH",
+        "daemon socket to talk to (default .sccl-serve.sock)",
+    ),
+    val(
+        "verb",
+        "V",
+        "synthesize | metrics | health | drain | shutdown (default health)",
+    ),
+    val("topology", "T", "topology spec for --verb synthesize"),
+    val("collective", "C", "collective name for --verb synthesize"),
+    val(
+        "retry-attempts",
+        "N",
+        "reconnect attempts on transient errors (SCCL_RETRY, default 3)",
+    ),
+    val(
+        "retry-base-ms",
+        "MS",
+        "backoff before the first reconnect (SCCL_RETRY, default 10)",
+    ),
+    val(
+        "retry-max-ms",
+        "MS",
+        "ceiling on the pre-jitter backoff (SCCL_RETRY, default 500)",
+    ),
 ];
 
 /// One subcommand: its flag groups and usage line.
@@ -259,6 +314,11 @@ const COMMANDS: &[CommandSpec] = &[
                 "solve with the work-queue parallel scheduler",
             )],
         ],
+    },
+    CommandSpec {
+        name: "client",
+        summary: "send one verb to a running daemon and print the response",
+        flags: &[CLIENT_FLAGS],
     },
 ];
 
@@ -371,6 +431,21 @@ fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Resu
     }
 }
 
+/// Like [`get_usize`] for fractional flag values (the rate-limit refill
+/// rate can legitimately be below one request per second).
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, Error> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(value) => match value.parse::<f64>() {
+            Ok(parsed) if parsed.is_finite() && parsed >= 0.0 => Ok(parsed),
+            _ => Err(Error::Flag {
+                flag: key.to_string(),
+                message: format!("invalid value `{value}` (expected a non-negative number)"),
+            }),
+        },
+    }
+}
+
 /// The topology + collective pair most commands require.
 fn require_problem(flags: &HashMap<String, String>) -> Result<(Topology, Collective), Error> {
     let topology = match flags.get("topology") {
@@ -476,6 +551,11 @@ fn build_engine(
     if let Some(dir) = flags.get("cache").map(String::as_str).or(default_cache) {
         builder = builder.cache_dir(dir);
     }
+    // Only `serve` declares --journal, so the spec-driven parser keeps it
+    // away from every other command.
+    if let Some(dir) = flags.get("journal") {
+        builder = builder.journal_dir(dir);
+    }
     builder.build()
 }
 
@@ -525,6 +605,7 @@ fn run_command(command: &CommandSpec, args: &[String]) -> Result<ExitCode, Error
         "batch" => cmd_batch(&flags, false),
         "warmup" => cmd_batch(&flags, true),
         "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         _ => unreachable!("dispatch covers every entry of COMMANDS"),
     }
 }
@@ -850,6 +931,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, Error> {
         per_client_inflight: get_usize(flags, "per-client", defaults.per_client_inflight)?,
         memory_budget_cells: get_usize(flags, "memory-budget", defaults.memory_budget_cells)?,
         hot_capacity: get_usize(flags, "hot", defaults.hot_capacity)?,
+        rate_limit_per_sec: get_f64(flags, "rate-limit", defaults.rate_limit_per_sec)?,
+        rate_limit_burst: get_usize(flags, "rate-burst", defaults.rate_limit_burst as usize)?
+            as u32,
+        brownout_deadline_ms: get_usize(
+            flags,
+            "brownout-deadline-ms",
+            defaults.brownout_deadline_ms as usize,
+        )? as u64,
     };
     let socket = flags
         .get("socket")
@@ -858,11 +947,74 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<ExitCode, Error> {
     let server = Server::start(engine, serve_config)?;
     let daemon = Daemon::bind(socket, server)?;
     println!("sccl-serve: listening on {socket}");
-    // Blocks until a `shutdown` wire verb arrives; drains admitted jobs
-    // and removes the socket file before returning.
+    // Blocks until a `shutdown`/`drain` wire verb or SIGTERM arrives;
+    // drains admitted jobs and removes the socket file before returning.
     daemon.wait();
     println!("sccl-serve: stopped");
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_client(flags: &HashMap<String, String>) -> Result<ExitCode, Error> {
+    let socket = flags
+        .get("socket")
+        .map(String::as_str)
+        .unwrap_or(".sccl-serve.sock");
+    // Layered retry policy: built-in default, then SCCL_RETRY
+    // (`attempts,base_ms,max_ms`), then individual flags.
+    let env = RetryPolicy::from_env();
+    let retry = RetryPolicy {
+        attempts: get_usize(flags, "retry-attempts", env.attempts as usize)? as u32,
+        base_delay: Duration::from_millis(get_usize(
+            flags,
+            "retry-base-ms",
+            env.base_delay.as_millis() as usize,
+        )? as u64),
+        max_delay: Duration::from_millis(get_usize(
+            flags,
+            "retry-max-ms",
+            env.max_delay.as_millis() as usize,
+        )? as u64),
+    };
+    let mut client = ServeClient::connect(socket)
+        .map_err(Error::Cache)?
+        .with_retry(retry);
+    let verb = flags.get("verb").map(String::as_str).unwrap_or("health");
+    let response = match verb {
+        "health" => client.health(),
+        "metrics" => client.metrics(),
+        "drain" => client.drain(),
+        "shutdown" => client.shutdown(),
+        "synthesize" => {
+            let (Some(topology), Some(collective)) =
+                (flags.get("topology"), flags.get("collective"))
+            else {
+                return Err(Error::Flag {
+                    flag: "topology".to_string(),
+                    message: "--verb synthesize requires --topology and --collective".to_string(),
+                });
+            };
+            client.synthesize(WireSynthesize::new(topology, collective).with_client("sccl-cli"))
+        }
+        other => {
+            return Err(Error::Flag {
+                flag: "verb".to_string(),
+                message: format!(
+                    "unknown verb `{other}` (synthesize | metrics | health | drain | shutdown)"
+                ),
+            })
+        }
+    }
+    .map_err(Error::Cache)?;
+    let failed = matches!(response, WireResponse::Error { .. });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&response).expect("wire responses serialize")
+    );
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn mode_label(mode: SolveMode) -> &'static str {

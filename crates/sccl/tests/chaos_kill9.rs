@@ -1,0 +1,189 @@
+//! Kill -9 chaos test of the real `sccl serve` binary: a daemon running
+//! with a crash-recovery journal is SIGKILLed mid-solve; a restarted
+//! daemon on the same journal must replay the admitted request, land the
+//! answer in its caches, and serve the retrying client — no operator
+//! intervention, no lost work. CI runs this in the chaos job.
+
+use sccl::serve::{ServeClient, WireResponse, WireSynthesize};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sccl-kill9-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn await_ready(path: &Path) -> ServeClient {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(client) = ServeClient::connect(path) {
+            return client;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not open {} within 30s",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn metrics_field(snapshot: &serde::Content, path: &[&str]) -> f64 {
+    let mut current = snapshot;
+    for key in path {
+        let serde::Content::Map(fields) = current else {
+            panic!("expected a map at {key}, got {current:?}");
+        };
+        current = &fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("metrics missing field {key}"))
+            .1;
+    }
+    match current {
+        serde::Content::U64(v) => *v as f64,
+        serde::Content::I64(v) => *v as f64,
+        serde::Content::F64(v) => *v,
+        // Gauges like brownout_active are booleans; 0/1 keeps one helper.
+        serde::Content::Bool(v) => f64::from(*v),
+        other => panic!("expected a number at {path:?}, got {other:?}"),
+    }
+}
+
+struct KillOnDrop<'a>(&'a mut std::process::Child);
+impl Drop for KillOnDrop<'_> {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+    }
+}
+
+fn serve_args(socket: &Path, cache: &Path, journal: &Path) -> Vec<String> {
+    [
+        "serve",
+        "--socket",
+        socket.to_str().expect("utf-8 temp path"),
+        "--cache",
+        cache.to_str().expect("utf-8 temp path"),
+        "--journal",
+        journal.to_str().expect("utf-8 temp path"),
+        "--sequential",
+        "--max-steps",
+        "6",
+        "--max-chunks",
+        "2",
+        "--workers",
+        "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn a_kill_9_mid_solve_is_recovered_by_the_restarted_daemon() {
+    let socket = tmp("sock");
+    let cache_dir = tmp("cache");
+    let journal_dir = tmp("journal");
+
+    // Daemon 1: the `pool.solve` failpoint sleeps 60s in the worker, so
+    // the admitted request is journaled but can never finish before the
+    // SIGKILL below — a faithful stand-in for dying mid-solve.
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_sccl"))
+        .args(serve_args(&socket, &cache_dir, &journal_dir))
+        .env("SCCL_FAILPOINTS", "pool.solve=sleep:60000")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn victim daemon");
+    {
+        let _guard = KillOnDrop(&mut victim);
+        let _ = await_ready(&socket);
+        // Fire the request from a throwaway thread: its roundtrip will die
+        // with the daemon and that is the point.
+        let request_socket = socket.clone();
+        std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&request_socket).expect("connect");
+            let _ =
+                client.synthesize(WireSynthesize::new("ring:4", "allgather").with_client("doomed"));
+        });
+        // Wait until the admission is journaled (write-ahead: the record
+        // exists before the solve), then kill -9.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let journal = sccl::sched::Journal::open(&journal_dir).expect("open journal");
+            if journal.queue_len() == 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "request was never journaled within 30s"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    } // KillOnDrop delivers the SIGKILL
+    let _ = victim.wait();
+    assert_eq!(
+        sccl::sched::Journal::open(&journal_dir)
+            .expect("reopen journal")
+            .queue_len(),
+        1,
+        "the killed daemon must leave its admitted request in the journal"
+    );
+
+    // Daemon 2: same journal, no failpoints. It replays the surviving
+    // record before accepting, so the very first client answer comes from
+    // the recovery solve's cache entry.
+    let mut recovered = Command::new(env!("CARGO_BIN_EXE_sccl"))
+        .args(serve_args(&socket, &cache_dir, &journal_dir))
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn recovery daemon");
+    let guard = KillOnDrop(&mut recovered);
+    let mut client = await_ready(&socket);
+    let response = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_client("retry"))
+        .expect("retry roundtrip");
+    match &response {
+        WireResponse::Report { provenance, .. } => assert_eq!(
+            provenance, "hot",
+            "the replayed solve must already be cached for the retrying client"
+        ),
+        other => panic!("expected a report, got {other:?}"),
+    }
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb must answer with a snapshot");
+    };
+    assert_eq!(
+        metrics_field(&snapshot, &["daemon", "journal_replayed"]),
+        1.0
+    );
+    assert!(metrics_field(&snapshot, &["daemon", "checkpoints_written"]) > 0.0);
+    // Clean-path smoke on the recovered daemon: no throttling, no brownout.
+    assert_eq!(metrics_field(&snapshot, &["daemon", "rate_limited"]), 0.0);
+    assert_eq!(
+        metrics_field(&snapshot, &["daemon", "brownout_active"]),
+        0.0
+    );
+
+    // The drain verb exits the recovered daemon cleanly.
+    let ack = client.drain().expect("drain roundtrip");
+    assert!(matches!(ack, WireResponse::Drain), "was: {ack:?}");
+    std::mem::forget(guard);
+    let status = recovered.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(!socket.exists(), "socket file removed after drain");
+    assert_eq!(
+        sccl::sched::Journal::open(&journal_dir)
+            .expect("final journal")
+            .queue_len(),
+        0,
+        "replay must consume the journaled record"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

@@ -397,8 +397,11 @@ impl AlgorithmCache {
 
     /// Persist a report (always into the sharded layout). The write is
     /// atomic (temp file + rename) so a concurrent reader never observes a
-    /// torn entry. A legacy flat-layout file for the same hash, if any, is
-    /// removed so the store converges on the sharded layout as it is used.
+    /// torn entry, and durable (the temp file is fsynced before the rename
+    /// and the shard directory after it) so an entry the store reported
+    /// written survives power loss. A legacy flat-layout file for the same
+    /// hash, if any, is removed so the store converges on the sharded
+    /// layout as it is used.
     pub fn store(&self, key: &CacheKey, report: &SynthesisReport) -> io::Result<()> {
         let hash = key.content_hash();
         let entry = CacheEntry {
@@ -416,8 +419,32 @@ impl AlgorithmCache {
         let tmp = self
             .root
             .join(format!(".{hash}.tmp-{}-{seq}", std::process::id()));
-        std::fs::write(&tmp, json)?;
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(json.as_bytes())?;
+            // The bytes must be on stable storage *before* the rename
+            // publishes the path: a rename of an unsynced file can survive
+            // a crash while its contents do not, leaving a published entry
+            // of garbage.
+            file.sync_all()?;
+        }
+        // Chaos hook: simulate the process dying between the temp write and
+        // the rename. The temp file is deliberately left behind, exactly as
+        // a crash would leave it — `open` never indexes dot-prefixed files
+        // in the root, so a reopened cache must agree with the pre-store
+        // index (the crash-consistency test asserts this).
+        if sccl_core::failpoint::fire("cache.store") {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "failpoint cache.store: simulated crash between write and rename",
+            ));
+        }
         std::fs::rename(&tmp, &path)?;
+        // The rename itself lives in the shard directory's contents; fsync
+        // it so the publication survives power loss too.
+        std::fs::File::open(path.parent().expect("sharded paths have a parent"))
+            .and_then(|dir| dir.sync_all())?;
         let mut state = self.state.lock().expect("cache lock");
         if let Some(old) = state.index.get(&hash) {
             if old != &path {

@@ -48,12 +48,13 @@
 
 use crate::batch::{BatchJob, BatchReport, BatchResult, ManifestError, SolveMode};
 use crate::cache::{AlgorithmCache, CacheKey, CacheStats};
+use crate::journal::Journal;
 use crate::parallel::{parallel_frontier, ParallelConfig};
 use crate::registry::WarmPoolRegistry;
 use sccl_collectives::Collective;
 use sccl_core::incremental::IncrementalStats;
 use sccl_core::pareto::{
-    base_problem, warm_frontier, SynthesisConfig, SynthesisError, SynthesisReport,
+    base_problem, warm_frontier_resumable, SynthesisConfig, SynthesisError, SynthesisReport,
 };
 use sccl_core::{Algorithm, CostModel};
 use sccl_program::{generate_cuda, lower, LoweringOptions, Program};
@@ -505,6 +506,7 @@ pub struct LibraryResponse {
 pub struct EngineBuilder {
     cache_dir: Option<PathBuf>,
     cache_capacity: Option<usize>,
+    journal_dir: Option<PathBuf>,
     warm_pool_capacity: usize,
     /// `None` = one worker per available core; an explicit count otherwise.
     /// `Some(0)` is representable but rejected by [`EngineBuilder::build`].
@@ -520,6 +522,7 @@ impl Default for EngineBuilder {
         EngineBuilder {
             cache_dir: None,
             cache_capacity: None,
+            journal_dir: None,
             warm_pool_capacity: Engine::DEFAULT_WARM_POOL_CAPACITY,
             threads: None,
             mode: SolveMode::Parallel,
@@ -546,6 +549,22 @@ impl EngineBuilder {
     /// without [`EngineBuilder::cache_dir`].
     pub fn cache_capacity(mut self, max_entries: usize) -> Self {
         self.cache_capacity = Some(max_entries);
+        self
+    }
+
+    /// Attach a crash-recovery [`Journal`] rooted at `dir` (created if
+    /// absent when the engine is built). With a journal attached the
+    /// sequential sweep persists a
+    /// [`SweepCheckpoint`](sccl_core::pareto::SweepCheckpoint) after
+    /// every decided
+    /// candidate, keyed by the request's cache-key hash; a process that
+    /// dies mid-solve resumes the sweep on the next request for the same
+    /// key instead of starting over, and reaches the identical frontier.
+    /// Checkpoints are removed once the solve completes. Parallel sweeps
+    /// ignore checkpoints (their supply order is nondeterministic); the
+    /// daemon's crash-recovery path therefore serves in sequential mode.
+    pub fn journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
         self
     }
 
@@ -649,9 +668,14 @@ impl EngineBuilder {
             Some(dir) => Some(AlgorithmCache::open(dir)?),
             None => None,
         };
+        let journal = match self.journal_dir {
+            Some(dir) => Some(Arc::new(Journal::open(dir)?)),
+            None => None,
+        };
         Ok(Engine {
             cache,
             cache_capacity: self.cache_capacity,
+            journal,
             parallel: ParallelConfig::with_threads(self.threads.unwrap_or(0)),
             mode: self.mode,
             cost_model: self.cost_model,
@@ -682,6 +706,10 @@ pub(crate) enum MissPolicy {
 pub struct Engine {
     cache: Option<AlgorithmCache>,
     cache_capacity: Option<usize>,
+    /// Crash-recovery journal: sweep checkpoints (written by the
+    /// sequential solve path) plus the daemon's write-ahead queue records.
+    /// `None` unless [`EngineBuilder::journal_dir`] was configured.
+    journal: Option<Arc<Journal>>,
     parallel: ParallelConfig,
     mode: SolveMode,
     cost_model: CostModel,
@@ -732,6 +760,13 @@ impl Engine {
     /// Hit/miss counters of the attached cache, if any.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The attached crash-recovery journal, if any. The daemon layered on
+    /// this engine shares the handle for its write-ahead queue records, so
+    /// one directory holds both record families.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// Chunk pools currently retained in the shared warm-pool registry.
@@ -928,9 +963,41 @@ impl Engine {
         let report = match mode {
             SolveMode::Sequential => {
                 let limits = config.per_instance_limits.clone();
-                warm_frontier(&base, topology, collective, config, |job| {
-                    session.solve(job, limits.clone())
-                })?
+                // With a journal attached, the sweep checkpoints after
+                // every decided candidate and resumes from any checkpoint
+                // a crashed process left behind. Checkpoints are addressed
+                // by the *request's* cache-key hash (not the pooled base
+                // key): the merge state being saved belongs to this
+                // request's candidate plan.
+                let checkpoint_key = self.journal.as_ref().map(|journal| {
+                    let hash = key
+                        .as_ref()
+                        .map(|key| key.content_hash())
+                        .unwrap_or_else(|| {
+                            CacheKey::new(topology, collective, config).content_hash()
+                        });
+                    (journal, hash)
+                });
+                let resume = checkpoint_key
+                    .as_ref()
+                    .and_then(|(journal, hash)| journal.load_checkpoint(hash));
+                let report = warm_frontier_resumable(
+                    &base,
+                    topology,
+                    collective,
+                    config,
+                    resume.as_ref(),
+                    |merge| {
+                        if let Some((journal, hash)) = &checkpoint_key {
+                            let _ = journal.store_checkpoint(hash, &merge.checkpoint());
+                        }
+                    },
+                    |job| session.solve(job, limits.clone()),
+                )?;
+                if let Some((journal, hash)) = &checkpoint_key {
+                    journal.remove_checkpoint(hash);
+                }
+                report
             }
             SolveMode::Parallel => parallel_frontier(
                 &base,
@@ -1093,6 +1160,64 @@ mod tests {
             .expect("parallel");
         assert_eq!(par.provenance, Provenance::Solved(SolveMode::Parallel));
         assert!(par.report.same_frontier(&seq.report));
+    }
+
+    #[test]
+    fn sequential_serves_checkpoint_through_the_journal() {
+        let dir = tmp_dir("journal");
+        let ring = builders::ring(4, 1);
+
+        let reference = Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_config())
+            .build()
+            .expect("engine")
+            .synthesize(SynthesisRequest::new(&ring, Collective::Allgather))
+            .expect("reference solve");
+
+        let engine = Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_config())
+            .journal_dir(&dir)
+            .build()
+            .expect("engine with journal");
+        let hash = CacheKey::new(&ring, Collective::Allgather, &quick_config()).content_hash();
+        // Pre-seed a stale checkpoint (wrong plan length): resume must
+        // discard it and restart cold rather than decide the wrong
+        // candidates — the served frontier still matches the reference.
+        let stale = sccl_core::pareto::SweepCheckpoint {
+            version: sccl_core::pareto::SWEEP_CHECKPOINT_VERSION,
+            plan_len: 1,
+            cursor: 1,
+            best_bw: None,
+            settled_step: None,
+            entries: Vec::new(),
+            budget_exhausted: false,
+        };
+        engine
+            .journal()
+            .expect("journal attached")
+            .store_checkpoint(&hash, &stale)
+            .expect("seed checkpoint");
+
+        let served = engine
+            .synthesize(SynthesisRequest::new(&ring, Collective::Allgather))
+            .expect("journaled solve");
+        assert!(
+            served.report.same_frontier(&reference.report),
+            "stale checkpoint must degrade to a cold start, not a wrong frontier"
+        );
+
+        let journal = engine.journal().expect("journal attached");
+        assert!(
+            journal.checkpoints_written() > 0,
+            "sweep persisted progress through the journal"
+        );
+        assert!(
+            journal.load_checkpoint(&hash).is_none(),
+            "checkpoint is consumed once the solve completes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod journal;
 pub mod library;
 pub mod parallel;
 pub mod registry;
@@ -65,6 +66,7 @@ pub use engine::{
     Engine, EngineBuilder, Error, LibraryRequest, LibraryResponse, LoweredAlgorithm, Provenance,
     ResponseTimings, SynthesisRequest, SynthesisResponse,
 };
+pub use journal::{Journal, QueueRecord};
 #[allow(deprecated)]
 pub use library::{hydrate_library, warm_library};
 #[allow(deprecated)]

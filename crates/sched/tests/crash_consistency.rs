@@ -1,0 +1,81 @@
+//! Crash-consistency test for the on-disk algorithm cache: a process that
+//! dies between writing the temp file and renaming it into place must
+//! leave the published index exactly as it was — the interrupted entry is
+//! invisible to a reopened cache, while every previously published entry
+//! still reads back. Driven by the `cache.store` failpoint, which aborts
+//! `AlgorithmCache::store` at precisely that window and leaves the temp
+//! file behind, exactly as a real crash would.
+
+use sccl_collectives::Collective;
+use sccl_core::failpoint::{self, FailAction};
+use sccl_core::pareto::{pareto_synthesize, SynthesisConfig};
+use sccl_sched::{AlgorithmCache, CacheKey};
+use sccl_topology::builders;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sccl-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_config() -> SynthesisConfig {
+    SynthesisConfig {
+        max_steps: 6,
+        max_chunks: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn a_kill_between_write_and_rename_leaves_the_reopened_index_unchanged() {
+    failpoint::reset();
+    let dir = tmp_dir("store");
+    let ring = builders::ring(4, 1);
+    let chain = builders::chain(3, 1);
+    let config = quick_config();
+    let survivor = CacheKey::new(&ring, Collective::Allgather, &config);
+    let casualty = CacheKey::new(&chain, Collective::Broadcast { root: 0 }, &config);
+    let report = pareto_synthesize(&ring, Collective::Allgather, &config).expect("solve");
+
+    // Publish one entry cleanly, then "crash" while publishing a second.
+    {
+        let cache = AlgorithmCache::open(&dir).expect("open");
+        cache.store(&survivor, &report).expect("clean store");
+        failpoint::arm("cache.store", FailAction::Trigger);
+        let error = cache
+            .store(&casualty, &report)
+            .expect_err("failpoint interrupts the store");
+        assert_eq!(error.kind(), std::io::ErrorKind::Interrupted);
+        failpoint::disarm("cache.store");
+    }
+
+    // The crash leaves its temp file behind in the cache root...
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read cache root")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
+        .collect();
+    assert!(
+        !leftovers.is_empty(),
+        "the interrupted store leaves its temp file, like a real crash"
+    );
+
+    // ...but a reopened cache agrees with the pre-crash index: the clean
+    // entry reads back byte-identically, the interrupted one is absent.
+    let reopened = AlgorithmCache::open(&dir).expect("reopen");
+    assert_eq!(reopened.len(), 1, "only the published entry is indexed");
+    let read_back = reopened.lookup(&survivor).expect("survivor still reads");
+    assert!(read_back.same_frontier(&report));
+    assert!(
+        reopened.lookup(&casualty).is_none(),
+        "the torn store must not surface as a published entry"
+    );
+
+    // A retried store (the recovery path) publishes normally.
+    reopened.store(&casualty, &report).expect("retried store");
+    let recovered = AlgorithmCache::open(&dir).expect("reopen after retry");
+    assert_eq!(recovered.len(), 2);
+    assert!(recovered.lookup(&casualty).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -48,6 +48,34 @@ impl RetryPolicy {
             ..RetryPolicy::default()
         }
     }
+
+    /// The policy from the `SCCL_RETRY` environment variable
+    /// (`attempts,base_ms,max_ms`), or the default when unset. A
+    /// malformed value is ignored rather than erroring — a broken env
+    /// var should not take down a client that never asked for it.
+    pub fn from_env() -> Self {
+        match std::env::var("SCCL_RETRY") {
+            Ok(value) => Self::parse(&value).unwrap_or_default(),
+            Err(_) => RetryPolicy::default(),
+        }
+    }
+
+    /// Parse `attempts,base_ms,max_ms` (e.g. `5,20,1000`). Returns
+    /// `None` on anything malformed or on `base_ms > max_ms`.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut parts = spec.split(',').map(str::trim);
+        let attempts = parts.next()?.parse::<u32>().ok()?;
+        let base_ms = parts.next()?.parse::<u64>().ok()?;
+        let max_ms = parts.next()?.parse::<u64>().ok()?;
+        if parts.next().is_some() || base_ms > max_ms {
+            return None;
+        }
+        Some(RetryPolicy {
+            attempts,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(max_ms),
+        })
+    }
 }
 
 struct Conn {
@@ -177,6 +205,17 @@ impl ServeClient {
         self.roundtrip(&WireRequest::Metrics)
     }
 
+    /// Probe readiness: `ready`, `draining` or `browned-out`.
+    pub fn health(&mut self) -> io::Result<WireResponse> {
+        self.roundtrip(&WireRequest::Health)
+    }
+
+    /// Ask the daemon to drain: stop admission, finish in-flight jobs
+    /// and exit cleanly (acknowledged before it stops accepting).
+    pub fn drain(&mut self) -> io::Result<WireResponse> {
+        self.roundtrip(&WireRequest::Drain)
+    }
+
     /// Ask the daemon to shut down (acknowledged before it stops
     /// accepting).
     pub fn shutdown(&mut self) -> io::Result<WireResponse> {
@@ -244,6 +283,47 @@ mod tests {
         let a = client.next_jitter();
         let b = client.next_jitter();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn retry_policy_parses_the_env_spec_and_rejects_garbage() {
+        let policy = RetryPolicy::parse("5, 20, 1000").expect("well-formed spec");
+        assert_eq!(policy.attempts, 5);
+        assert_eq!(policy.base_delay, Duration::from_millis(20));
+        assert_eq!(policy.max_delay, Duration::from_millis(1000));
+
+        // Jitter bounds hold under a parsed policy exactly as under the
+        // built-in default.
+        let mut client = ServeClient {
+            socket_path: PathBuf::from("/nonexistent"),
+            retry: policy,
+            jitter: 0xdeadbeefcafef00d,
+            conn: None,
+        };
+        for attempt in 1..=6 {
+            let expected = Duration::from_millis(20)
+                .saturating_mul(1 << (attempt - 1))
+                .min(Duration::from_millis(1000));
+            for _ in 0..8 {
+                let delay = client.backoff(attempt);
+                assert!(delay >= expected / 2 && delay <= expected);
+            }
+        }
+
+        for bad in [
+            "",
+            "3",
+            "3,10",
+            "3,10,5",
+            "3,10,500,7",
+            "x,10,500",
+            "3,-1,500",
+        ] {
+            assert!(
+                RetryPolicy::parse(bad).is_none(),
+                "`{bad}` should not parse"
+            );
+        }
     }
 
     #[test]

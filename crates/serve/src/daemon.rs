@@ -6,6 +6,21 @@
 //! verb (or a programmatic [`Daemon::shutdown`]) can stop the accept
 //! loop without a self-connect trick; handler threads notice the same
 //! flag through rejected admissions and client disconnects.
+//!
+//! # Crash recovery and graceful drain
+//!
+//! When the server's engine carries a journal
+//! ([`sccl_sched::EngineBuilder::journal_dir`]), every admitted
+//! `synthesize` line is write-ahead journaled before it is served and
+//! removed once answered. On startup the accept thread first *replays*
+//! surviving records through the normal serve path — requests that were
+//! in flight when a previous process was `kill -9`ed are solved (resuming
+//! from their sweep checkpoints where possible) and land in the cache, so
+//! the retrying client hits instead of waiting through a second solve.
+//!
+//! The `drain` verb (and `SIGTERM`) stops admission, finishes every
+//! in-flight job, and exits cleanly; `health` reports
+//! `ready`/`draining`/`browned-out` without touching the queue.
 
 use crate::server::{ServeError, Served, Server};
 use crate::wire::{WireErrorKind, WireRequest, WireResponse};
@@ -17,6 +32,33 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Raised by the process-wide SIGTERM handler; every accept loop polls
+/// it and begins a graceful drain when it flips.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    // Only an atomic store: the one async-signal-safe thing a handler
+    // may do. The accept loop notices within its 10ms poll.
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGTERM → graceful-drain handler, once per process.
+/// Best-effort: a failed registration leaves the default disposition
+/// (immediate termination), which the journal already survives.
+fn install_sigterm_handler() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM_SIGNUM: i32 = 15;
+    unsafe {
+        signal(SIGTERM_SIGNUM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
 
 /// A running daemon: the serving core plus its socket front end.
 pub struct Daemon {
@@ -32,6 +74,7 @@ impl Daemon {
     /// `server`.
     pub fn bind(socket_path: impl Into<PathBuf>, server: Arc<Server>) -> Result<Daemon, Error> {
         let socket_path = socket_path.into();
+        install_sigterm_handler();
         if socket_path.exists() {
             std::fs::remove_file(&socket_path).map_err(Error::Cache)?;
         }
@@ -94,7 +137,17 @@ impl Drop for Daemon {
 }
 
 fn accept_loop(listener: UnixListener, server: Arc<Server>, stop: Arc<AtomicBool>) {
+    // Replay journaled requests from a crashed predecessor before taking
+    // new work. The socket is already bound, so clients connecting during
+    // replay simply wait in the listen backlog.
+    replay_journal(&server);
     while !stop.load(Ordering::SeqCst) {
+        if SIGTERM.load(Ordering::SeqCst) {
+            // Graceful drain: stop admission, let Daemon::wait drain the
+            // in-flight queue through Server::shutdown.
+            server.begin_drain();
+            break;
+        }
         match listener.accept() {
             Ok((stream, _addr)) => {
                 // The listener polls nonblocking; its connections must
@@ -121,6 +174,33 @@ fn accept_loop(listener: UnixListener, server: Arc<Server>, stop: Arc<AtomicBool
     }
 }
 
+/// Replay every surviving queue record through the normal serve path.
+/// Responses are discarded — the payoff is that each solve lands in the
+/// cache (and consumes its sweep checkpoint), so the retrying client
+/// hits instead of waiting through a second cold solve. Records are
+/// removed as they are replayed; a crash mid-replay just replays the
+/// remainder next time, which is safe because results land in the cache.
+fn replay_journal(server: &Arc<Server>) {
+    let Some(journal) = server.engine().journal().cloned() else {
+        return;
+    };
+    let records = journal.replay_queue();
+    if records.is_empty() {
+        return;
+    }
+    let mut replayed = 0u64;
+    for record in records {
+        if let Ok(WireRequest::Synthesize(synthesize)) =
+            serde_json::from_str::<WireRequest>(&record.line)
+        {
+            let _ = serve_synthesize(server, synthesize);
+        }
+        journal.remove_queue_record(record.seq);
+        replayed += 1;
+    }
+    server.note_journal_replayed(replayed);
+}
+
 /// Serve one connection: read request lines, write response lines, in
 /// order, until EOF or a `shutdown` verb.
 fn handle_connection(
@@ -142,18 +222,48 @@ fn handle_connection(
                 WireResponse::Error {
                     kind: WireErrorKind::BadRequest,
                     error: e.to_string(),
+                    retry_after_ms: None,
                 }
             }
             Ok(WireRequest::Metrics) => {
                 server.metrics().metrics_request();
                 WireResponse::Metrics(serde::to_content(&server.snapshot()))
             }
+            Ok(WireRequest::Health) => {
+                let health = server.health();
+                WireResponse::Health {
+                    state: health.state().to_string(),
+                    draining: health.draining,
+                    browned_out: health.browned_out,
+                }
+            }
+            Ok(WireRequest::Drain) => {
+                server.begin_drain();
+                stop.store(true, Ordering::SeqCst);
+                write_line(&mut writer, &WireResponse::Drain)?;
+                return Ok(());
+            }
             Ok(WireRequest::Shutdown) => {
                 stop.store(true, Ordering::SeqCst);
                 write_line(&mut writer, &WireResponse::Shutdown)?;
                 return Ok(());
             }
-            Ok(WireRequest::Synthesize(synthesize)) => serve_synthesize(server, synthesize),
+            Ok(WireRequest::Synthesize(synthesize)) => {
+                // Write-ahead journal the admitted line; if the process
+                // dies mid-solve the restarted daemon replays it. The
+                // record is removed once a response exists.
+                let journaled = server.engine().journal().and_then(|journal| {
+                    journal
+                        .append_queue_record(&line)
+                        .ok()
+                        .map(|seq| (Arc::clone(journal), seq))
+                });
+                let response = serve_synthesize(server, synthesize);
+                if let Some((journal, seq)) = journaled {
+                    journal.remove_queue_record(seq);
+                }
+                response
+            }
         };
         write_line(&mut writer, &response)?;
     }
@@ -168,6 +278,7 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
             return WireResponse::Error {
                 kind: WireErrorKind::BadRequest,
                 error,
+                retry_after_ms: None,
             };
         }
     };
@@ -178,6 +289,7 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
             return WireResponse::Error {
                 kind: WireErrorKind::BadRequest,
                 error,
+                retry_after_ms: None,
             };
         }
     };
@@ -202,6 +314,7 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
                 kind: WireErrorKind::BadRequest,
                 error: "`deadline_ms` is not supported with `groups` (hierarchical requests)"
                     .to_string(),
+                retry_after_ms: None,
             };
         }
         return serve_hier(server, &request, topology, collective, config);
@@ -215,16 +328,10 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
         &request.client,
         deadline,
     ) {
-        Err(reject) => WireResponse::Error {
-            kind: error_kind(&reject),
-            error: reject.to_string(),
-        },
+        Err(reject) => error_response(&reject),
         Ok(ticket) => match ticket.wait() {
             Ok(served) => report_response(served),
-            Err(error) => WireResponse::Error {
-                kind: error_kind(&error),
-                error: error.to_string(),
-            },
+            Err(error) => error_response(&error),
         },
     }
 }
@@ -246,6 +353,7 @@ fn serve_hier(
         return WireResponse::Error {
             kind: WireErrorKind::BadRequest,
             error: format!("invalid group spec `{spec}` (auto | uniform:M | `0,1;2,3`)"),
+            retry_after_ms: None,
         };
     };
     let pick = match request.pick.as_deref() {
@@ -257,6 +365,7 @@ fn serve_hier(
                 return WireResponse::Error {
                     kind: WireErrorKind::BadRequest,
                     error: format!("invalid pick `{value}` (latency | bandwidth)"),
+                    retry_after_ms: None,
                 };
             }
         },
@@ -274,6 +383,7 @@ fn serve_hier(
         Err(error) => WireResponse::Error {
             kind: WireErrorKind::Synthesis,
             error: error.to_string(),
+            retry_after_ms: None,
         },
         Ok(response) => {
             let total = response.elapsed.as_micros() as u64;
@@ -290,6 +400,20 @@ fn serve_hier(
     }
 }
 
+/// Build the wire error for a [`ServeError`], attaching the retry-after
+/// hint when the rejection is a rate limit.
+fn error_response(error: &ServeError) -> WireResponse {
+    let retry_after_ms = match error {
+        ServeError::RateLimited { retry_after_ms, .. } => Some(*retry_after_ms),
+        _ => None,
+    };
+    WireResponse::Error {
+        kind: error_kind(error),
+        error: error.to_string(),
+        retry_after_ms,
+    }
+}
+
 /// Map any [`ServeError`] — admission reject or serving failure — to its
 /// machine-matchable wire kind.
 fn error_kind(error: &ServeError) -> WireErrorKind {
@@ -297,6 +421,7 @@ fn error_kind(error: &ServeError) -> WireErrorKind {
         ServeError::QueueFull { .. } => WireErrorKind::QueueFull,
         ServeError::ClientQuota { .. } => WireErrorKind::ClientQuota,
         ServeError::MemoryBudget { .. } => WireErrorKind::MemoryBudget,
+        ServeError::RateLimited { .. } => WireErrorKind::RateLimited,
         ServeError::ShuttingDown => WireErrorKind::Shutdown,
         ServeError::Deadline { .. } => WireErrorKind::Deadline,
         ServeError::WorkerLost | ServeError::Synthesis { .. } | ServeError::VerifyFailed { .. } => {

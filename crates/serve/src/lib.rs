@@ -13,9 +13,12 @@
 //!   p50/p99 solve latency, queue depth, warm-pool efficiency,
 //!   rejection counts) snapshottable as JSON.
 //! * [`Daemon`] — the socket shell: newline-delimited JSON over a Unix
-//!   domain socket, verbs `synthesize` / `metrics` / `shutdown` (see
-//!   [`wire`] for the exact protocol), one handler thread per
-//!   connection.
+//!   domain socket, verbs `synthesize` / `metrics` / `health` / `drain`
+//!   / `shutdown` (see [`wire`] for the exact protocol), one handler
+//!   thread per connection. With a journal attached it write-ahead
+//!   journals admitted requests and replays survivors after a crash;
+//!   `drain` (or SIGTERM) stops admission and exits with zero dropped
+//!   in-flight jobs.
 //! * [`ServeClient`] — a minimal blocking client for that protocol.
 //!
 //! The `sccl serve` CLI subcommand is a thin flag-parser over
@@ -35,11 +38,12 @@ pub use client::{RetryPolicy, ServeClient};
 pub use daemon::Daemon;
 pub use hot::HotTier;
 pub use metrics::{
-    CacheCounters, EngineMetrics, FaultCounters, FaultGauges, Histogram, HotTierGauges,
-    LatencyCounters, LatencySnapshot, MetricsSnapshot, PoolCounters, QueueGauges, RegistryGauges,
-    RejectionCounters, RequestCounters,
+    CacheCounters, DaemonCounters, DaemonGauges, EngineMetrics, FaultCounters, FaultGauges,
+    Histogram, HotTierGauges, LatencyCounters, LatencySnapshot, MetricsSnapshot, PoolCounters,
+    QueueGauges, RegistryGauges, RejectionCounters, RequestCounters,
 };
 pub use server::{
-    solve_estimate_cells, Outcome, ServeConfig, ServeError, Served, ServedFrom, Server, Ticket,
+    solve_estimate_cells, Health, Outcome, ServeConfig, ServeError, Served, ServedFrom, Server,
+    Ticket,
 };
 pub use wire::{WireErrorKind, WireRequest, WireResponse, WireSynthesize, WireTimings};

@@ -124,7 +124,10 @@ pub struct EngineMetrics {
     rejected_queue_full: AtomicU64,
     rejected_client_quota: AtomicU64,
     rejected_memory_budget: AtomicU64,
+    rejected_rate_limited: AtomicU64,
     rejected_shutdown: AtomicU64,
+    // Overload control.
+    brownout_entered: AtomicU64,
     // Where answers came from.
     hot_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -185,8 +188,18 @@ impl EngineMetrics {
         self.rejected_memory_budget.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn rejected_rate_limited(&self) {
+        self.rejected_rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn rejected_shutdown(&self) {
         self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one ready → browned-out transition of the overload
+    /// controller (the gauge itself is supplied at snapshot time).
+    pub fn brownout_entered(&self) {
+        self.brownout_entered.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn hot_hit(&self) {
@@ -262,6 +275,7 @@ impl EngineMetrics {
         hot: HotTierGauges,
         registry: RegistryGauges,
         faults: FaultGauges,
+        daemon: DaemonGauges,
     ) -> MetricsSnapshot {
         let hot_hits = self.hot_hits.load(Ordering::Relaxed);
         let disk_hits = self.disk_hits.load(Ordering::Relaxed);
@@ -282,6 +296,7 @@ impl EngineMetrics {
                 queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
                 client_quota: self.rejected_client_quota.load(Ordering::Relaxed),
                 memory_budget: self.rejected_memory_budget.load(Ordering::Relaxed),
+                rate_limited: self.rejected_rate_limited.load(Ordering::Relaxed),
                 shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             },
             cache: CacheCounters {
@@ -321,6 +336,16 @@ impl EngineMetrics {
                 pools_quarantined: faults.pools_quarantined,
                 cache_quarantined: faults.cache_quarantined,
             },
+            daemon: DaemonCounters {
+                uptime_ms: daemon.uptime_ms,
+                started_unix_ms: daemon.started_unix_ms,
+                journal_replayed: daemon.journal_replayed,
+                checkpoints_written: daemon.checkpoints_written,
+                rate_limited: self.rejected_rate_limited.load(Ordering::Relaxed),
+                brownout_active: daemon.brownout_active,
+                brownout_entered: self.brownout_entered.load(Ordering::Relaxed),
+                draining: daemon.draining,
+            },
             latency_micros: LatencyCounters {
                 solve: self.solve_latency.snapshot(),
                 total: self.total_latency.snapshot(),
@@ -351,6 +376,24 @@ pub struct FaultGauges {
     pub cache_quarantined: u64,
 }
 
+/// Daemon lifecycle and crash-recovery gauges owned by the server and
+/// its journal, supplied at snapshot time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonGauges {
+    /// Milliseconds since the serving core started.
+    pub uptime_ms: u64,
+    /// Unix timestamp (ms) of the start, for correlating restarts.
+    pub started_unix_ms: u64,
+    /// Journaled queue records replayed at startup.
+    pub journal_replayed: u64,
+    /// Sweep checkpoints durably written by the engine's journal.
+    pub checkpoints_written: u64,
+    /// Whether the brownout controller is currently active.
+    pub brownout_active: bool,
+    /// Whether the server has stopped admitting (drain or shutdown).
+    pub draining: bool,
+}
+
 /// One consistent-enough view of every metric, serializable to JSON.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct MetricsSnapshot {
@@ -360,6 +403,7 @@ pub struct MetricsSnapshot {
     pub queue: QueueGauges,
     pub pool: PoolCounters,
     pub faults: FaultCounters,
+    pub daemon: DaemonCounters,
     pub latency_micros: LatencyCounters,
 }
 
@@ -386,8 +430,33 @@ pub struct RejectionCounters {
     /// Rejected because admitting the solve would exceed the global
     /// solver-memory budget.
     pub memory_budget: u64,
-    /// Rejected because the daemon was shutting down.
+    /// Rejected because the client's token bucket ran dry.
+    pub rate_limited: u64,
+    /// Rejected because the daemon was draining or shutting down.
     pub shutdown: u64,
+}
+
+/// Daemon lifecycle, crash-recovery and overload-control accounting: a
+/// healthy, freshly started daemon shows `journal_replayed == 0`,
+/// `rate_limited == 0` and `brownout_active == false`.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct DaemonCounters {
+    /// Milliseconds since the serving core started.
+    pub uptime_ms: u64,
+    /// Unix timestamp (ms) of the start.
+    pub started_unix_ms: u64,
+    /// Journaled queue records replayed at startup (crash recovery).
+    pub journal_replayed: u64,
+    /// Sweep checkpoints durably written by the engine's journal.
+    pub checkpoints_written: u64,
+    /// Submissions rejected by the per-client token bucket.
+    pub rate_limited: u64,
+    /// Whether the brownout controller is active right now.
+    pub brownout_active: bool,
+    /// Ready → browned-out transitions since start.
+    pub brownout_entered: u64,
+    /// Whether admission has stopped (drain or shutdown).
+    pub draining: bool,
 }
 
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -512,6 +581,7 @@ mod tests {
             HotTierGauges::default(),
             RegistryGauges::default(),
             FaultGauges::default(),
+            DaemonGauges::default(),
         );
         assert_eq!(snap.cache.hot_hits, 2);
         assert_eq!(snap.cache.disk_hits, 1);
@@ -540,11 +610,24 @@ mod tests {
                 pools_quarantined: 1,
                 cache_quarantined: 2,
             },
+            DaemonGauges {
+                uptime_ms: 1234,
+                started_unix_ms: 1_700_000_000_000,
+                journal_replayed: 2,
+                checkpoints_written: 5,
+                brownout_active: false,
+                draining: false,
+            },
         );
         assert_eq!(snap.queue.depth, 1);
         assert_eq!(snap.queue.peak_depth, 3);
         assert_eq!(snap.faults.pools_quarantined, 1);
         assert_eq!(snap.faults.cache_quarantined, 2);
+        assert_eq!(snap.daemon.uptime_ms, 1234);
+        assert_eq!(snap.daemon.journal_replayed, 2);
+        assert_eq!(snap.daemon.checkpoints_written, 5);
+        assert_eq!(snap.daemon.rate_limited, 0);
+        assert!(!snap.daemon.brownout_active);
         let json = serde_json::to_string(&snap).expect("snapshot serializes");
         for field in [
             "\"hit_rate\"",
@@ -557,6 +640,13 @@ mod tests {
             "\"verify_failures\"",
             "\"deadline_degraded\"",
             "\"cache_quarantined\"",
+            "\"uptime_ms\"",
+            "\"started_unix_ms\"",
+            "\"journal_replayed\"",
+            "\"checkpoints_written\"",
+            "\"rate_limited\"",
+            "\"brownout_active\"",
+            "\"brownout_entered\"",
         ] {
             assert!(
                 json.contains(field),

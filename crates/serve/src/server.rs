@@ -54,6 +54,20 @@ pub struct ServeConfig {
     pub memory_budget_cells: usize,
     /// Entries retained by the in-memory hot tier (`0` disables it).
     pub hot_capacity: usize,
+    /// Per-client token-bucket refill rate, in requests per second.
+    /// `0.0` (the default) disables rate limiting entirely — a clean-path
+    /// daemon serves every request and reports `rate_limited == 0`.
+    pub rate_limit_per_sec: f64,
+    /// Token-bucket burst capacity: how many requests a client may fire
+    /// back-to-back before the refill rate governs. Ignored while rate
+    /// limiting is disabled.
+    pub rate_limit_burst: u32,
+    /// Effective wall-clock deadline (milliseconds) the brownout
+    /// controller imposes on admitted jobs while active — under sustained
+    /// overload the daemon degrades to partial-frontier answers before it
+    /// starts rejecting. `0` disables the tightening (brownout then only
+    /// reports through `health`/metrics).
+    pub brownout_deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +78,9 @@ impl Default for ServeConfig {
             per_client_inflight: 4,
             memory_budget_cells: 64 << 20,
             hot_capacity: 256,
+            rate_limit_per_sec: 0.0,
+            rate_limit_burst: 8,
+            brownout_deadline_ms: 2_000,
         }
     }
 }
@@ -92,6 +109,22 @@ impl ServeConfig {
                 message: "a 0-cell budget cannot admit any solve".to_string(),
             });
         }
+        if !self.rate_limit_per_sec.is_finite() || self.rate_limit_per_sec < 0.0 {
+            return Err(Error::Config {
+                field: "rate_limit_per_sec",
+                message: "the refill rate must be a finite, non-negative number \
+                          (0 disables rate limiting)"
+                    .to_string(),
+            });
+        }
+        if self.rate_limit_per_sec > 0.0 && self.rate_limit_burst == 0 {
+            return Err(Error::Config {
+                field: "rate_limit_burst",
+                message: "a 0-token burst rejects every request; set burst >= 1 \
+                          or disable rate limiting"
+                    .to_string(),
+            });
+        }
         Ok(())
     }
 }
@@ -113,6 +146,12 @@ pub enum ServeError {
         requested_cells: usize,
         reserved_cells: usize,
         budget_cells: usize,
+    },
+    /// The client's token bucket ran dry; retry after the hinted delay.
+    RateLimited {
+        client: String,
+        /// Milliseconds until the bucket refills enough for one request.
+        retry_after_ms: u64,
     },
     /// The server is shutting down.
     ShuttingDown,
@@ -156,6 +195,13 @@ impl std::fmt::Display for ServeError {
                 f,
                 "solve needs ~{requested_cells} encoder cells but {reserved_cells} of \
                  {budget_cells} are already reserved"
+            ),
+            ServeError::RateLimited {
+                client,
+                retry_after_ms,
+            } => write!(
+                f,
+                "client `{client}` is rate limited; retry after {retry_after_ms}ms"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Deadline { deadline_ms } => {
@@ -336,6 +382,40 @@ struct QueueState {
     reserved_cells: usize,
 }
 
+/// One client's token bucket: `tokens` refills continuously at the
+/// configured rate up to the burst capacity; each admission spends one.
+struct TokenBucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// The server's liveness as reported by the `health` wire verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Health {
+    /// Admission has stopped (a drain or shutdown is in progress);
+    /// in-flight jobs are still being finished.
+    pub draining: bool,
+    /// The brownout controller is active: queue depth or memory
+    /// reservations crossed 3/4 of their bound and have not yet fallen
+    /// back below 1/2.
+    pub browned_out: bool,
+}
+
+impl Health {
+    /// The single-word state the wire reports: draining wins over
+    /// browned-out (a draining server stops admitting regardless of
+    /// load), and a healthy idle server is simply ready.
+    pub fn state(&self) -> &'static str {
+        if self.draining {
+            "draining"
+        } else if self.browned_out {
+            "browned-out"
+        } else {
+            "ready"
+        }
+    }
+}
+
 /// The in-process serving core. Construct with [`Server::start`]; share
 /// via the returned `Arc` (worker threads hold clones).
 pub struct Server {
@@ -346,6 +426,21 @@ pub struct Server {
     state: Mutex<QueueState>,
     work_ready: Condvar,
     shutting_down: AtomicBool,
+    /// Admission stopped by a graceful drain: in-flight jobs finish and
+    /// are answered, new submissions bounce. Orthogonal to
+    /// `shutting_down` so `health` can report "draining" while workers
+    /// are still alive.
+    draining: AtomicBool,
+    /// The brownout controller's gauge (see [`Server::update_brownout`]).
+    browned_out: AtomicBool,
+    /// Per-client token buckets; lazily created, only touched when rate
+    /// limiting is enabled.
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// Journaled queue records replayed at startup (set once by the
+    /// daemon after recovery).
+    journal_replayed: std::sync::atomic::AtomicU64,
+    started: Instant,
+    started_unix_ms: u64,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -373,6 +468,15 @@ impl Server {
             }),
             work_ready: Condvar::new(),
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            browned_out: AtomicBool::new(false),
+            buckets: Mutex::new(HashMap::new()),
+            journal_replayed: std::sync::atomic::AtomicU64::new(0),
+            started: Instant::now(),
+            started_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
             workers: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -433,12 +537,102 @@ impl Server {
                 pools_quarantined: self.engine.warm_pools_quarantined(),
                 cache_quarantined: self.engine.cache_stats().map_or(0, |s| s.quarantined),
             },
+            crate::metrics::DaemonGauges {
+                uptime_ms: self.started.elapsed().as_millis() as u64,
+                started_unix_ms: self.started_unix_ms,
+                journal_replayed: self.journal_replayed.load(Ordering::Relaxed),
+                checkpoints_written: self
+                    .engine
+                    .journal()
+                    .map_or(0, |journal| journal.checkpoints_written()),
+                brownout_active: self.browned_out.load(Ordering::Relaxed),
+                draining: self.health().draining,
+            },
         )
     }
 
     /// `true` once [`Server::shutdown`] has begun.
     pub fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Current liveness, as the `health` wire verb reports it.
+    pub fn health(&self) -> Health {
+        Health {
+            draining: self.draining.load(Ordering::SeqCst) || self.is_shutting_down(),
+            browned_out: self.browned_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop admitting without stopping the workers: every in-flight job
+    /// (queued or solving) still finishes and answers its ticket, new
+    /// submissions are rejected with [`ServeError::ShuttingDown`].
+    /// The first stage of a graceful drain — callers follow with
+    /// [`Server::shutdown`] once waiters have collected their answers.
+    pub fn begin_drain(&self) {
+        // Chaos hook: a Sleep action stretches the drain window (so kill
+        // tests can race it), a Panic simulates dying mid-drain.
+        let _ = sccl_core::failpoint::fire("drain");
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Record how many journaled queue records the daemon replayed at
+    /// startup (shown in the metrics snapshot).
+    pub fn note_journal_replayed(&self, count: u64) {
+        self.journal_replayed.store(count, Ordering::Relaxed);
+    }
+
+    /// Spend one token from `client`'s bucket, refilling it first. An
+    /// empty bucket rejects with a retry-after hint derived from the
+    /// refill rate. No-op while rate limiting is disabled.
+    fn check_rate_limit(&self, client: &str) -> Result<(), ServeError> {
+        let rate = self.config.rate_limit_per_sec;
+        if rate <= 0.0 {
+            return Ok(());
+        }
+        let burst = f64::from(self.config.rate_limit_burst);
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("bucket lock");
+        let bucket = buckets.entry(client.to_string()).or_insert(TokenBucket {
+            tokens: burst,
+            last_refill: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last_refill);
+        bucket.tokens = (bucket.tokens + elapsed.as_secs_f64() * rate).min(burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - bucket.tokens;
+        let retry_after_ms = ((deficit / rate) * 1000.0).ceil() as u64;
+        self.metrics.rejected_rate_limited();
+        Err(ServeError::RateLimited {
+            client: client.to_string(),
+            retry_after_ms: retry_after_ms.max(1),
+        })
+    }
+
+    /// The brownout controller: flips active when queue depth or memory
+    /// reservations cross 3/4 of their bound, and only releases once both
+    /// fall back below 1/2 — hysteresis so a load hovering at the
+    /// threshold doesn't flap the gauge. Called under the queue lock's
+    /// results (depth and reservation are a consistent pair).
+    fn update_brownout(&self, queue_depth: usize, reserved_cells: usize) {
+        let above = |value: usize, bound: usize, num: u128, den: u128| {
+            (value as u128) * den >= (bound as u128) * num
+        };
+        let queue_high = above(queue_depth, self.config.queue_capacity, 3, 4);
+        let memory_high = above(reserved_cells, self.config.memory_budget_cells, 3, 4);
+        let queue_low = !above(queue_depth, self.config.queue_capacity, 1, 2);
+        let memory_low = !above(reserved_cells, self.config.memory_budget_cells, 1, 2);
+        if queue_high || memory_high {
+            if !self.browned_out.swap(true, Ordering::Relaxed) {
+                self.metrics.brownout_entered();
+            }
+        } else if queue_low && memory_low {
+            self.browned_out.store(false, Ordering::Relaxed);
+        }
     }
 
     /// Submit one synthesize job. `config` must already have the
@@ -475,10 +669,13 @@ impl Server {
         deadline: Option<std::time::Duration>,
     ) -> Result<Ticket, ServeError> {
         self.metrics.synthesize_request();
-        if self.is_shutting_down() {
+        if self.is_shutting_down() || self.draining.load(Ordering::SeqCst) {
             self.metrics.rejected_shutdown();
             return Err(ServeError::ShuttingDown);
         }
+        // Rate limiting precedes every tier: the token bucket bounds the
+        // *request* rate, so hot-tier hits spend tokens too.
+        self.check_rate_limit(client)?;
         let submitted = Instant::now();
         let key_hash = CacheKey::new(&topology, collective, &config).content_hash();
         if let Some(report) = self.hot.lookup(&key_hash) {
@@ -534,6 +731,18 @@ impl Server {
             // not wrap the global reservation around zero.
             state.reserved_cells = state.reserved_cells.saturating_add(reserve);
             *state.inflight.entry(client.to_string()).or_insert(0) += 1;
+            self.update_brownout(state.queue.len() + 1, state.reserved_cells);
+            // Brownout tightens the effective deadline: under sustained
+            // overload admitted jobs degrade to partial-frontier answers
+            // (freeing workers sooner) before admission starts rejecting.
+            let deadline = if self.browned_out.load(Ordering::Relaxed)
+                && self.config.brownout_deadline_ms > 0
+            {
+                let cap = std::time::Duration::from_millis(self.config.brownout_deadline_ms);
+                Some(deadline.map_or(cap, |d| d.min(cap)))
+            } else {
+                deadline
+            };
             let mut request = SynthesisRequest::new(&topology, collective).with_config(config);
             if let Some(mode) = mode {
                 request = request.with_mode(mode);
@@ -643,6 +852,9 @@ impl Server {
                     state.inflight.remove(&client);
                 }
             }
+            // Released reservations may clear the brownout (hysteresis:
+            // both gauges must fall below 1/2 of their bound).
+            self.update_brownout(state.queue.len(), state.reserved_cells);
         }
         ticket.complete(outcome);
     }
@@ -1216,5 +1428,172 @@ mod tests {
             serde_json::to_string(hot.report.as_ref()).expect("hot json"),
             serde_json::to_string(served.report.as_ref()).expect("served json"),
         );
+    }
+
+    #[test]
+    fn rate_limiting_rejects_the_burst_overflow_with_a_retry_hint() {
+        // A near-zero refill rate so the burst allowance is the whole
+        // story: two requests pass, the third bounces with a hint.
+        let server = server(ServeConfig {
+            workers: 1,
+            rate_limit_per_sec: 0.001,
+            rate_limit_burst: 2,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let first = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "bursty",
+            )
+            .expect("first spends a token");
+        assert!(first.wait().is_ok());
+        let second = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "bursty",
+            )
+            .expect("second spends the last token");
+        assert!(second.wait().is_ok());
+        let err = server
+            .submit(
+                ring.clone(),
+                Collective::Allgather,
+                quick_config(),
+                None,
+                "bursty",
+            )
+            .expect_err("empty bucket must reject");
+        match &err {
+            ServeError::RateLimited {
+                client,
+                retry_after_ms,
+            } => {
+                assert_eq!(client, "bursty");
+                assert!(*retry_after_ms >= 1, "hint was {retry_after_ms}ms");
+            }
+            other => panic!("expected a rate-limit rejection, got {other:?}"),
+        }
+        // A different client has its own bucket.
+        let other = server
+            .submit(ring, Collective::Allgather, quick_config(), None, "calm")
+            .expect("separate bucket admits");
+        assert!(other.wait().is_ok());
+        let snap = server.snapshot();
+        assert_eq!(snap.rejections.rate_limited, 1);
+        assert_eq!(snap.daemon.rate_limited, 1);
+    }
+
+    #[test]
+    fn a_clean_path_reports_no_rate_limits_and_no_brownout() {
+        // The default config disables rate limiting entirely; a healthy
+        // daemon must report zeros, not incidental throttling.
+        let server = server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        for _ in 0..4 {
+            let served = server
+                .submit(
+                    ring.clone(),
+                    Collective::Allgather,
+                    quick_config(),
+                    None,
+                    "steady",
+                )
+                .expect("admitted")
+                .wait();
+            assert!(served.is_ok());
+        }
+        let snap = server.snapshot();
+        assert_eq!(snap.rejections.rate_limited, 0);
+        assert_eq!(snap.daemon.rate_limited, 0);
+        assert!(!snap.daemon.brownout_active);
+        assert_eq!(snap.daemon.brownout_entered, 0);
+        assert!(!snap.daemon.draining);
+        assert_eq!(server.health().state(), "ready");
+    }
+
+    #[test]
+    fn brownout_engages_with_hysteresis_and_is_observable() {
+        let server = server(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..Default::default()
+        });
+        // Between the release (1/2) and engage (3/4) thresholds nothing
+        // changes from a cold start...
+        server.update_brownout(5, 0);
+        assert!(!server.health().browned_out);
+        // ...crossing 3/4 engages and counts the transition once...
+        server.update_brownout(6, 0);
+        assert!(server.health().browned_out);
+        assert_eq!(server.health().state(), "browned-out");
+        server.update_brownout(7, 0);
+        let snap = server.snapshot();
+        assert!(snap.daemon.brownout_active);
+        assert_eq!(snap.daemon.brownout_entered, 1);
+        // ...the hysteresis band holds it engaged...
+        server.update_brownout(5, 0);
+        assert!(server.health().browned_out, "hysteresis must not flap");
+        // ...and only falling below 1/2 releases it.
+        server.update_brownout(3, 0);
+        assert!(!server.health().browned_out);
+        assert!(!server.snapshot().daemon.brownout_active);
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_jobs_and_rejects_new_admissions() {
+        let server = server(ServeConfig {
+            workers: 1,
+            per_client_inflight: 8,
+            ..Default::default()
+        });
+        let ring = builders::ring(4, 1);
+        let big = SynthesisConfig {
+            max_steps: 8,
+            max_chunks: 8,
+            ..Default::default()
+        };
+        // Admit work that is still in flight when the drain begins.
+        let in_flight: Vec<Ticket> = [
+            Collective::Allgather,
+            Collective::Broadcast { root: 0 },
+            Collective::Gather { root: 0 },
+        ]
+        .into_iter()
+        .map(|collective| {
+            server
+                .submit(ring.clone(), collective, big.clone(), None, "a")
+                .expect("admitted before drain")
+        })
+        .collect();
+        assert_eq!(server.health().state(), "ready");
+        server.begin_drain();
+        assert!(server.health().draining);
+        assert_eq!(server.health().state(), "draining");
+        let err = server
+            .submit(
+                ring.clone(),
+                Collective::Scatter { root: 0 },
+                big,
+                None,
+                "a",
+            )
+            .expect_err("no admission while draining");
+        assert_eq!(err, ServeError::ShuttingDown);
+        // Zero dropped: every job admitted before the drain still answers.
+        for ticket in in_flight {
+            assert!(ticket.wait().is_ok(), "drained jobs must still be served");
+        }
+        server.shutdown();
+        assert!(server.snapshot().daemon.draining);
     }
 }

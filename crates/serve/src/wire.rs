@@ -59,6 +59,12 @@ use serde::{de::Error as _, Content, Deserialize, Deserializer, Serialize, Seria
 pub enum WireRequest {
     Synthesize(WireSynthesize),
     Metrics,
+    /// Liveness probe: answers `ready`, `draining` or `browned-out`
+    /// without touching the queue.
+    Health,
+    /// Graceful drain: stop admitting, finish in-flight jobs, journal
+    /// whatever is pending, then exit cleanly.
+    Drain,
     Shutdown,
 }
 
@@ -183,6 +189,8 @@ impl Serialize for WireRequest {
         };
         match self {
             WireRequest::Metrics => push(&mut fields, "verb", Content::Str("metrics".into())),
+            WireRequest::Health => push(&mut fields, "verb", Content::Str("health".into())),
+            WireRequest::Drain => push(&mut fields, "verb", Content::Str("drain".into())),
             WireRequest::Shutdown => push(&mut fields, "verb", Content::Str("shutdown".into())),
             WireRequest::Synthesize(s) => {
                 push(&mut fields, "verb", Content::Str("synthesize".into()));
@@ -245,6 +253,8 @@ impl<'de> Deserialize<'de> for WireRequest {
         let verb: String = serde::field(&mut fields, "verb")?;
         let request = match verb.as_str() {
             "metrics" => WireRequest::Metrics,
+            "health" => WireRequest::Health,
+            "drain" => WireRequest::Drain,
             "shutdown" => WireRequest::Shutdown,
             "synthesize" => {
                 let topology: String = serde::field(&mut fields, "topology")?;
@@ -282,7 +292,8 @@ impl<'de> Deserialize<'de> for WireRequest {
             }
             other => {
                 return Err(D::Error::custom(format!(
-                    "unknown verb `{other}` (expected synthesize, metrics or shutdown)"
+                    "unknown verb `{other}` (expected synthesize, metrics, health, \
+                     drain or shutdown)"
                 )))
             }
         };
@@ -307,7 +318,10 @@ pub enum WireErrorKind {
     ClientQuota,
     /// Admitting the solve would exceed the global solver-memory budget.
     MemoryBudget,
-    /// The daemon is shutting down.
+    /// The client's token bucket ran dry; the error payload carries a
+    /// `retry_after_ms` hint.
+    RateLimited,
+    /// The daemon is draining or shutting down.
     Shutdown,
     /// The request line did not parse or referenced unknown specs.
     BadRequest,
@@ -325,6 +339,7 @@ impl WireErrorKind {
             WireErrorKind::QueueFull => "queue_full",
             WireErrorKind::ClientQuota => "client_quota",
             WireErrorKind::MemoryBudget => "memory_budget",
+            WireErrorKind::RateLimited => "rate_limited",
             WireErrorKind::Shutdown => "shutdown",
             WireErrorKind::BadRequest => "bad_request",
             WireErrorKind::Synthesis => "synthesis",
@@ -337,6 +352,7 @@ impl WireErrorKind {
             "queue_full" => WireErrorKind::QueueFull,
             "client_quota" => WireErrorKind::ClientQuota,
             "memory_budget" => WireErrorKind::MemoryBudget,
+            "rate_limited" => WireErrorKind::RateLimited,
             "shutdown" => WireErrorKind::Shutdown,
             "bad_request" => WireErrorKind::BadRequest,
             "synthesis" => WireErrorKind::Synthesis,
@@ -382,10 +398,27 @@ pub enum WireResponse {
     },
     /// A served `metrics` request: the snapshot, as received.
     Metrics(Content),
+    /// A served `health` request.
+    Health {
+        /// `"ready"`, `"draining"` or `"browned-out"`.
+        state: String,
+        /// Admission has stopped (drain or shutdown in progress).
+        draining: bool,
+        /// The brownout controller is active.
+        browned_out: bool,
+    },
+    /// Acknowledged `drain` (sent before the daemon stops accepting).
+    Drain,
     /// Acknowledged `shutdown`.
     Shutdown,
     /// Any failure.
-    Error { kind: WireErrorKind, error: String },
+    Error {
+        kind: WireErrorKind,
+        error: String,
+        /// For `rate_limited`: milliseconds until the client's bucket
+        /// refills enough for one request.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl WireResponse {
@@ -453,14 +486,35 @@ impl Serialize for WireResponse {
                 fields.push(("ok".to_string(), Content::Bool(true)));
                 fields.push(("metrics".to_string(), snapshot.clone()));
             }
+            WireResponse::Health {
+                state,
+                draining,
+                browned_out,
+            } => {
+                fields.push(("ok".to_string(), Content::Bool(true)));
+                fields.push(("health".to_string(), Content::Str(state.clone())));
+                fields.push(("draining".to_string(), Content::Bool(*draining)));
+                fields.push(("browned_out".to_string(), Content::Bool(*browned_out)));
+            }
+            WireResponse::Drain => {
+                fields.push(("ok".to_string(), Content::Bool(true)));
+                fields.push(("draining".to_string(), Content::Bool(true)));
+            }
             WireResponse::Shutdown => {
                 fields.push(("ok".to_string(), Content::Bool(true)));
                 fields.push(("shutdown".to_string(), Content::Bool(true)));
             }
-            WireResponse::Error { kind, error } => {
+            WireResponse::Error {
+                kind,
+                error,
+                retry_after_ms,
+            } => {
                 fields.push(("ok".to_string(), Content::Bool(false)));
                 fields.push(("kind".to_string(), Content::Str(kind.as_str().to_string())));
                 fields.push(("error".to_string(), Content::Str(error.clone())));
+                if let Some(retry_after_ms) = retry_after_ms {
+                    fields.push(("retry_after_ms".to_string(), Content::U64(*retry_after_ms)));
+                }
             }
         }
         serializer.serialize_content(Content::Map(fields))
@@ -477,10 +531,28 @@ impl<'de> Deserialize<'de> for WireResponse {
             let kind = WireErrorKind::parse(&kind)
                 .ok_or_else(|| D::Error::custom(format!("unknown error kind `{kind}`")))?;
             let error: String = serde::field(&mut fields, "error")?;
-            return Ok(WireResponse::Error { kind, error });
+            let retry_after_ms = optional::<u64, D::Error>(&mut fields, "retry_after_ms")?;
+            return Ok(WireResponse::Error {
+                kind,
+                error,
+                retry_after_ms,
+            });
         }
         if let Some(snapshot) = optional::<Content, D::Error>(&mut fields, "metrics")? {
             return Ok(WireResponse::Metrics(snapshot));
+        }
+        if let Some(state) = optional::<String, D::Error>(&mut fields, "health")? {
+            let draining = optional::<bool, D::Error>(&mut fields, "draining")?.unwrap_or(false);
+            let browned_out =
+                optional::<bool, D::Error>(&mut fields, "browned_out")?.unwrap_or(false);
+            return Ok(WireResponse::Health {
+                state,
+                draining,
+                browned_out,
+            });
+        }
+        if optional::<bool, D::Error>(&mut fields, "draining")?.is_some() {
+            return Ok(WireResponse::Drain);
         }
         if optional::<bool, D::Error>(&mut fields, "shutdown")?.is_some() {
             return Ok(WireResponse::Shutdown);
@@ -534,11 +606,49 @@ mod tests {
 
     #[test]
     fn control_verbs_round_trip() {
-        for request in [WireRequest::Metrics, WireRequest::Shutdown] {
+        for request in [
+            WireRequest::Metrics,
+            WireRequest::Health,
+            WireRequest::Drain,
+            WireRequest::Shutdown,
+        ] {
             let line = serde_json::to_string(&request).expect("serialize");
             let back: WireRequest = serde_json::from_str(&line).expect("deserialize");
             assert_eq!(back, request);
         }
+    }
+
+    #[test]
+    fn health_and_drain_responses_round_trip() {
+        let health = WireResponse::Health {
+            state: "browned-out".to_string(),
+            draining: false,
+            browned_out: true,
+        };
+        let line = serde_json::to_string(&health).expect("serialize");
+        assert!(line.contains(r#""health":"browned-out""#));
+        let back: WireResponse = serde_json::from_str(&line).expect("deserialize");
+        assert_eq!(back, health);
+
+        let drain = WireResponse::Drain;
+        let line = serde_json::to_string(&drain).expect("serialize");
+        assert!(line.contains(r#""draining":true"#));
+        let back: WireResponse = serde_json::from_str(&line).expect("deserialize");
+        assert_eq!(back, drain);
+    }
+
+    #[test]
+    fn rate_limited_errors_carry_the_retry_hint() {
+        let response = WireResponse::Error {
+            kind: WireErrorKind::RateLimited,
+            error: "client `loadgen` is rate limited; retry after 125ms".to_string(),
+            retry_after_ms: Some(125),
+        };
+        let line = serde_json::to_string(&response).expect("serialize");
+        assert!(line.contains(r#""kind":"rate_limited""#));
+        assert!(line.contains(r#""retry_after_ms":125"#));
+        let back: WireResponse = serde_json::from_str(&line).expect("deserialize");
+        assert_eq!(back, response);
     }
 
     #[test]
@@ -595,6 +705,7 @@ mod tests {
         let response = WireResponse::Error {
             kind: WireErrorKind::QueueFull,
             error: "queue at capacity 4".to_string(),
+            retry_after_ms: None,
         };
         let line = serde_json::to_string(&response).expect("serialize");
         assert!(line.contains(r#""ok":false"#));

@@ -130,7 +130,7 @@ fn a_solver_panic_is_contained_and_the_daemon_keeps_serving() {
         .synthesize(WireSynthesize::new("ring:5", "allgather"))
         .expect("the connection survives the worker panic");
     match &response {
-        WireResponse::Error { kind, error } => {
+        WireResponse::Error { kind, error, .. } => {
             assert_eq!(*kind, WireErrorKind::Synthesis, "was: {response:?}");
             assert!(error.contains("worker"), "names the lost worker: {error}");
         }

@@ -1,0 +1,162 @@
+//! Crash-recovery and graceful-drain tests over a real Unix socket: a
+//! journaled request left behind by a "crashed" daemon is replayed at
+//! startup, the `health` verb reports liveness, and the `drain` verb
+//! stops admission and exits with every in-flight job answered.
+
+use sccl_serve::{
+    Daemon, ServeClient, ServeConfig, Server, WireRequest, WireResponse, WireSynthesize,
+};
+use serde::Content;
+use std::path::PathBuf;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sccl-serve-recovery-{tag}-{}.sock",
+        std::process::id()
+    ))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sccl-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_defaults() -> sccl_core::pareto::SynthesisConfig {
+    sccl_core::pareto::SynthesisConfig {
+        max_steps: 6,
+        max_chunks: 4,
+        ..Default::default()
+    }
+}
+
+fn metrics_field(snapshot: &Content, path: &[&str]) -> f64 {
+    let mut current = snapshot;
+    for key in path {
+        let Content::Map(fields) = current else {
+            panic!("expected a map at {key}, got {current:?}");
+        };
+        current = &fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("metrics missing field {key}"))
+            .1;
+    }
+    match current {
+        Content::U64(v) => *v as f64,
+        Content::I64(v) => *v as f64,
+        Content::F64(v) => *v,
+        other => panic!("expected a number at {path:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_journaled_request_is_replayed_before_the_daemon_takes_new_work() {
+    let journal_dir = tmp_dir("journal");
+    let cache_dir = tmp_dir("cache");
+
+    // A "crashed" daemon left one admitted request in its journal: the
+    // write-ahead record survived, the response never happened.
+    {
+        let journal = sccl_sched::Journal::open(&journal_dir).expect("journal");
+        let line = serde_json::to_string(&WireRequest::Synthesize(
+            WireSynthesize::new("ring:4", "allgather").with_client("lost"),
+        ))
+        .expect("request line");
+        journal.append_queue_record(&line).expect("append");
+        assert_eq!(journal.queue_len(), 1);
+    }
+
+    let engine = sccl_sched::Engine::builder()
+        .sequential()
+        .synthesis_defaults(quick_defaults())
+        .journal_dir(&journal_dir)
+        .cache_dir(&cache_dir)
+        .build()
+        .expect("engine");
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("replay"), server).expect("bind");
+
+    // The accept thread replays before accepting, so this roundtrip is
+    // ordered after the recovery solve: the "retrying client" hits the
+    // hot tier instead of waiting through a second cold solve.
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+    let response = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_client("retry"))
+        .expect("roundtrip");
+    match &response {
+        WireResponse::Report { provenance, .. } => assert_eq!(
+            provenance, "hot",
+            "the replayed solve must already be in the hot tier"
+        ),
+        other => panic!("expected a report, got {other:?}"),
+    }
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb must answer with a snapshot");
+    };
+    assert_eq!(
+        metrics_field(&snapshot, &["daemon", "journal_replayed"]),
+        1.0
+    );
+    assert!(
+        metrics_field(&snapshot, &["daemon", "checkpoints_written"]) > 0.0,
+        "the sequential sweep must persist checkpoints through the journal"
+    );
+    assert!(metrics_field(&snapshot, &["daemon", "uptime_ms"]) >= 0.0);
+    daemon.shutdown();
+
+    // The replayed record was consumed: nothing left to replay twice.
+    let journal = sccl_sched::Journal::open(&journal_dir).expect("reopen");
+    assert_eq!(journal.queue_len(), 0);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn the_drain_verb_reports_health_then_exits_cleanly() {
+    let engine = sccl_sched::Engine::builder()
+        .sequential()
+        .synthesis_defaults(quick_defaults())
+        .build()
+        .expect("engine");
+    let server = Server::start(engine, ServeConfig::default()).expect("server");
+    let daemon = Daemon::bind(socket_path("drain"), server).expect("bind");
+    let path = daemon.socket_path().to_path_buf();
+    let mut client = ServeClient::connect(&path).expect("connect");
+
+    // Before the drain: ready.
+    let health = client.health().expect("health");
+    match &health {
+        WireResponse::Health {
+            state,
+            draining,
+            browned_out,
+        } => {
+            assert_eq!(state, "ready");
+            assert!(!draining && !browned_out);
+        }
+        other => panic!("expected health, got {other:?}"),
+    }
+
+    // Serve one request so there is real state to drain behind.
+    let served = client
+        .synthesize(WireSynthesize::new("ring:4", "allgather").with_client("d"))
+        .expect("roundtrip");
+    assert!(matches!(served, WireResponse::Report { .. }));
+
+    // Drain is acknowledged before the daemon stops accepting...
+    let ack = client.drain().expect("drain");
+    assert!(matches!(ack, WireResponse::Drain), "was: {ack:?}");
+
+    // ...and the daemon then exits cleanly, removing its socket.
+    daemon.wait();
+    assert!(!path.exists(), "socket file must be removed after drain");
+}

@@ -126,6 +126,16 @@ impl Limits {
         self
     }
 
+    /// Tighten the conflict cap to at most `budget` (builder style): a
+    /// caller-supplied cap survives when it is already tighter, an absent
+    /// one becomes `budget`. This is how the warm Pareto sweep bounds one
+    /// probe by its adaptive budget without ever *loosening* limits a
+    /// user or a resumed solve already imposed.
+    pub fn cap_conflicts(mut self, budget: u64) -> Limits {
+        self.max_conflicts = Some(self.max_conflicts.map_or(budget, |user| user.min(budget)));
+        self
+    }
+
     /// The budget left after part of it was spent: a limit set derived from
     /// `self` with `elapsed` wall clock and `conflicts` deducted
     /// (saturating at zero — a zero remainder means the very next budget
