@@ -31,6 +31,7 @@ pub mod verify;
 pub use partition::{Group, GroupSpec, Partition, PartitionError};
 pub use plan::{
     synthesize_hier, ComposedStage, EntryPick, HierEngineExt, HierError, HierRequest, HierResponse,
-    HierStats, HierSummary, HierarchicalAlgorithm, PartitionSummary, StageLevel, StageSummary,
+    HierStats, HierSummary, HierTimings, HierarchicalAlgorithm, PartitionSummary, StageLevel,
+    StageSummary,
 };
 pub use verify::{verify_composition, CompositionError};

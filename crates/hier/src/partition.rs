@@ -32,23 +32,36 @@ pub enum GroupSpec {
 
 impl GroupSpec {
     /// Parse a CLI/wire group spec: `auto`, `uniform:M`, or explicit
-    /// semicolon-separated member lists like `0,1,2;3,4,5`.
-    pub fn parse(spec: &str) -> Option<GroupSpec> {
+    /// semicolon-separated member lists like `0,1,2;3,4,5`. A rejection
+    /// names the offending token so wire/CLI errors can quote it back.
+    pub fn parse(spec: &str) -> Result<GroupSpec, PartitionError> {
         match spec {
-            "auto" => Some(GroupSpec::Auto),
+            "auto" => Ok(GroupSpec::Auto),
             _ => {
                 if let Some(arg) = spec.strip_prefix("uniform:") {
-                    return Some(GroupSpec::Uniform {
-                        group_size: arg.parse().ok()?,
-                    });
+                    return arg
+                        .parse()
+                        .map(|group_size| GroupSpec::Uniform { group_size })
+                        .map_err(|_| PartitionError::MalformedSpec {
+                            token: arg.to_string(),
+                            expected: "a group size after `uniform:`".to_string(),
+                        });
                 }
                 let mut groups = Vec::new();
                 for part in spec.split(';') {
-                    let members: Option<Vec<usize>> =
-                        part.split(',').map(|n| n.trim().parse().ok()).collect();
+                    let members: Result<Vec<usize>, PartitionError> = part
+                        .split(',')
+                        .map(|n| {
+                            let n = n.trim();
+                            n.parse().map_err(|_| PartitionError::MalformedSpec {
+                                token: n.to_string(),
+                                expected: "a node index".to_string(),
+                            })
+                        })
+                        .collect();
                     groups.push(members?);
                 }
-                Some(GroupSpec::Explicit { groups })
+                Ok(GroupSpec::Explicit { groups })
             }
         }
     }
@@ -91,6 +104,9 @@ pub enum PartitionError {
     TooFewGroups { groups: usize },
     /// Auto-detection found a single bandwidth tier spanning the machine.
     NoBandwidthTiers,
+    /// A textual group spec did not parse; `token` is the exact fragment
+    /// that was rejected.
+    MalformedSpec { token: String, expected: String },
 }
 
 impl fmt::Display for PartitionError {
@@ -122,6 +138,11 @@ impl fmt::Display for PartitionError {
                 f,
                 "auto-partition found one bandwidth tier spanning the whole machine; \
                  pass an explicit group spec"
+            ),
+            PartitionError::MalformedSpec { token, expected } => write!(
+                f,
+                "malformed group spec: `{token}` is not {expected} \
+                 (expected `auto`, `uniform:M`, or `0,1;2,3`)"
             ),
         }
     }
@@ -542,19 +563,17 @@ mod tests {
 
     #[test]
     fn group_spec_parsing_round_trips() {
-        assert_eq!(GroupSpec::parse("auto"), Some(GroupSpec::Auto));
+        assert_eq!(GroupSpec::parse("auto"), Ok(GroupSpec::Auto));
         assert_eq!(
             GroupSpec::parse("uniform:8"),
-            Some(GroupSpec::Uniform { group_size: 8 })
+            Ok(GroupSpec::Uniform { group_size: 8 })
         );
         assert_eq!(
             GroupSpec::parse("0,1;2,3"),
-            Some(GroupSpec::Explicit {
+            Ok(GroupSpec::Explicit {
                 groups: vec![vec![0, 1], vec![2, 3]]
             })
         );
-        assert_eq!(GroupSpec::parse("uniform:x"), None);
-        assert_eq!(GroupSpec::parse("0,a;2,3"), None);
         for spec in [
             GroupSpec::Auto,
             GroupSpec::Uniform { group_size: 4 },
@@ -562,8 +581,31 @@ mod tests {
                 groups: vec![vec![0, 1], vec![2, 3]],
             },
         ] {
-            assert_eq!(GroupSpec::parse(&spec.to_string()), Some(spec));
+            assert_eq!(GroupSpec::parse(&spec.to_string()), Ok(spec));
         }
+    }
+
+    #[test]
+    fn group_spec_rejections_name_the_offending_token() {
+        let error = GroupSpec::parse("uniform:x").expect_err("bad size");
+        assert_eq!(
+            error,
+            PartitionError::MalformedSpec {
+                token: "x".to_string(),
+                expected: "a group size after `uniform:`".to_string(),
+            }
+        );
+        assert!(error.to_string().contains("`x`"), "was: {error}");
+
+        let error = GroupSpec::parse("0,a;2,3").expect_err("bad member");
+        assert_eq!(
+            error,
+            PartitionError::MalformedSpec {
+                token: "a".to_string(),
+                expected: "a node index".to_string(),
+            }
+        );
+        assert!(error.to_string().contains("`a`"), "was: {error}");
     }
 
     #[test]

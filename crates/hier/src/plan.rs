@@ -26,12 +26,14 @@ use crate::partition::{GroupSpec, Partition, PartitionError};
 use crate::verify::{verify_composition, CompositionError};
 use sccl_collectives::relations::Placement;
 use sccl_collectives::Collective;
+use sccl_core::failpoint;
 use sccl_core::pareto::{SynthesisConfig, TerminationReason};
 use sccl_core::{Algorithm, AlgorithmCost, CostModel, Send};
 use sccl_sched::{Engine, Error as EngineError, SolveMode, SynthesisRequest};
 use sccl_topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Which frontier entry each stage uses.
@@ -73,6 +75,12 @@ pub struct HierRequest {
     pub mode: Option<SolveMode>,
     /// Which frontier entry each stage uses.
     pub pick: EntryPick,
+    /// Wall-clock budget for the whole composition. Each stage solve is
+    /// handed the *remaining* budget; on expiry the planner degrades to
+    /// partial stage frontiers where a stage produced anything usable
+    /// ([`HierResponse::degraded`]) and returns [`HierError::Deadline`]
+    /// only when no composition is achievable at all.
+    pub deadline: Option<Duration>,
 }
 
 impl HierRequest {
@@ -85,6 +93,7 @@ impl HierRequest {
             config: None,
             mode: None,
             pick: EntryPick::default(),
+            deadline: None,
         }
     }
 
@@ -109,6 +118,12 @@ impl HierRequest {
     /// Use the cheapest-bandwidth frontier entry per stage.
     pub fn pick_bandwidth(mut self) -> Self {
         self.pick = EntryPick::Bandwidth;
+        self
+    }
+
+    /// Bound the whole composition to `deadline` of wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -136,6 +151,16 @@ pub enum HierError {
     /// The stitched schedule failed the composition verifier. This is a
     /// planner bug surfaced as a typed error rather than a wrong answer.
     Composition(CompositionError),
+    /// The request's deadline expired before every stage could produce a
+    /// usable frontier — not even a degraded composition is achievable.
+    Deadline { deadline_ms: u64 },
+    /// A stage solve panicked. The panic was contained here; the warm
+    /// pool it unwound through was quarantined by the engine rather than
+    /// checked back in.
+    StagePanic {
+        stage: &'static str,
+        message: String,
+    },
 }
 
 impl fmt::Display for HierError {
@@ -157,6 +182,16 @@ impl fmt::Display for HierError {
                 termination.describe()
             ),
             HierError::Composition(e) => write!(f, "composition rejected: {e}"),
+            HierError::Deadline { deadline_ms } => write!(
+                f,
+                "deadline of {deadline_ms}ms expired before any composition was achievable"
+            ),
+            HierError::StagePanic { stage, message } => {
+                write!(
+                    f,
+                    "stage {stage} solve panicked (worker contained): {message}"
+                )
+            }
         }
     }
 }
@@ -285,6 +320,26 @@ pub struct HierStats {
     pub stage_solves: usize,
     /// How many of those were served from the engine's persistent cache.
     pub cache_hits: usize,
+    /// Stage solves whose deadline expired mid-search and whose entry was
+    /// picked from the partial frontier found before the cut.
+    pub degraded_stages: usize,
+}
+
+/// Wall-clock breakdown of one hierarchical request, phase by phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HierTimings {
+    /// Carving the topology into groups.
+    pub partition: Duration,
+    /// Summed end-to-end time of the stage solves (lookup + encode +
+    /// solve + store inside the engine).
+    pub solve: Duration,
+    /// Offsetting, lane-scaling and remapping the stage schedules into
+    /// one flat algorithm.
+    pub stitch: Duration,
+    /// The composition verifier's replay of the stitched schedule.
+    pub verify: Duration,
+    /// End-to-end time of the request.
+    pub total: Duration,
 }
 
 /// The planner's answer to a [`HierRequest`]: a verified composition.
@@ -296,6 +351,12 @@ pub struct HierResponse {
     pub partition: PartitionSummary,
     /// Stage-solve accounting.
     pub stats: HierStats,
+    /// Per-phase wall-clock breakdown.
+    pub timings: HierTimings,
+    /// `true` when at least one stage used a partial frontier because the
+    /// request's deadline expired mid-search. The composition is still
+    /// verified — degraded means possibly suboptimal, never unsound.
+    pub degraded: bool,
     /// End-to-end planning time (partition + stage solves + stitch +
     /// verify).
     pub elapsed: Duration,
@@ -316,6 +377,7 @@ pub struct HierSummary {
     pub total_sends: usize,
     pub stage_solves: usize,
     pub cache_hits: usize,
+    pub degraded_stages: usize,
     pub elapsed_micros: u64,
 }
 
@@ -361,9 +423,20 @@ impl HierResponse {
             total_sends: self.algorithm.composed.sends.len(),
             stage_solves: self.stats.stage_solves,
             cache_hits: self.stats.cache_hits,
-            elapsed_micros: self.elapsed.as_micros() as u64,
+            degraded_stages: self.stats.degraded_stages,
+            elapsed_micros: saturating_micros(self.elapsed),
         }
     }
+}
+
+/// A `Duration` in microseconds, saturating instead of truncating.
+fn saturating_micros(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// A `Duration` in milliseconds, saturating instead of truncating.
+fn saturating_millis(d: Duration) -> u64 {
+    d.as_millis().min(u64::MAX as u128) as u64
 }
 
 /// Hierarchical synthesis as a method on the existing [`Engine`].
@@ -421,6 +494,12 @@ struct StageSolver<'a> {
     pick: EntryPick,
     memo: Vec<(String, Collective, Algorithm)>,
     stats: HierStats,
+    /// When the whole request started, for remaining-budget computation.
+    start: Instant,
+    /// The request's total wall-clock budget, if any.
+    deadline: Option<Duration>,
+    /// Summed end-to-end time of the stage solves.
+    solve_time: Duration,
 }
 
 impl StageSolver<'_> {
@@ -442,10 +521,54 @@ impl StageSolver<'_> {
         if let Some(mode) = self.mode {
             request = request.with_mode(mode);
         }
-        let response = self.engine.synthesize(request).map_err(HierError::Engine)?;
+        // The stage solve is isolated: a panic anywhere under it (the
+        // `hier.stage` chaos site included) is contained as a typed
+        // error, and the warm pool it unwound through is quarantined by
+        // the engine's session RAII rather than checked back in. The
+        // failpoint fires *before* the remaining budget is computed so a
+        // Sleep action faithfully eats the deadline.
+        let deadline = self.deadline;
+        let start = self.start;
+        let engine = self.engine;
+        let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<_, HierError> {
+            if failpoint::fire("hier.stage") {
+                panic!("failpoint hier.stage triggered");
+            }
+            let mut request = request;
+            if let Some(total) = deadline {
+                let remaining = total.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    return Err(HierError::Deadline {
+                        deadline_ms: saturating_millis(total),
+                    });
+                }
+                request = request.with_deadline(remaining);
+            }
+            engine.synthesize(request).map_err(HierError::Engine)
+        }));
+        let response = match outcome {
+            Ok(result) => result?,
+            Err(panic) => {
+                return Err(HierError::StagePanic {
+                    stage,
+                    message: panic_message(panic),
+                })
+            }
+        };
         self.stats.stage_solves += 1;
         if response.from_cache() {
             self.stats.cache_hits += 1;
+        }
+        self.solve_time += response.timings.total;
+        if response.degraded {
+            if response.report.entries.is_empty() {
+                // The cut arrived before this stage found anything: no
+                // composition is achievable, degraded or otherwise.
+                return Err(HierError::Deadline {
+                    deadline_ms: self.deadline.map(saturating_millis).unwrap_or(0),
+                });
+            }
+            self.stats.degraded_stages += 1;
         }
         let entry = match self.pick {
             EntryPick::Latency => response.report.entries.first(),
@@ -464,12 +587,24 @@ impl StageSolver<'_> {
     }
 }
 
+/// Best-effort text of a contained panic payload.
+fn panic_message(panic: Box<dyn std::any::Any + std::marker::Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Plan, solve, stitch and verify one hierarchical request against the
 /// engine. The free-function twin of
 /// [`HierEngineExt::synthesize_hier`].
 pub fn synthesize_hier(engine: &Engine, request: &HierRequest) -> Result<HierResponse, HierError> {
     let start = Instant::now();
     let partition = Partition::new(&request.topology, &request.groups)?;
+    let partition_time = start.elapsed();
     // Stages are synthesized at one chunk per node; chunk-lane replication
     // widens them during stitching. A larger per-stage chunk cap would
     // split global chunks into sub-chunks the composition does not model.
@@ -485,12 +620,16 @@ pub fn synthesize_hier(engine: &Engine, request: &HierRequest) -> Result<HierRes
         pick: request.pick,
         memo: Vec::new(),
         stats: HierStats::default(),
+        start,
+        deadline: request.deadline,
+        solve_time: Duration::ZERO,
     };
 
     let planned = plan_stages(request.collective, &partition, &mut solver)?;
 
     // Stitch: offset each stage's steps past the previous stage, scale its
     // round counts by the lane factor, and remap sends to global indices.
+    let stitch_start = Instant::now();
     let num_nodes = request.topology.num_nodes();
     let num_chunks = request.collective.global_chunks(num_nodes, 1);
     let mut stages = Vec::new();
@@ -550,7 +689,7 @@ pub fn synthesize_hier(engine: &Engine, request: &HierRequest) -> Result<HierRes
         rounds_per_step.extend(stage_rounds);
     }
 
-    let composed = Algorithm {
+    let mut composed = Algorithm {
         collective: request.collective,
         topology_name: request.topology.name().to_string(),
         num_nodes,
@@ -559,6 +698,12 @@ pub fn synthesize_hier(engine: &Engine, request: &HierRequest) -> Result<HierRes
         rounds_per_step,
         sends,
     };
+    // Chaos site: a triggered `hier.stitch` corrupts the stitched
+    // schedule (drops its last send) so the composition verifier below
+    // must catch the damage; Panic/Sleep actions fire here too.
+    if failpoint::fire("hier.stitch") {
+        composed.sends.pop();
+    }
     let algorithm = HierarchicalAlgorithm {
         collective: request.collective,
         topology_name: request.topology.name().to_string(),
@@ -567,9 +712,13 @@ pub fn synthesize_hier(engine: &Engine, request: &HierRequest) -> Result<HierRes
         stages,
         composed,
     };
+    let stitch_time = stitch_start.elapsed();
 
+    let verify_start = Instant::now();
     verify_composition(&algorithm, &request.topology)?;
+    let verify_time = verify_start.elapsed();
 
+    let degraded = solver.stats.degraded_stages > 0;
     Ok(HierResponse {
         algorithm,
         partition: PartitionSummary {
@@ -579,6 +728,14 @@ pub fn synthesize_hier(engine: &Engine, request: &HierRequest) -> Result<HierRes
             leaders: partition.leaders(),
         },
         stats: solver.stats,
+        timings: HierTimings {
+            partition: partition_time,
+            solve: solver.solve_time,
+            stitch: stitch_time,
+            verify: verify_time,
+            total: start.elapsed(),
+        },
+        degraded,
         elapsed: start.elapsed(),
     })
 }

@@ -273,6 +273,11 @@ const COMMANDS: &[CommandSpec] = &[
             &[
                 switch("parallel", "solve stages with the work-queue scheduler"),
                 switch("json", "print the composition summary as JSON"),
+                val(
+                    "deadline-ms",
+                    "MS",
+                    "whole-composition deadline; stages get the remaining budget",
+                ),
             ],
         ],
     },
@@ -806,9 +811,9 @@ fn cmd_hier(
 ) -> Result<ExitCode, Error> {
     let groups = match flags.get("groups") {
         None => GroupSpec::Auto,
-        Some(spec) => GroupSpec::parse(spec).ok_or_else(|| Error::Flag {
+        Some(spec) => GroupSpec::parse(spec).map_err(|e| Error::Flag {
             flag: "groups".to_string(),
-            message: format!("invalid group spec `{spec}` (auto | uniform:M | `0,1;2,3`)"),
+            message: e.to_string(),
         })?,
     };
     let pick = match flags.get("pick") {
@@ -828,6 +833,10 @@ fn cmd_hier(
     if pick == sccl::hier::EntryPick::Bandwidth {
         request = request.pick_bandwidth();
     }
+    let deadline_ms = get_usize(flags, "deadline-ms", 0)?;
+    if deadline_ms > 0 {
+        request = request.with_deadline(Duration::from_millis(deadline_ms as u64));
+    }
     let response = match engine.synthesize_hier(request) {
         Ok(response) => response,
         Err(e) => {
@@ -835,6 +844,15 @@ fn cmd_hier(
             return Ok(ExitCode::FAILURE);
         }
     };
+    if response.degraded {
+        // Keep stdout clean for --json consumers; the degradation notice
+        // is diagnostic, not part of the summary (and the composition is
+        // still verified — degraded means possibly suboptimal stages).
+        eprintln!(
+            "deadline of {deadline_ms}ms expired: {} stage(s) picked from partial frontiers (degraded)",
+            response.stats.degraded_stages
+        );
+    }
     if flags.contains_key("json") {
         let json = serde_json::to_string_pretty(&response.summary()).expect("summaries serialize");
         println!("{json}");

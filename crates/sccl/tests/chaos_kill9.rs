@@ -187,3 +187,112 @@ fn a_kill_9_mid_solve_is_recovered_by_the_restarted_daemon() {
     let _ = std::fs::remove_dir_all(&cache_dir);
     let _ = std::fs::remove_dir_all(&journal_dir);
 }
+
+/// The same kill -9 contract for hierarchical requests: a composition is
+/// admitted (journaled with its `groups` spec), the daemon dies in the
+/// middle of a *stage* solve, and the restarted daemon replays the whole
+/// composition — the retrying client gets a verified answer whose stage
+/// solves are all warm from the recovery run's cache.
+#[test]
+fn a_kill_9_mid_stage_solve_is_recovered_for_hier_requests() {
+    let socket = tmp("hier-sock");
+    let cache_dir = tmp("hier-cache");
+    let journal_dir = tmp("hier-journal");
+
+    // Daemon 1: `pool.solve` stalls 60s inside the first stage solve, so
+    // the admitted composition is journaled but never finishes.
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_sccl"))
+        .args(serve_args(&socket, &cache_dir, &journal_dir))
+        .env("SCCL_FAILPOINTS", "pool.solve=sleep:60000")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn victim daemon");
+    {
+        let _guard = KillOnDrop(&mut victim);
+        let _ = await_ready(&socket);
+        let request_socket = socket.clone();
+        std::thread::spawn(move || {
+            // No retries: this client must die with the daemon instead of
+            // replaying against the recovery daemon (which would double
+            // the composition count the assertions below pin down).
+            let mut client = ServeClient::connect(&request_socket)
+                .expect("connect")
+                .with_retry(sccl::serve::RetryPolicy::none());
+            let _ = client.synthesize(
+                WireSynthesize::new("rings:2x4", "allgather")
+                    .with_groups("auto")
+                    .with_client("doomed"),
+            );
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let journal = sccl::sched::Journal::open(&journal_dir).expect("open journal");
+            if journal.queue_len() == 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "hier request was never journaled within 30s"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    } // KillOnDrop delivers the SIGKILL mid-stage-solve
+    let _ = victim.wait();
+
+    // Daemon 2: replays the journaled composition before accepting; its
+    // stage solves land in the shared cache.
+    let mut recovered = Command::new(env!("CARGO_BIN_EXE_sccl"))
+        .args(serve_args(&socket, &cache_dir, &journal_dir))
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn recovery daemon");
+    let guard = KillOnDrop(&mut recovered);
+    let mut client = await_ready(&socket);
+    let response = client
+        .synthesize(
+            WireSynthesize::new("rings:2x4", "allgather")
+                .with_groups("auto")
+                .with_client("retry"),
+        )
+        .expect("retry roundtrip");
+    match &response {
+        WireResponse::Report { provenance, .. } => assert_eq!(provenance, "hier"),
+        other => panic!("expected a composition report, got {other:?}"),
+    }
+    let summary = response.hier_summary().expect("typed summary");
+    assert_eq!(summary.num_nodes, 8);
+    assert_eq!(summary.degraded_stages, 0);
+    assert!(summary.stage_solves > 0);
+    assert_eq!(
+        summary.cache_hits, summary.stage_solves,
+        "the replayed composition must have left every stage solve warm in the cache"
+    );
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb must answer with a snapshot");
+    };
+    assert_eq!(
+        metrics_field(&snapshot, &["daemon", "journal_replayed"]),
+        1.0
+    );
+    // Replay + retry, both verified end to end.
+    assert_eq!(metrics_field(&snapshot, &["hier", "requests"]), 2.0);
+    assert_eq!(metrics_field(&snapshot, &["hier", "verify_failures"]), 0.0);
+
+    let ack = client.drain().expect("drain roundtrip");
+    assert!(matches!(ack, WireResponse::Drain), "was: {ack:?}");
+    std::mem::forget(guard);
+    let status = recovered.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status}");
+    assert_eq!(
+        sccl::sched::Journal::open(&journal_dir)
+            .expect("final journal")
+            .queue_len(),
+        0,
+        "replay must consume the journaled composition record"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

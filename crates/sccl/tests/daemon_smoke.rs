@@ -141,6 +141,20 @@ fn serve_subcommand_serves_concurrent_clients() {
         handle.join().expect("client thread");
     }
 
+    // One hierarchical composition through the same daemon: the clean
+    // path must serve a verified composition, not a degraded one.
+    let composed = client
+        .synthesize(
+            WireSynthesize::new("rings:2x4", "allgather")
+                .with_groups("auto")
+                .with_client("hier"),
+        )
+        .expect("hier roundtrip");
+    assert!(
+        matches!(&composed, WireResponse::Report { provenance, .. } if provenance == "hier"),
+        "was: {composed:?}"
+    );
+
     // The metrics verb must agree: one solve, eight hot hits, a nonzero
     // cache hit rate.
     let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
@@ -156,6 +170,10 @@ fn serve_subcommand_serves_concurrent_clients() {
         0.0
     );
     assert_eq!(metrics_field(&snapshot, &["faults", "panics_caught"]), 0.0);
+    // The composition above went through the end-to-end verifier too; a
+    // clean daemon reports zero hier verification failures.
+    assert_eq!(metrics_field(&snapshot, &["hier", "requests"]), 1.0);
+    assert_eq!(metrics_field(&snapshot, &["hier", "verify_failures"]), 0.0);
 
     // Shutdown verb: acknowledged, then the process exits cleanly and
     // removes its socket file.

@@ -22,7 +22,7 @@
 //! in-flight job, and exits cleanly; `health` reports
 //! `ready`/`draining`/`browned-out` without touching the queue.
 
-use crate::server::{ServeError, Served, Server};
+use crate::server::{HierServed, ServeError, Served, Server};
 use crate::wire::{WireErrorKind, WireRequest, WireResponse};
 use sccl_core::pareto::SynthesisConfig;
 use sccl_sched::Error;
@@ -308,15 +308,6 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
         config.k = k;
     }
     if request.groups.is_some() {
-        if request.deadline_ms.is_some() {
-            server.metrics().bad_request();
-            return WireResponse::Error {
-                kind: WireErrorKind::BadRequest,
-                error: "`deadline_ms` is not supported with `groups` (hierarchical requests)"
-                    .to_string(),
-                retry_after_ms: None,
-            };
-        }
         return serve_hier(server, &request, topology, collective, config);
     }
     let deadline = request.deadline_ms.map(Duration::from_millis);
@@ -336,10 +327,13 @@ fn serve_synthesize(server: &Arc<Server>, request: crate::wire::WireSynthesize) 
     }
 }
 
-/// Serve a hierarchical request inline: the composition itself is cheap
-/// (milliseconds of stitching); the expensive parts — the per-group stage
-/// solves — run through the daemon's engine, so its hot tier and disk
-/// cache apply per group exactly as they do for flat requests.
+/// Serve a hierarchical request through the same admission path as flat
+/// ones: queue, quotas, the memory budget (sized by the largest stage
+/// subproblem), rate limits and brownout deadline tightening all apply,
+/// and a drain or SIGTERM sees the in-flight composition like any other
+/// job. The expensive parts — the per-group stage solves — run through
+/// the daemon's engine, so its hot tier and disk cache apply per group
+/// exactly as they do for flat requests.
 fn serve_hier(
     server: &Arc<Server>,
     request: &crate::wire::WireSynthesize,
@@ -348,13 +342,16 @@ fn serve_hier(
     config: SynthesisConfig,
 ) -> WireResponse {
     let spec = request.groups.as_deref().expect("caller checked presence");
-    let Some(groups) = sccl_hier::GroupSpec::parse(spec) else {
-        server.metrics().bad_request();
-        return WireResponse::Error {
-            kind: WireErrorKind::BadRequest,
-            error: format!("invalid group spec `{spec}` (auto | uniform:M | `0,1;2,3`)"),
-            retry_after_ms: None,
-        };
+    let groups = match sccl_hier::GroupSpec::parse(spec) {
+        Ok(groups) => groups,
+        Err(error) => {
+            server.metrics().bad_request();
+            return WireResponse::Error {
+                kind: WireErrorKind::BadRequest,
+                error: error.to_string(),
+                retry_after_ms: None,
+            };
+        }
     };
     let pick = match request.pick.as_deref() {
         None => sccl_hier::EntryPick::Latency,
@@ -379,24 +376,34 @@ fn serve_hier(
     if pick == sccl_hier::EntryPick::Bandwidth {
         hier_request = hier_request.pick_bandwidth();
     }
-    match sccl_hier::synthesize_hier(server.engine(), &hier_request) {
-        Err(error) => WireResponse::Error {
-            kind: WireErrorKind::Synthesis,
-            error: error.to_string(),
-            retry_after_ms: None,
-        },
-        Ok(response) => {
-            let total = response.elapsed.as_micros() as u64;
-            WireResponse::Report {
-                provenance: "hier".to_string(),
-                timings: crate::wire::WireTimings {
-                    solve_micros: total,
-                    total_micros: total,
-                    ..Default::default()
-                },
-                report: serde::to_content(&response.summary()),
+    let deadline = request.deadline_ms.map(Duration::from_millis);
+    match server.submit_hier(hier_request, &request.client, deadline) {
+        Err(reject) => {
+            if matches!(reject, ServeError::BadRequest { .. }) {
+                server.metrics().bad_request();
             }
+            error_response(&reject)
         }
+        Ok(ticket) => match ticket.wait() {
+            Ok(served) => hier_report_response(served),
+            Err(error) => error_response(&error),
+        },
+    }
+}
+
+/// Build the wire success for a served composition: provenance `"hier"`
+/// (suffixed `:degraded` when a deadline cut a stage's frontier short),
+/// the real per-stage timing breakdown and the composition summary as
+/// the report payload.
+fn hier_report_response(served: HierServed) -> WireResponse {
+    let mut provenance = "hier".to_string();
+    if served.degraded {
+        provenance.push_str(":degraded");
+    }
+    WireResponse::Report {
+        provenance,
+        timings: served.timings,
+        report: serde::to_content(&served.summary),
     }
 }
 
@@ -424,6 +431,7 @@ fn error_kind(error: &ServeError) -> WireErrorKind {
         ServeError::RateLimited { .. } => WireErrorKind::RateLimited,
         ServeError::ShuttingDown => WireErrorKind::Shutdown,
         ServeError::Deadline { .. } => WireErrorKind::Deadline,
+        ServeError::BadRequest { .. } => WireErrorKind::BadRequest,
         ServeError::WorkerLost | ServeError::Synthesis { .. } | ServeError::VerifyFailed { .. } => {
             WireErrorKind::Synthesis
         }

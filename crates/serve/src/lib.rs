@@ -39,11 +39,11 @@ pub use daemon::Daemon;
 pub use hot::HotTier;
 pub use metrics::{
     CacheCounters, DaemonCounters, DaemonGauges, EngineMetrics, FaultCounters, FaultGauges,
-    Histogram, HotTierGauges, LatencyCounters, LatencySnapshot, MetricsSnapshot, PoolCounters,
-    QueueGauges, RegistryGauges, RejectionCounters, RequestCounters,
+    HierCounters, Histogram, HotTierGauges, LatencyCounters, LatencySnapshot, MetricsSnapshot,
+    PoolCounters, QueueGauges, RegistryGauges, RejectionCounters, RequestCounters,
 };
 pub use server::{
-    solve_estimate_cells, Health, Outcome, ServeConfig, ServeError, Served, ServedFrom, Server,
-    Ticket,
+    solve_estimate_cells, Health, HierOutcome, HierServed, HierTicket, Outcome, ServeConfig,
+    ServeError, Served, ServedFrom, Server, Ticket,
 };
 pub use wire::{WireErrorKind, WireRequest, WireResponse, WireSynthesize, WireTimings};

@@ -145,6 +145,12 @@ pub struct EngineMetrics {
     deadline_expired: AtomicU64,
     deadline_degraded: AtomicU64,
     verify_failures: AtomicU64,
+    // Hierarchical composition accounting.
+    hier_requests: AtomicU64,
+    hier_stage_solves: AtomicU64,
+    hier_cache_hits: AtomicU64,
+    hier_degraded: AtomicU64,
+    hier_verify_failures: AtomicU64,
     // Latency histograms.
     solve_latency: Histogram,
     total_latency: Histogram,
@@ -258,6 +264,31 @@ impl EngineMetrics {
         self.verify_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one hierarchical (`groups`) submission, admitted or not.
+    pub fn hier_request(&self) {
+        self.hier_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one served composition's stage-solve accounting in: engine
+    /// solves issued and how many of those the persistent cache answered.
+    pub fn hier_stage_solves(&self, stage_solves: u64, cache_hits: u64) {
+        self.hier_stage_solves
+            .fetch_add(stage_solves, Ordering::Relaxed);
+        self.hier_cache_hits
+            .fetch_add(cache_hits, Ordering::Relaxed);
+    }
+
+    /// Count one composition served degraded (some stage picked from a
+    /// partial frontier after its deadline cut).
+    pub fn hier_degraded(&self) {
+        self.hier_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one stitched schedule the composition verifier rejected.
+    pub fn hier_verify_failure(&self) {
+        self.hier_verify_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Track the queue depth gauge (called with the depth after a
     /// push/pop).
     pub fn queue_depth(&self, depth: usize) {
@@ -336,6 +367,13 @@ impl EngineMetrics {
                 pools_quarantined: faults.pools_quarantined,
                 cache_quarantined: faults.cache_quarantined,
             },
+            hier: HierCounters {
+                requests: self.hier_requests.load(Ordering::Relaxed),
+                stage_solves: self.hier_stage_solves.load(Ordering::Relaxed),
+                cache_hits: self.hier_cache_hits.load(Ordering::Relaxed),
+                degraded: self.hier_degraded.load(Ordering::Relaxed),
+                verify_failures: self.hier_verify_failures.load(Ordering::Relaxed),
+            },
             daemon: DaemonCounters {
                 uptime_ms: daemon.uptime_ms,
                 started_unix_ms: daemon.started_unix_ms,
@@ -403,8 +441,29 @@ pub struct MetricsSnapshot {
     pub queue: QueueGauges,
     pub pool: PoolCounters,
     pub faults: FaultCounters,
+    pub hier: HierCounters,
     pub daemon: DaemonCounters,
     pub latency_micros: LatencyCounters,
+}
+
+/// Hierarchical-composition accounting: how many `groups` requests came
+/// in, how their stage solves fared against the cache, and whether any
+/// composition degraded or failed its verifier. A healthy daemon shows
+/// `verify_failures == 0`; `degraded` counts deadline outcomes, not
+/// faults.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct HierCounters {
+    /// Hierarchical (`groups`) submissions, admitted or rejected.
+    pub requests: u64,
+    /// Engine solves issued by stage planners, summed over compositions.
+    pub stage_solves: u64,
+    /// Stage solves the engine's persistent cache answered.
+    pub cache_hits: u64,
+    /// Compositions served degraded (a stage picked from a partial
+    /// frontier after the deadline cut).
+    pub degraded: u64,
+    /// Stitched schedules the composition verifier rejected.
+    pub verify_failures: u64,
 }
 
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -647,6 +706,8 @@ mod tests {
             "\"rate_limited\"",
             "\"brownout_active\"",
             "\"brownout_entered\"",
+            "\"hier\"",
+            "\"stage_solves\"",
         ] {
             assert!(
                 json.contains(field),

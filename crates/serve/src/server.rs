@@ -32,12 +32,13 @@ use crate::wire::WireTimings;
 use sccl_collectives::Collective;
 use sccl_core::incremental::IncrementalStats;
 use sccl_core::pareto::{SynthesisConfig, SynthesisReport};
+use sccl_hier::{HierError, HierRequest, HierSummary, Partition};
 use sccl_sched::{CacheKey, Engine, Error, Provenance, SolveMode, SynthesisRequest};
 use sccl_topology::Topology;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of the serving core (and daemon).
 #[derive(Clone, Debug)]
@@ -171,6 +172,11 @@ pub enum ServeError {
     /// collective's pre/post relation. The offending cache entry (if the
     /// report came from disk) has been quarantined.
     VerifyFailed { message: String },
+    /// The request itself is malformed — a partition that doesn't cover
+    /// the topology, a collective with no composition rule. A client
+    /// error (`bad_request` on the wire), not a serving failure; a retry
+    /// of the same request can never succeed.
+    BadRequest { message: String },
 }
 
 impl std::fmt::Display for ServeError {
@@ -220,6 +226,7 @@ impl std::fmt::Display for ServeError {
             ServeError::VerifyFailed { message } => {
                 write!(f, "decode-time verification failed: {message}")
             }
+            ServeError::BadRequest { message } => write!(f, "{message}"),
         }
     }
 }
@@ -278,10 +285,82 @@ pub struct Served {
 /// The outcome a [`Ticket`] resolves to.
 pub type Outcome = Result<Served, ServeError>;
 
-struct TicketState {
-    outcome: Mutex<Option<Outcome>>,
+/// A successfully served hierarchical submission. The composition is
+/// carried as its compact [`HierSummary`] — exactly what the wire
+/// serializes — rather than the full stitched algorithm.
+#[derive(Clone, Debug)]
+pub struct HierServed {
+    /// The verified composition's reporting view.
+    pub summary: HierSummary,
+    /// Per-stage wall-clock, queue wait included.
+    pub timings: WireTimings,
+    /// At least one stage used a partial frontier because the request's
+    /// deadline expired mid-search. The composition is still verified —
+    /// degraded means possibly suboptimal, never unsound.
+    pub degraded: bool,
+}
+
+/// The outcome a [`HierTicket`] resolves to.
+pub type HierOutcome = Result<HierServed, ServeError>;
+
+/// Completion slot shared by a ticket and the worker resolving it.
+struct Slot<T> {
+    outcome: Mutex<Option<T>>,
     done: Condvar,
 }
+
+impl<T> Slot<T> {
+    fn new() -> Arc<Slot<T>> {
+        Arc::new(Slot {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, outcome: T) {
+        *self.outcome.lock().expect("ticket lock") = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn is_resolved(&self) -> bool {
+        self.outcome
+            .lock()
+            .map(|slot| slot.is_some())
+            .unwrap_or(false)
+    }
+
+    fn wait(&self) -> T {
+        let mut slot = self.outcome.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.done.wait(slot).expect("ticket wait");
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.outcome.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            slot = self
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket wait")
+                .0;
+        }
+    }
+}
+
+type TicketState = Slot<Outcome>;
+type HierTicketState = Slot<HierOutcome>;
 
 /// A completion handle for one admitted job. [`Ticket::wait`] blocks
 /// until a worker resolves it.
@@ -289,24 +368,15 @@ pub struct Ticket(Arc<TicketState>);
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let resolved = self
-            .0
-            .outcome
-            .lock()
-            .map(|slot| slot.is_some())
-            .unwrap_or(false);
         f.debug_struct("Ticket")
-            .field("resolved", &resolved)
+            .field("resolved", &self.0.is_resolved())
             .finish()
     }
 }
 
 impl Ticket {
     fn pair() -> (Ticket, Arc<TicketState>) {
-        let state = Arc::new(TicketState {
-            outcome: Mutex::new(None),
-            done: Condvar::new(),
-        });
+        let state = Slot::new();
         (Ticket(Arc::clone(&state)), state)
     }
 
@@ -318,13 +388,7 @@ impl Ticket {
 
     /// Block until the job completes and take its outcome.
     pub fn wait(self) -> Outcome {
-        let mut slot = self.0.outcome.lock().expect("ticket lock");
-        loop {
-            if let Some(outcome) = slot.take() {
-                return outcome;
-            }
-            slot = self.0.done.wait(slot).expect("ticket wait");
-        }
+        self.0.wait()
     }
 
     /// Block until the job completes or `timeout` elapses. Returns `None`
@@ -332,45 +396,67 @@ impl Ticket {
     /// to keep waiting. A belt-and-braces bound for callers that cannot
     /// afford to trust worker liveness (workers already complete tickets
     /// with [`ServeError::WorkerLost`] when a solve panics).
-    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Outcome> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = self.0.outcome.lock().expect("ticket lock");
-        loop {
-            if let Some(outcome) = slot.take() {
-                return Some(outcome);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            slot = self
-                .0
-                .done
-                .wait_timeout(slot, deadline - now)
-                .expect("ticket wait")
-                .0;
-        }
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        self.0.wait_timeout(timeout)
     }
 }
 
-impl TicketState {
-    fn complete(&self, outcome: Outcome) {
-        *self.outcome.lock().expect("ticket lock") = Some(outcome);
-        self.done.notify_all();
+/// A completion handle for one admitted hierarchical job — the same
+/// contract as [`Ticket`], resolving to a [`HierServed`] composition.
+pub struct HierTicket(Arc<HierTicketState>);
+
+impl std::fmt::Debug for HierTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HierTicket")
+            .field("resolved", &self.0.is_resolved())
+            .finish()
     }
+}
+
+impl HierTicket {
+    fn pair() -> (HierTicket, Arc<HierTicketState>) {
+        let state = Slot::new();
+        (HierTicket(Arc::clone(&state)), state)
+    }
+
+    /// Block until the composition completes and take its outcome.
+    pub fn wait(self) -> HierOutcome {
+        self.0.wait()
+    }
+
+    /// Block until the composition completes or `timeout` elapses
+    /// (`None` on timeout, ticket still usable — see
+    /// [`Ticket::wait_timeout`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<HierOutcome> {
+        self.0.wait_timeout(timeout)
+    }
+}
+
+/// What an admitted job actually solves: a flat synthesis problem or a
+/// hierarchical composition. Both kinds share one queue, one worker
+/// pool and one reservation ledger — drain, quotas and the memory
+/// budget cannot tell them apart, which is the point.
+enum JobWork {
+    Flat {
+        request: SynthesisRequest,
+        key_hash: String,
+        ticket: Arc<TicketState>,
+    },
+    Hier {
+        request: HierRequest,
+        ticket: Arc<HierTicketState>,
+    },
 }
 
 /// One admitted job, queued for a worker.
 struct Job {
-    request: SynthesisRequest,
-    key_hash: String,
+    work: JobWork,
     client: String,
     reserved_cells: usize,
     submitted: Instant,
     /// Wall-clock budget measured from `submitted` — queue wait counts
     /// against it. `None` means unbounded.
-    deadline: Option<std::time::Duration>,
-    ticket: Arc<TicketState>,
+    deadline: Option<Duration>,
 }
 
 /// State behind the queue lock.
@@ -686,8 +772,8 @@ impl Server {
                 report,
                 from: ServedFrom::HotTier,
                 timings: WireTimings {
-                    lookup_micros: total.as_micros() as u64,
-                    total_micros: total.as_micros() as u64,
+                    lookup_micros: micros(total),
+                    total_micros: micros(total),
                     ..WireTimings::default()
                 },
                 incremental: None,
@@ -696,70 +782,157 @@ impl Server {
         }
 
         let reserve = solve_estimate_cells(&topology, &config);
+        let mut request = SynthesisRequest::new(&topology, collective).with_config(config);
+        if let Some(mode) = mode {
+            request = request.with_mode(mode);
+        }
         let (ticket, ticket_state) = Ticket::pair();
         {
             let mut state = self.state.lock().expect("queue lock");
-            if state.queue.len() >= self.config.queue_capacity {
-                self.metrics.rejected_queue_full();
-                return Err(ServeError::QueueFull {
-                    depth: state.queue.len(),
-                    capacity: self.config.queue_capacity,
-                });
-            }
-            let inflight = state.inflight.get(client).copied().unwrap_or(0);
-            if inflight >= self.config.per_client_inflight {
-                self.metrics.rejected_client_quota();
-                return Err(ServeError::ClientQuota {
-                    client: client.to_string(),
-                    inflight,
-                    limit: self.config.per_client_inflight,
-                });
-            }
-            // The budget caps *concurrent* reservations; a lone job may
-            // exceed it so no problem is permanently unserveable.
-            if state.reserved_cells > 0
-                && state.reserved_cells.saturating_add(reserve) > self.config.memory_budget_cells
-            {
-                self.metrics.rejected_memory_budget();
-                return Err(ServeError::MemoryBudget {
-                    requested_cells: reserve,
-                    reserved_cells: state.reserved_cells,
-                    budget_cells: self.config.memory_budget_cells,
-                });
-            }
-            // Saturating: a lone saturated estimate (huge topology) must
-            // not wrap the global reservation around zero.
-            state.reserved_cells = state.reserved_cells.saturating_add(reserve);
-            *state.inflight.entry(client.to_string()).or_insert(0) += 1;
-            self.update_brownout(state.queue.len() + 1, state.reserved_cells);
-            // Brownout tightens the effective deadline: under sustained
-            // overload admitted jobs degrade to partial-frontier answers
-            // (freeing workers sooner) before admission starts rejecting.
-            let deadline = if self.browned_out.load(Ordering::Relaxed)
-                && self.config.brownout_deadline_ms > 0
-            {
-                let cap = std::time::Duration::from_millis(self.config.brownout_deadline_ms);
-                Some(deadline.map_or(cap, |d| d.min(cap)))
-            } else {
-                deadline
-            };
-            let mut request = SynthesisRequest::new(&topology, collective).with_config(config);
-            if let Some(mode) = mode {
-                request = request.with_mode(mode);
-            }
+            let deadline = self.admit(&mut state, client, reserve, deadline)?;
             state.queue.push_back(Job {
-                request,
-                key_hash,
+                work: JobWork::Flat {
+                    request,
+                    key_hash,
+                    ticket: ticket_state,
+                },
                 client: client.to_string(),
                 reserved_cells: reserve,
                 submitted,
                 deadline,
-                ticket: ticket_state,
             });
             self.metrics.queue_depth(state.queue.len());
             self.work_ready.notify_one();
         }
         Ok(ticket)
+    }
+
+    /// Submit one hierarchical composition job. The same admission chain
+    /// as [`Server::submit`] applies — drain/shutdown, rate limiting,
+    /// queue bound, per-client quota, memory budget, brownout deadline
+    /// tightening — with the memory reservation sized by the *largest
+    /// stage subproblem* (the biggest group or the leader graph at the
+    /// stage chunk cap of 1): stages solve serially on one worker, so
+    /// that is the job's peak concurrent footprint. `deadline` bounds
+    /// the whole composition from this call; queue wait counts against
+    /// it. There is no hot-tier lane — compositions are not cached whole;
+    /// their stage solves hit the engine's disk cache per group instead.
+    pub fn submit_hier(
+        &self,
+        request: HierRequest,
+        client: &str,
+        deadline: Option<Duration>,
+    ) -> Result<HierTicket, ServeError> {
+        self.metrics.synthesize_request();
+        self.metrics.hier_request();
+        if self.is_shutting_down() || self.draining.load(Ordering::SeqCst) {
+            self.metrics.rejected_shutdown();
+            return Err(ServeError::ShuttingDown);
+        }
+        self.check_rate_limit(client)?;
+        let submitted = Instant::now();
+        // Admission-time partition: sizes the reservation and bounces a
+        // malformed carve before it occupies a queue slot. The planner
+        // re-partitions when the job runs — partitioning is microseconds
+        // against stage solves.
+        let reserve = self.hier_estimate_cells(&request)?;
+        let (ticket, ticket_state) = HierTicket::pair();
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            let deadline = self.admit(&mut state, client, reserve, deadline)?;
+            state.queue.push_back(Job {
+                work: JobWork::Hier {
+                    request,
+                    ticket: ticket_state,
+                },
+                client: client.to_string(),
+                reserved_cells: reserve,
+                submitted,
+                deadline,
+            });
+            self.metrics.queue_depth(state.queue.len());
+            self.work_ready.notify_one();
+        }
+        Ok(ticket)
+    }
+
+    /// The under-lock half of admission, shared by flat and hierarchical
+    /// submissions: bound the queue, enforce the per-client quota and the
+    /// memory budget, record the reservation, and tighten the deadline
+    /// while the brownout controller is active. Returns the effective
+    /// deadline for the admitted job.
+    fn admit(
+        &self,
+        state: &mut QueueState,
+        client: &str,
+        reserve: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Option<Duration>, ServeError> {
+        if state.queue.len() >= self.config.queue_capacity {
+            self.metrics.rejected_queue_full();
+            return Err(ServeError::QueueFull {
+                depth: state.queue.len(),
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let inflight = state.inflight.get(client).copied().unwrap_or(0);
+        if inflight >= self.config.per_client_inflight {
+            self.metrics.rejected_client_quota();
+            return Err(ServeError::ClientQuota {
+                client: client.to_string(),
+                inflight,
+                limit: self.config.per_client_inflight,
+            });
+        }
+        // The budget caps *concurrent* reservations; a lone job may
+        // exceed it so no problem is permanently unserveable.
+        if state.reserved_cells > 0
+            && state.reserved_cells.saturating_add(reserve) > self.config.memory_budget_cells
+        {
+            self.metrics.rejected_memory_budget();
+            return Err(ServeError::MemoryBudget {
+                requested_cells: reserve,
+                reserved_cells: state.reserved_cells,
+                budget_cells: self.config.memory_budget_cells,
+            });
+        }
+        // Saturating: a lone saturated estimate (huge topology) must
+        // not wrap the global reservation around zero.
+        state.reserved_cells = state.reserved_cells.saturating_add(reserve);
+        *state.inflight.entry(client.to_string()).or_insert(0) += 1;
+        self.update_brownout(state.queue.len() + 1, state.reserved_cells);
+        // Brownout tightens the effective deadline: under sustained
+        // overload admitted jobs degrade to partial-frontier answers
+        // (freeing workers sooner) before admission starts rejecting.
+        if self.browned_out.load(Ordering::Relaxed) && self.config.brownout_deadline_ms > 0 {
+            let cap = Duration::from_millis(self.config.brownout_deadline_ms);
+            Ok(Some(deadline.map_or(cap, |d| d.min(cap))))
+        } else {
+            Ok(deadline)
+        }
+    }
+
+    /// The memory reservation of one hierarchical job: the largest
+    /// [`solve_estimate_cells`] over its group subtopologies and its
+    /// leader graph, at the planner's forced per-stage chunk cap of 1.
+    /// A partition failure here is a [`ServeError::BadRequest`] — the
+    /// carve can never succeed, no queue slot should be spent on it.
+    fn hier_estimate_cells(&self, request: &HierRequest) -> Result<usize, ServeError> {
+        let partition = Partition::new(&request.topology, &request.groups).map_err(|error| {
+            ServeError::BadRequest {
+                message: format!("partition: {error}"),
+            }
+        })?;
+        let mut config = request
+            .config
+            .clone()
+            .unwrap_or_else(|| self.engine.defaults().clone());
+        config.max_chunks = 1;
+        let mut cells = solve_estimate_cells(&partition.leader_topology, &config);
+        for group in &partition.groups {
+            cells = cells.max(solve_estimate_cells(&group.topology, &config));
+        }
+        Ok(cells)
     }
 
     /// Stop admitting, drain the queue (pending jobs are still served),
@@ -827,36 +1000,60 @@ impl Server {
     /// [`ServeError::WorkerLost`] and the worker keeps draining the queue.
     fn run(&self, job: Job) {
         let Job {
-            request,
-            key_hash,
+            work,
             client,
             reserved_cells,
             submitted,
             deadline,
-            ticket,
         } = job;
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.execute(request, &key_hash, submitted, deadline)
-        }))
-        .unwrap_or_else(|_panic| {
-            self.metrics.panic_caught();
-            Err(ServeError::WorkerLost)
-        });
-        self.metrics.served(submitted.elapsed());
-        {
-            let mut state = self.state.lock().expect("queue lock");
-            state.reserved_cells = state.reserved_cells.saturating_sub(reserved_cells);
-            if let Some(count) = state.inflight.get_mut(&client) {
-                *count -= 1;
-                if *count == 0 {
-                    state.inflight.remove(&client);
-                }
+        match work {
+            JobWork::Flat {
+                request,
+                key_hash,
+                ticket,
+            } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.execute(request, &key_hash, submitted, deadline)
+                }))
+                .unwrap_or_else(|_panic| {
+                    self.metrics.panic_caught();
+                    Err(ServeError::WorkerLost)
+                });
+                self.finish(&client, reserved_cells, submitted);
+                ticket.complete(outcome);
             }
-            // Released reservations may clear the brownout (hysteresis:
-            // both gauges must fall below 1/2 of their bound).
-            self.update_brownout(state.queue.len(), state.reserved_cells);
+            JobWork::Hier { request, ticket } => {
+                // The planner contains stage-solve panics itself (typed
+                // `StagePanic`); this outer boundary is the backstop for
+                // panics in the stitch/verify machinery around them.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.execute_hier(request, submitted, deadline)
+                }))
+                .unwrap_or_else(|_panic| {
+                    self.metrics.panic_caught();
+                    Err(ServeError::WorkerLost)
+                });
+                self.finish(&client, reserved_cells, submitted);
+                ticket.complete(outcome);
+            }
         }
-        ticket.complete(outcome);
+    }
+
+    /// Post-execution bookkeeping shared by both job kinds: record the
+    /// end-to-end latency and release the admission reservations.
+    fn finish(&self, client: &str, reserved_cells: usize, submitted: Instant) {
+        self.metrics.served(submitted.elapsed());
+        let mut state = self.state.lock().expect("queue lock");
+        state.reserved_cells = state.reserved_cells.saturating_sub(reserved_cells);
+        if let Some(count) = state.inflight.get_mut(client) {
+            *count -= 1;
+            if *count == 0 {
+                state.inflight.remove(client);
+            }
+        }
+        // Released reservations may clear the brownout (hysteresis:
+        // both gauges must fall below 1/2 of their bound).
+        self.update_brownout(state.queue.len(), state.reserved_cells);
     }
 
     /// The panic-isolated stage of [`Server::run`]: deadline bookkeeping,
@@ -974,17 +1171,117 @@ impl Server {
             report,
             from,
             timings: WireTimings {
-                queue_micros: queue_wait.as_micros() as u64,
-                lookup_micros: response.timings.lookup.as_micros() as u64,
-                encode_micros: response.timings.encode.as_micros() as u64,
-                solve_micros: response.timings.solve.as_micros() as u64,
-                store_micros: response.timings.store.as_micros() as u64,
-                total_micros: total.as_micros() as u64,
+                queue_micros: micros(queue_wait),
+                lookup_micros: micros(response.timings.lookup),
+                encode_micros: micros(response.timings.encode),
+                solve_micros: micros(response.timings.solve),
+                store_micros: micros(response.timings.store),
+                total_micros: micros(total),
+                ..WireTimings::default()
             },
             incremental: response.incremental,
             degraded: response.degraded,
         })
     }
+
+    /// The panic-isolated stage of a hierarchical [`Server::run`]:
+    /// deadline bookkeeping, the full partition → stage solves → stitch →
+    /// verify pipeline, and the metrics fold.
+    fn execute_hier(
+        &self,
+        mut request: HierRequest,
+        submitted: Instant,
+        deadline: Option<Duration>,
+    ) -> HierOutcome {
+        let queue_wait = submitted.elapsed();
+        if let Some(deadline) = deadline {
+            // The deadline is measured from submission; hand the planner
+            // only what the queue left over (a request-level deadline set
+            // by a direct library caller still applies if tighter).
+            match deadline.checked_sub(queue_wait) {
+                Some(remaining) => {
+                    request.deadline =
+                        Some(request.deadline.map_or(remaining, |d| d.min(remaining)))
+                }
+                None => {
+                    self.metrics.deadline_expired();
+                    return Err(ServeError::Deadline {
+                        deadline_ms: deadline.as_millis() as u64,
+                    });
+                }
+            }
+        }
+        let response = match sccl_hier::synthesize_hier(&self.engine, &request) {
+            Ok(response) => response,
+            Err(error) => return Err(self.hier_error(error)),
+        };
+        self.metrics.hier_stage_solves(
+            response.stats.stage_solves as u64,
+            response.stats.cache_hits as u64,
+        );
+        if response.degraded {
+            // Exactly one deadline outcome per request, mirroring the
+            // flat path: degraded-and-served or expired-and-typed-error.
+            self.metrics.deadline_degraded();
+            self.metrics.hier_degraded();
+        }
+        let total = submitted.elapsed();
+        Ok(HierServed {
+            summary: response.summary(),
+            timings: WireTimings {
+                queue_micros: micros(queue_wait),
+                solve_micros: micros(response.timings.solve),
+                stitch_micros: micros(response.timings.stitch),
+                verify_micros: micros(response.timings.verify),
+                total_micros: micros(total),
+                ..WireTimings::default()
+            },
+            degraded: response.degraded,
+        })
+    }
+
+    /// Map a planner failure onto the serving error ladder, recording
+    /// the fault counters as a side effect: composition-verifier
+    /// rejections count as (hier) verify failures, contained stage
+    /// panics as caught panics, unachievable deadlines as expiries.
+    fn hier_error(&self, error: HierError) -> ServeError {
+        match error {
+            HierError::Deadline { deadline_ms } => {
+                self.metrics.deadline_expired();
+                ServeError::Deadline { deadline_ms }
+            }
+            HierError::Composition(_) => {
+                self.metrics.verify_failure();
+                self.metrics.hier_verify_failure();
+                ServeError::VerifyFailed {
+                    message: error.to_string(),
+                }
+            }
+            HierError::StagePanic { .. } => {
+                self.metrics.panic_caught();
+                ServeError::Synthesis {
+                    message: error.to_string(),
+                }
+            }
+            HierError::Partition(_) | HierError::Unsupported { .. } => ServeError::BadRequest {
+                message: error.to_string(),
+            },
+            other => {
+                self.metrics.synthesis_error();
+                ServeError::Synthesis {
+                    message: other.to_string(),
+                }
+            }
+        }
+    }
+}
+
+/// A `Duration` in microseconds, saturating instead of truncating (a
+/// `as u64` cast of `as_micros` silently wraps past ~584k years of
+/// microseconds — never reachable in practice, but the timings are part
+/// of the wire contract and must not depend on "in practice").
+fn micros(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
 }
 
 impl Drop for Server {

@@ -35,7 +35,14 @@
 //! apply per group) and the success response carries `"provenance":
 //! "hier"` with a composition summary as its report payload. `pick`
 //! (`"latency"` | `"bandwidth"`) chooses the frontier entry each stage
-//! uses and is rejected without `groups`.
+//! uses and is rejected without `groups`. Hierarchical requests pass
+//! through the same admission chain as flat ones (queue, quotas, memory
+//! budget, rate limits, drain) and honour `deadline_ms`: each stage
+//! solve is handed the remaining wall clock, an expiry mid-search
+//! degrades the answer (provenance `"hier:degraded"`, stages picked
+//! from partial frontiers, composition still verified), and only a
+//! deadline that leaves no composition achievable at all is a
+//! `"deadline"` error.
 //!
 //! # Responses
 //!
@@ -95,7 +102,8 @@ pub struct WireSynthesize {
     pub client: String,
     /// Wall-clock budget in milliseconds, measured from admission (queue
     /// wait counts). Expiry degrades the answer to the partial frontier
-    /// rather than cancelling it; flat requests only.
+    /// rather than cancelling it — for hierarchical requests each stage
+    /// solve is handed the remaining budget.
     pub deadline_ms: Option<u64>,
 }
 
@@ -373,8 +381,15 @@ pub struct WireTimings {
     pub lookup_micros: u64,
     /// Encoding work of the warm sweep.
     pub encode_micros: u64,
-    /// End-to-end solver time.
+    /// End-to-end solver time. For hierarchical requests this is the
+    /// summed end-to-end time of the stage solves.
     pub solve_micros: u64,
+    /// Stitching the stage schedules into one flat algorithm
+    /// (hierarchical requests only; zero on flat requests).
+    pub stitch_micros: u64,
+    /// The composition verifier's replay of the stitched schedule
+    /// (hierarchical requests only; zero on flat requests).
+    pub verify_micros: u64,
     /// Cache store.
     pub store_micros: u64,
     /// Admission to response.

@@ -83,23 +83,33 @@ fn provenance(response: &WireResponse) -> &str {
     }
 }
 
-fn fault_field(snapshot: &Content, field: &str) -> u64 {
+fn section_field(snapshot: &Content, section: &str, field: &str) -> u64 {
     let Content::Map(top) = snapshot else {
         panic!("metrics snapshot is not a map");
     };
-    let faults = &top
+    let fields = &top
         .iter()
-        .find(|(k, _)| k == "faults")
-        .expect("snapshot has a faults section")
+        .find(|(k, _)| k == section)
+        .unwrap_or_else(|| panic!("snapshot has a {section} section"))
         .1;
-    let Content::Map(fields) = faults else {
-        panic!("faults is not a map");
+    let Content::Map(fields) = fields else {
+        panic!("{section} is not a map");
     };
     match fields.iter().find(|(k, _)| k == field) {
         Some((_, Content::U64(v))) => *v,
         Some((_, Content::I64(v))) => *v as u64,
-        other => panic!("faults.{field} missing or non-numeric: {other:?}"),
+        other => panic!("{section}.{field} missing or non-numeric: {other:?}"),
     }
+}
+
+fn fault_field(snapshot: &Content, field: &str) -> u64 {
+    section_field(snapshot, "faults", field)
+}
+
+/// The canonical hierarchical chaos problem: 2 groups of 4 over a
+/// bridged outer link, composed with auto-detected groups.
+fn hier_synthesize() -> WireSynthesize {
+    WireSynthesize::new("rings:2x4", "allgather").with_groups("auto")
 }
 
 #[test]
@@ -456,4 +466,264 @@ fn malformed_request_lines_get_typed_errors_without_killing_the_connection() {
     );
     assert_eq!(server.snapshot().requests.bad, 5);
     daemon.shutdown();
+}
+
+#[test]
+fn a_hier_stage_panic_is_contained_and_the_daemon_keeps_composing() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("hier-panic");
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("hier-panic"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    // One panic inside a stage solve: the composition fails typed, the
+    // connection and the daemon survive.
+    failpoint::arm_times("hier.stage", FailAction::Panic, 1);
+    let response = client
+        .synthesize(hier_synthesize())
+        .expect("the connection survives the stage panic");
+    match &response {
+        WireResponse::Error { kind, error, .. } => {
+            assert_eq!(*kind, WireErrorKind::Synthesis, "was: {response:?}");
+            assert!(
+                error.contains("contained"),
+                "names the containment: {error}"
+            );
+        }
+        other => panic!("a panicked stage solve must surface a typed error, got {other:?}"),
+    }
+
+    // The failpoint is spent: the same composition now succeeds, fully
+    // verified, with nothing poisoned by the unwound stage.
+    let healed = client.synthesize(hier_synthesize()).expect("roundtrip");
+    assert_eq!(provenance(&healed), "hier");
+    let summary = healed.hier_summary().expect("typed summary");
+    assert_eq!(summary.num_nodes, 8);
+    assert_eq!(summary.degraded_stages, 0);
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb");
+    };
+    assert_eq!(fault_field(&snapshot, "panics_caught"), 1);
+    assert_eq!(section_field(&snapshot, "hier", "requests"), 2);
+    assert_eq!(section_field(&snapshot, "hier", "verify_failures"), 0);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_sabotaged_stitch_is_rejected_by_the_composition_verifier() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("hier-stitch");
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("hier-stitch"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    // The stitch failpoint drops one send from the composed schedule; the
+    // end-to-end verifier must refuse to serve the unsound algorithm.
+    failpoint::arm_times("hier.stitch", FailAction::Trigger, 1);
+    let response = client
+        .synthesize(hier_synthesize())
+        .expect("the connection survives the bad stitch");
+    match &response {
+        WireResponse::Error { kind, error, .. } => {
+            assert_eq!(*kind, WireErrorKind::Synthesis, "was: {response:?}");
+            assert!(
+                error.contains("composition"),
+                "names the rejected composition: {error}"
+            );
+        }
+        other => panic!("an unsound stitch must never be served, got {other:?}"),
+    }
+
+    // The stage solves that fed the sabotaged stitch are themselves sound
+    // and cached; a retry re-stitches cleanly.
+    let healed = client.synthesize(hier_synthesize()).expect("roundtrip");
+    assert_eq!(provenance(&healed), "hier");
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb");
+    };
+    assert_eq!(fault_field(&snapshot, "verify_failures"), 1);
+    assert_eq!(section_field(&snapshot, "hier", "verify_failures"), 1);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_expired_hier_deadline_yields_a_typed_or_degraded_composition() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("hier-deadline");
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("hier-deadline"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+
+    // The first stage solve stalls well past the whole-composition
+    // deadline; the planner's remaining-budget ladder must answer typed.
+    failpoint::arm_times(
+        "hier.stage",
+        FailAction::Sleep(Duration::from_millis(400)),
+        1,
+    );
+    let response = client
+        .synthesize(hier_synthesize().with_deadline_ms(60))
+        .expect("the connection survives the expiry");
+    match &response {
+        WireResponse::Error { kind, .. } => {
+            assert_eq!(*kind, WireErrorKind::Deadline, "was: {response:?}");
+        }
+        WireResponse::Report { provenance, .. } => {
+            // Partial stage frontiers beat the cut: acceptable, but the
+            // composition must carry the degraded mark.
+            assert!(
+                provenance == "hier:degraded",
+                "an expired deadline cannot serve an unmarked composition: {response:?}"
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    let WireResponse::Metrics(snapshot) = client.metrics().expect("metrics") else {
+        panic!("metrics verb");
+    };
+    assert_eq!(
+        fault_field(&snapshot, "deadline_expired") + fault_field(&snapshot, "deadline_degraded"),
+        1,
+        "exactly one deadline outcome is recorded: {snapshot:?}"
+    );
+
+    // A generous deadline simply composes, undegraded.
+    let met = client
+        .synthesize(hier_synthesize().with_deadline_ms(60_000))
+        .expect("roundtrip");
+    assert_eq!(provenance(&met), "hier");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_dropped_connection_mid_hier_response_is_survived_by_reconnect_and_replay() {
+    let _chaos = ChaosGuard::lock();
+    let dir = cache_dir("hier-drop");
+    let server = Server::start(
+        engine_with_cache(&dir),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("hier-drop"), server).expect("bind");
+
+    let baseline = ServeClient::connect(daemon.socket_path())
+        .expect("connect")
+        .synthesize(hier_synthesize())
+        .expect("baseline roundtrip");
+    assert_eq!(provenance(&baseline), "hier");
+    let baseline_summary = baseline.hier_summary().expect("typed summary");
+
+    // The daemon drops the connection mid-response; the client reconnects
+    // under backoff and replays the request on the fresh connection.
+    failpoint::arm_times("conn.write", FailAction::Trigger, 1);
+    let mut resilient = ServeClient::connect(daemon.socket_path()).expect("connect");
+    let replayed = resilient
+        .synthesize(hier_synthesize())
+        .expect("reconnect and replay");
+    assert_eq!(provenance(&replayed), "hier");
+    let replay_summary = replayed.hier_summary().expect("typed summary");
+    // Wall-clock differs between independent runs, so identity is checked
+    // on the composition itself: stage for stage, cost for cost.
+    assert_eq!(replay_summary.stages, baseline_summary.stages);
+    assert_eq!(replay_summary.composed_cost, baseline_summary.composed_cost);
+    assert_eq!(replay_summary.total_sends, baseline_summary.total_sends);
+    assert_eq!(replay_summary.degraded_stages, 0);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hier_requests_share_the_admission_envelope() {
+    let _chaos = ChaosGuard::lock();
+    let server = Server::start(
+        sccl_sched::Engine::builder()
+            .sequential()
+            .synthesis_defaults(quick_defaults())
+            .build()
+            .expect("engine"),
+        ServeConfig {
+            workers: 1,
+            per_client_inflight: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let hier_request = || {
+        sccl_hier::HierRequest::new(
+            &sccl_topology::builders::ring_of_rings(2, 4, 2, 1),
+            sccl_collectives::Collective::Allgather,
+        )
+        .with_config(quick_defaults())
+    };
+
+    // Hold the lone worker in a stalled flat solve; the same client's
+    // hierarchical request must bounce off its in-flight quota exactly
+    // like a second flat request would.
+    failpoint::arm_times(
+        "pool.solve",
+        FailAction::Sleep(Duration::from_millis(300)),
+        1,
+    );
+    let held = server
+        .submit(
+            sccl_topology::builders::ring(5, 1),
+            sccl_collectives::Collective::Allgather,
+            quick_defaults(),
+            None,
+            "greedy",
+        )
+        .expect("admitted");
+    match server.submit_hier(hier_request(), "greedy", None) {
+        Err(ServeError::ClientQuota { .. }) => {}
+        other => panic!("expected ClientQuota, got {other:?}"),
+    }
+    held.wait().expect("the held flat job still completes");
+
+    // Draining rejects new hierarchical work but never drops an already
+    // admitted composition: its ticket still resolves to a verified
+    // answer.
+    let ticket = server
+        .submit_hier(hier_request(), "drainer", None)
+        .expect("admitted before the drain");
+    server.begin_drain();
+    match server.submit_hier(hier_request(), "drainer", None) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("a draining daemon must reject new hier work, got {other:?}"),
+    }
+    let served = ticket
+        .wait()
+        .expect("the drained daemon finishes in-flight compositions");
+    assert!(!served.degraded);
+    assert_eq!(served.summary.degraded_stages, 0);
+    server.shutdown();
 }

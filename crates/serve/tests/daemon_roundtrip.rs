@@ -183,7 +183,21 @@ fn hierarchical_requests_compose_through_the_wire() {
         .synthesize(WireSynthesize::new("rings:4x4", "allgather").with_groups("auto"))
         .expect("roundtrip");
     match &response {
-        WireResponse::Report { provenance, .. } => assert_eq!(provenance, "hier"),
+        WireResponse::Report {
+            provenance,
+            timings,
+            ..
+        } => {
+            assert_eq!(provenance, "hier");
+            // The wire carries the real per-phase breakdown, not zeros:
+            // stage solving and end-to-end verification both take time.
+            assert!(timings.solve_micros > 0, "was: {timings:?}");
+            assert!(timings.verify_micros > 0, "was: {timings:?}");
+            assert!(
+                timings.total_micros >= timings.solve_micros,
+                "was: {timings:?}"
+            );
+        }
         other => panic!("expected a composition report, got {other:?}"),
     }
     let summary = response.hier_summary().expect("typed summary");
@@ -206,8 +220,8 @@ fn hierarchical_requests_compose_through_the_wire() {
         ),
         "was: {response:?}"
     );
-    // A collective without a composition rule surfaces as a synthesis
-    // error.
+    // A collective without a composition rule is a client error — no
+    // retry of the same request can ever succeed.
     let response = client
         .synthesize(WireSynthesize::new("rings:4x4", "alltoall").with_groups("auto"))
         .expect("roundtrip");
@@ -215,12 +229,58 @@ fn hierarchical_requests_compose_through_the_wire() {
         matches!(
             &response,
             WireResponse::Error {
-                kind: WireErrorKind::Synthesis,
+                kind: WireErrorKind::BadRequest,
                 ..
             }
         ),
         "was: {response:?}"
     );
+    daemon.shutdown();
+}
+
+#[test]
+fn hier_requests_are_rate_limited_with_a_retry_hint() {
+    // A one-token bucket with a near-zero refill: the first composition
+    // is served, the immediate second one bounces with a retry hint —
+    // hierarchical requests sit behind the same token buckets as flat
+    // ones.
+    let server = Server::start(
+        quick_engine(),
+        ServeConfig {
+            rate_limit_per_sec: 0.01,
+            rate_limit_burst: 1,
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    let daemon = Daemon::bind(socket_path("hier-rate"), server).expect("bind");
+    let mut client = ServeClient::connect(daemon.socket_path()).expect("connect");
+    let request = || {
+        WireSynthesize::new("rings:4x4", "allgather")
+            .with_groups("auto")
+            .with_client("bursty")
+    };
+
+    let first = client.synthesize(request()).expect("roundtrip");
+    assert!(
+        matches!(&first, WireResponse::Report { provenance, .. } if provenance == "hier"),
+        "was: {first:?}"
+    );
+    let second = client.synthesize(request()).expect("roundtrip");
+    match &second {
+        WireResponse::Error {
+            kind,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(*kind, WireErrorKind::RateLimited, "was: {second:?}");
+            assert!(
+                retry_after_ms.is_some_and(|ms| ms > 0),
+                "the rejection must carry a retry hint: {second:?}"
+            );
+        }
+        other => panic!("the second burst request must bounce off the bucket, got {other:?}"),
+    }
     daemon.shutdown();
 }
 
